@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 7a: Radix-Decluster elapsed time as a function of
+//! the insertion-window size (fixed N, fixed clustering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rdx_bench::measure::make_decluster_input;
+use rdx_core::decluster::radix_decluster;
+
+fn bench_decluster_window(c: &mut Criterion) {
+    let n = 1_000_000;
+    let bits = 8;
+    let input = make_decluster_input(n, bits, 1);
+
+    let mut group = c.benchmark_group("fig7a_decluster_window");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for window_kb in [4usize, 64, 256, 512, 2048, 8192] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{window_kb}KB")),
+            &(window_kb * 1024),
+            |b, &window_bytes| {
+                b.iter(|| {
+                    radix_decluster(&input.values, &input.positions, &input.bounds, window_bytes)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decluster_window);
+criterion_main!(benches);

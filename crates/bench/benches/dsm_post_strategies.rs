@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 8: the four DSM post-projection strategies
+//! (u / s / c / d) at varying projectivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdx_bench::measure::dsm_post_projection_phase_ms;
+use rdx_cache::CacheParams;
+
+fn bench_dsm_post_strategies(c: &mut Criterion) {
+    let n = 500_000;
+    let params = CacheParams::paper_pentium4();
+
+    let mut group = c.benchmark_group("fig8_dsm_post_strategies");
+    group.sample_size(10);
+    for pi in [1usize, 4, 16] {
+        for code in ['u', 's', 'c', 'd'] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("code_{code}"), pi),
+                &(code, pi),
+                |b, &(code, pi)| {
+                    b.iter(|| dsm_post_projection_phase_ms(code, n, pi, &params))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsm_post_strategies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the Fig. 9 panels: the individual join phases
+//! (Radix-Cluster, Partitioned Hash-Join, Clustered Positional-Join,
+//! Radix-Decluster, Left/Right Jive-Join) at a representative radix-bit
+//! setting each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdx_bench::measure::*;
+use rdx_cache::CacheParams;
+
+fn bench_join_phases(c: &mut Criterion) {
+    let params = CacheParams::paper_pentium4();
+    let n = 500_000;
+
+    let mut group = c.benchmark_group("fig9_join_phases");
+    group.sample_size(10);
+    for bits in [0u32, 6, 12] {
+        group.bench_with_input(BenchmarkId::new("radix_cluster", bits), &bits, |b, &bits| {
+            b.iter(|| fig9_radix_cluster(n, bits, &params))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_hash_join", bits),
+            &bits,
+            |b, &bits| b.iter(|| fig9_partitioned_hash_join(n / 2, bits, &params)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clustered_positional_join", bits),
+            &bits,
+            |b, &bits| b.iter(|| fig9_clustered_positional_join(n / 2, bits, &params)),
+        );
+        group.bench_with_input(BenchmarkId::new("radix_decluster", bits), &bits, |b, &bits| {
+            b.iter(|| fig9_radix_decluster(n / 2, bits, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("left_jive", bits), &bits, |b, &bits| {
+            b.iter(|| fig9_jive(n / 4, bits, true, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("right_jive", bits), &bits, |b, &bits| {
+            b.iter(|| fig9_jive(n / 4, bits, false, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_phases);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 10: the six end-to-end projected-join strategies
+//! on the same workload (N fixed, π = 4, h = 1:1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdx_bench::measure::{fig10_workload, run_overall_strategy, OverallStrategy};
+use rdx_cache::CacheParams;
+use rdx_core::strategy::QuerySpec;
+
+fn bench_overall_strategies(c: &mut Criterion) {
+    let params = CacheParams::paper_pentium4();
+    let n = 125_000;
+    let omega = 16;
+    let workload = fig10_workload(n, omega, 1.0, 31);
+    let spec = QuerySpec::symmetric(4);
+
+    let mut group = c.benchmark_group("fig10_overall_strategies");
+    group.sample_size(10);
+    for strategy in OverallStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| b.iter(|| run_overall_strategy(strategy, &workload, &spec, &params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overall_strategies);
+criterion_main!(benches);

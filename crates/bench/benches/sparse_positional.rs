@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 11: sparse Clustered Positional-Join at three
+//! selectivities (the join relation is a 100% / 10% / 1% selection of a
+//! larger base table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdx_bench::measure::sparse_clustered_positional_ms;
+use rdx_cache::CacheParams;
+
+fn bench_sparse_positional(c: &mut Criterion) {
+    let params = CacheParams::paper_pentium4();
+    let selected = 250_000;
+    let bits = 8;
+
+    let mut group = c.benchmark_group("fig11_sparse_positional");
+    group.sample_size(10);
+    for (label, selectivity) in [("100pct", 1.0), ("10pct", 0.1), ("1pct", 0.01)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &selectivity,
+            |b, &s| b.iter(|| sparse_clustered_positional_ms(selected, s, bits, &params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_positional);
+criterion_main!(benches);

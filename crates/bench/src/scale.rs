@@ -1,0 +1,120 @@
+//! Scale presets for the figure harness.
+//!
+//! The paper's largest configurations (16M tuples × ω = 64 columns in NSM)
+//! need several GB per relation; the default preset shrinks cardinalities so
+//! every figure finishes in minutes on a laptop while keeping every
+//! cardinality comfortably past the cache capacity (which is what the
+//! cache-consciousness story is about).  `--scale paper` restores the paper's
+//! sizes where memory allows.
+
+/// Workload scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast default: largest runs ≈ 1M tuples.
+    Small,
+    /// Intermediate: largest runs ≈ 4M tuples.
+    Medium,
+    /// The paper's cardinalities (memory permitting).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The cardinality used by the Radix-Decluster isolation experiments
+    /// (Figs. 7a/7b use N = 8M in the paper).
+    pub fn decluster_cardinality(&self) -> usize {
+        match self {
+            Scale::Small => 1_000_000,
+            Scale::Medium => 4_000_000,
+            Scale::Paper => 8_000_000,
+        }
+    }
+
+    /// The two cardinalities of the Fig. 8 strategy sweep (paper: 500K, 8M).
+    pub fn fig8_cardinalities(&self) -> [usize; 2] {
+        match self {
+            Scale::Small => [125_000, 1_000_000],
+            Scale::Medium => [500_000, 4_000_000],
+            Scale::Paper => [500_000, 8_000_000],
+        }
+    }
+
+    /// The cardinality pairs of the Fig. 9 join-phase panels
+    /// (paper: 16M/4M for the cluster/join/decluster panels, 1M/250K for the
+    /// positional-join panels).
+    pub fn fig9_cardinalities(&self) -> ([usize; 2], [usize; 2]) {
+        match self {
+            Scale::Small => ([1_000_000, 250_000], [500_000, 125_000]),
+            Scale::Medium => ([4_000_000, 1_000_000], [1_000_000, 250_000]),
+            Scale::Paper => ([16_000_000, 4_000_000], [1_000_000, 250_000]),
+        }
+    }
+
+    /// Cardinality and stored width ω for the Fig. 10a/b overall comparison
+    /// (paper: N = 500K, ω = 64).
+    pub fn fig10_base(&self) -> (usize, usize) {
+        match self {
+            Scale::Small => (125_000, 16),
+            Scale::Medium => (500_000, 64),
+            Scale::Paper => (500_000, 64),
+        }
+    }
+
+    /// The cardinality sweep of Fig. 10c (paper: 15K … 16M).
+    pub fn fig10c_cardinalities(&self) -> Vec<usize> {
+        match self {
+            Scale::Small => vec![15_000, 62_000, 250_000, 1_000_000],
+            Scale::Medium => vec![15_000, 62_000, 250_000, 1_000_000, 4_000_000],
+            Scale::Paper => vec![15_000, 62_000, 250_000, 1_000_000, 4_000_000, 16_000_000],
+        }
+    }
+
+    /// Number of selected tuples for the Fig. 11 sparse positional join
+    /// (paper: N = 1M).
+    pub fn fig11_selected(&self) -> usize {
+        match self {
+            Scale::Small => 250_000,
+            Scale::Medium | Scale::Paper => 1_000_000,
+        }
+    }
+
+    /// Radix-bit sweep used by the bit-dependent figures (paper: 0..25; we
+    /// stop where cluster counts exceed the cardinality anyway).
+    pub fn bit_sweep(&self, max: u32) -> Vec<u32> {
+        (0..=max).step_by(2).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_values() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Small.decluster_cardinality() < Scale::Paper.decluster_cardinality());
+        assert!(Scale::Small.fig10_base().0 <= Scale::Paper.fig10_base().0);
+        assert_eq!(Scale::Paper.fig8_cardinalities()[1], 8_000_000);
+    }
+
+    #[test]
+    fn bit_sweep_is_even_steps() {
+        assert_eq!(Scale::Small.bit_sweep(8), vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,181 @@
+//! A miniature Calibrator: run-time measurement of memory access latencies.
+//!
+//! The paper's cost models are "parametrized by all relevant architectural
+//! characteristics … derived automatically at run-time with the Calibrator
+//! utility" (§1.1).  This module provides a small, dependency-free analogue:
+//! it walks pointer-chased buffers of increasing size and reports the average
+//! access latency per working-set size, from which cache capacities and miss
+//! penalties can be read off.  It is deliberately conservative (bounded
+//! iteration counts) so that it can run inside tests.
+
+use crate::{CacheLevel, CacheParams, Tlb};
+use std::time::Instant;
+
+/// One measurement: average dependent-load latency for a working set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationPoint {
+    /// Working-set size in bytes.
+    pub working_set: usize,
+    /// Average latency of one dependent load, in nanoseconds.
+    pub latency_ns: f64,
+}
+
+/// Runs pointer-chase measurements over a range of working-set sizes.
+#[derive(Debug, Clone)]
+pub struct Calibrator {
+    /// Smallest working set measured, in bytes.
+    pub min_bytes: usize,
+    /// Largest working set measured, in bytes.
+    pub max_bytes: usize,
+    /// Number of dependent loads issued per measurement.
+    pub loads_per_point: usize,
+}
+
+impl Default for Calibrator {
+    fn default() -> Self {
+        Calibrator {
+            min_bytes: 4 * 1024,
+            max_bytes: 16 * 1024 * 1024,
+            loads_per_point: 1 << 20,
+        }
+    }
+}
+
+impl Calibrator {
+    /// A calibrator with very small working sets and few loads, suitable for
+    /// unit tests (completes in a few milliseconds).
+    pub fn quick() -> Self {
+        Calibrator {
+            min_bytes: 4 * 1024,
+            max_bytes: 256 * 1024,
+            loads_per_point: 1 << 16,
+        }
+    }
+
+    /// Measures the latency curve: one point per power-of-two working set in
+    /// `[min_bytes, max_bytes]`.
+    pub fn run(&self) -> Vec<CalibrationPoint> {
+        let mut points = Vec::new();
+        let mut size = self.min_bytes.next_power_of_two();
+        while size <= self.max_bytes {
+            points.push(self.measure(size));
+            size *= 2;
+        }
+        points
+    }
+
+    /// Measures the average dependent-load latency for one working-set size
+    /// using a cache-line-strided cyclic pointer chase (the classic
+    /// latency-measurement pattern the Calibrator uses).
+    pub fn measure(&self, working_set: usize) -> CalibrationPoint {
+        const STRIDE: usize = 16; // u32 slots; 64 bytes, one typical cache line
+        let slots = (working_set / std::mem::size_of::<u32>()).max(STRIDE * 2);
+        let mut chain = vec![0u32; slots];
+
+        // Build a cyclic permutation visiting one slot per stride, in an order
+        // that defeats next-line prefetching (simple LCG over the stride count).
+        let hops = slots / STRIDE;
+        let mut order: Vec<usize> = (0..hops).collect();
+        let mut state = 0x9e3779b9u64;
+        for i in (1..hops).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        for w in 0..hops {
+            let from = order[w] * STRIDE;
+            let to = order[(w + 1) % hops] * STRIDE;
+            chain[from] = to as u32;
+        }
+
+        // Chase.
+        let mut pos = order[0] * STRIDE;
+        let start = Instant::now();
+        for _ in 0..self.loads_per_point {
+            pos = chain[pos] as usize;
+        }
+        let elapsed = start.elapsed();
+        // Keep `pos` observable so the chase is not optimized away.
+        std::hint::black_box(pos);
+
+        CalibrationPoint {
+            working_set,
+            latency_ns: elapsed.as_nanos() as f64 / self.loads_per_point as f64,
+        }
+    }
+
+    /// Builds a [`CacheParams`] from a measured latency curve, using the paper
+    /// platform's geometry (line sizes, associativity, TLB shape) but the
+    /// host's latencies.  Intended as a convenience for running the cost
+    /// models against host measurements; reproduction benchmarks default to
+    /// [`CacheParams::paper_pentium4`].
+    pub fn params_from_curve(points: &[CalibrationPoint], cpu_hz: f64) -> CacheParams {
+        let reference = CacheParams::paper_pentium4();
+        let latency_at = |bytes: usize| -> f64 {
+            points
+                .iter()
+                .filter(|p| p.working_set >= bytes)
+                .map(|p| p.latency_ns)
+                .next()
+                .or_else(|| points.last().map(|p| p.latency_ns))
+                .unwrap_or(1.0)
+        };
+        let base = points.first().map(|p| p.latency_ns).unwrap_or(1.0);
+        let to_cycles = |ns: f64| ((ns - base).max(0.5) * cpu_hz / 1e9).round() as u64;
+
+        CacheParams {
+            cpu_hz,
+            levels: reference
+                .levels
+                .iter()
+                .map(|l| CacheLevel {
+                    miss_latency_cycles: to_cycles(latency_at(l.capacity * 2)).max(1),
+                    ..*l
+                })
+                .collect(),
+            tlb: Tlb { ..reference.tlb },
+            sequential_bandwidth: reference.sequential_bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_calibration_produces_monotone_sizes() {
+        let cal = Calibrator::quick();
+        let points = cal.run();
+        assert!(points.len() >= 3);
+        for w in points.windows(2) {
+            assert!(w[0].working_set < w[1].working_set);
+        }
+        for p in &points {
+            assert!(p.latency_ns > 0.0);
+            assert!(p.latency_ns < 10_000.0, "implausible latency {}", p.latency_ns);
+        }
+    }
+
+    #[test]
+    fn params_from_curve_preserves_geometry() {
+        let points = vec![
+            CalibrationPoint {
+                working_set: 16 * 1024,
+                latency_ns: 1.0,
+            },
+            CalibrationPoint {
+                working_set: 1024 * 1024,
+                latency_ns: 5.0,
+            },
+            CalibrationPoint {
+                working_set: 16 * 1024 * 1024,
+                latency_ns: 80.0,
+            },
+        ];
+        let params = Calibrator::params_from_curve(&points, 3.0e9);
+        assert_eq!(params.levels.len(), 2);
+        assert_eq!(params.l1().capacity, 16 * 1024);
+        assert!(params.levels[1].miss_latency_cycles >= params.levels[0].miss_latency_cycles);
+    }
+}

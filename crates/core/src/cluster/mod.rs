@@ -1,0 +1,408 @@
+//! Radix-Cluster: multi-pass, finely tunable partitioning (paper §2.2, §3.1).
+//!
+//! `radix_cluster(B, P)` partitions its input into `H = 2^B` clusters on the
+//! lower `B` radix bits of the (hashed) key, using `P` sequential passes so
+//! that no single pass creates more output cursors than the caches and TLB can
+//! sustain.  The *partial* variant additionally ignores the lowermost `I` bits
+//! — stopping early — which is what turns Radix-Sort of a join index into the
+//! much cheaper partial clustering that Positional-Join needs (§3.1).
+//!
+//! Keys from dense oid domains are clustered without hashing; arbitrary join
+//! keys are hashed first (see [`crate::hash`]).
+
+mod spec;
+
+pub use spec::RadixClusterSpec;
+
+use crate::hash::{hash_key, radix_field, significant_bits};
+use rdx_dsm::Oid;
+
+/// The result of radix-clustering a `(key, payload)` sequence: both arrays
+/// reordered so that cluster 0 comes first, plus the cluster boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustered<K, P> {
+    keys: Vec<K>,
+    payloads: Vec<P>,
+    /// `bounds[j]..bounds[j+1]` is the range of cluster `j`; `len = H + 1`.
+    bounds: Vec<usize>,
+    spec: RadixClusterSpec,
+}
+
+impl<K, P> Clustered<K, P> {
+    /// Number of clusters `H = 2^B`.
+    pub fn num_clusters(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of tuples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` if the input was empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The clustering specification that produced this result.
+    pub fn spec(&self) -> &RadixClusterSpec {
+        &self.spec
+    }
+
+    /// The reordered keys.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// The reordered payloads.
+    pub fn payloads(&self) -> &[P] {
+        &self.payloads
+    }
+
+    /// The cluster boundary offsets (`H + 1` entries).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// The tuple range of cluster `j`.
+    pub fn cluster_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.bounds[j]..self.bounds[j + 1]
+    }
+
+    /// Keys of cluster `j`.
+    pub fn cluster_keys(&self, j: usize) -> &[K] {
+        &self.keys[self.cluster_range(j)]
+    }
+
+    /// Payloads of cluster `j`.
+    pub fn cluster_payloads(&self, j: usize) -> &[P] {
+        &self.payloads[self.cluster_range(j)]
+    }
+
+    /// Consumes the clustering, returning `(keys, payloads, bounds)`.
+    pub fn into_parts(self) -> (Vec<K>, Vec<P>, Vec<usize>) {
+        (self.keys, self.payloads, self.bounds)
+    }
+
+    /// Assembles a `Clustered` from already-clustered parts (used by the
+    /// traced variants in [`crate::trace`], which run the same algorithm but
+    /// own their scatter loop).
+    ///
+    /// # Panics
+    /// Panics if the bounds do not cover the keys or have the wrong cluster
+    /// count for `spec`.
+    pub(crate) fn from_raw_parts(
+        keys: Vec<K>,
+        payloads: Vec<P>,
+        bounds: Vec<usize>,
+        spec: RadixClusterSpec,
+    ) -> Self {
+        assert_eq!(keys.len(), payloads.len());
+        assert_eq!(bounds.len(), spec.num_clusters() + 1);
+        assert_eq!(*bounds.last().unwrap(), keys.len());
+        Clustered {
+            keys,
+            payloads,
+            bounds,
+            spec,
+        }
+    }
+}
+
+/// Multi-pass counting-sort clustering shared by the hashed and oid variants.
+///
+/// `bucket_of` maps a key to its full radix value; the spec's `bits`/`ignore`
+/// select which field of that value drives the clustering, and `passes`
+/// determines how many left-to-right refinement passes are used.
+fn cluster_impl<K: Copy, P: Copy>(
+    keys: &[K],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    bucket_of: impl Fn(&K) -> u64,
+) -> Clustered<K, P> {
+    assert_eq!(keys.len(), payloads.len(), "keys/payloads length mismatch");
+    let n = keys.len();
+    let total_clusters = spec.num_clusters();
+
+    if spec.bits == 0 || n == 0 {
+        // Degenerate cases still uphold the `bounds.len() == H + 1` invariant:
+        // zero bits means one cluster holding everything; an empty input means
+        // `H` empty clusters.
+        let mut bounds = vec![0usize; total_clusters];
+        bounds.push(n);
+        return Clustered {
+            keys: keys.to_vec(),
+            payloads: payloads.to_vec(),
+            bounds,
+            spec,
+        };
+    }
+
+    let mut cur_keys = keys.to_vec();
+    let mut cur_pay = payloads.to_vec();
+    let mut out_keys = cur_keys.clone();
+    let mut out_pay = cur_pay.clone();
+    let mut segments: Vec<usize> = vec![0, n];
+
+    // Bits used by each pass, leftmost (most significant of the B-bit field)
+    // first, exactly as §2.2 describes.
+    let pass_bits = spec.pass_bits();
+    let mut bits_remaining = spec.bits;
+
+    for bp in pass_bits {
+        bits_remaining -= bp;
+        let shift = spec.ignore + bits_remaining;
+        let hp = 1usize << bp;
+        let mask = (hp - 1) as u64;
+
+        let mut new_segments = Vec::with_capacity((segments.len() - 1) * hp + 1);
+        let mut counts = vec![0usize; hp];
+
+        for seg in segments.windows(2) {
+            let (s, e) = (seg[0], seg[1]);
+            counts.iter_mut().for_each(|c| *c = 0);
+            for k in &cur_keys[s..e] {
+                let b = ((bucket_of(k) >> shift) & mask) as usize;
+                counts[b] += 1;
+            }
+            // Exclusive prefix sums become both the scatter cursors and the
+            // new segment boundaries.
+            let mut cursor = s;
+            let mut offsets = vec![0usize; hp];
+            for b in 0..hp {
+                offsets[b] = cursor;
+                new_segments.push(cursor);
+                cursor += counts[b];
+            }
+            debug_assert_eq!(cursor, e);
+            for i in s..e {
+                let b = ((bucket_of(&cur_keys[i]) >> shift) & mask) as usize;
+                let dst = offsets[b];
+                offsets[b] += 1;
+                out_keys[dst] = cur_keys[i];
+                out_pay[dst] = cur_pay[i];
+            }
+        }
+        new_segments.push(n);
+        segments = new_segments;
+        std::mem::swap(&mut cur_keys, &mut out_keys);
+        std::mem::swap(&mut cur_pay, &mut out_pay);
+    }
+
+    debug_assert_eq!(segments.len(), total_clusters + 1);
+    Clustered {
+        keys: cur_keys,
+        payloads: cur_pay,
+        bounds: segments,
+        spec,
+    }
+}
+
+/// Radix-clusters `(key, payload)` pairs on the hashed key (the join-input
+/// case): `radix_cluster(B, P)` of §2.2.
+pub fn radix_cluster<P: Copy>(
+    keys: &[u64],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+) -> Clustered<u64, P> {
+    cluster_impl(keys, payloads, spec, |&k| hash_key(k))
+}
+
+/// Radix-clusters `(oid, payload)` pairs on the *unhashed* oid value (the
+/// join-index case of §3.1): oids come from a dense domain, so the radix bits
+/// of the value itself are already uniform and order-preserving.
+pub fn radix_cluster_oids<P: Copy>(
+    oids: &[Oid],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+) -> Clustered<Oid, P> {
+    cluster_impl(oids, payloads, spec, |&o| o as u64)
+}
+
+/// Radix-Sort of an oid column: a Radix-Cluster on *all* significant bits with
+/// no ignore bits, "equivalent to Radix-Sort" (§3.1).  Uses two passes once
+/// more than 2048 clusters would be needed, mirroring the paper's observation
+/// that one pass stops scaling at a few thousand output cursors.
+pub fn radix_sort_oids<P: Copy>(oids: &[Oid], payloads: &[P], domain: usize) -> Clustered<Oid, P> {
+    let bits = significant_bits(domain);
+    let passes = if bits > 11 { 2 } else { 1 };
+    radix_cluster_oids(oids, payloads, RadixClusterSpec::partial(bits, passes, 0))
+}
+
+/// `radix_count`: recomputes the cluster sizes (as boundary offsets) of an
+/// already-clustered oid column, as used in Fig. 4 to initialise the
+/// Radix-Decluster cluster-border structure.
+///
+/// The column must already be clustered on `(bits, ignore)`; the returned
+/// boundaries equal the ones `radix_cluster_oids` produced.
+pub fn radix_count(oids: &[Oid], bits: u32, ignore: u32) -> Vec<usize> {
+    let clusters = 1usize << bits;
+    let mut counts = vec![0usize; clusters];
+    for &o in oids {
+        counts[radix_field(o as u64, bits, ignore) as usize] += 1;
+    }
+    let mut bounds = Vec::with_capacity(clusters + 1);
+    let mut acc = 0;
+    bounds.push(0);
+    for c in counts {
+        acc += c;
+        bounds.push(acc);
+    }
+    bounds
+}
+
+/// Checks that `oids` is clustered on `(bits, ignore)`: the radix field must
+/// be non-decreasing over the column.  Used by tests and debug assertions.
+pub fn is_clustered(oids: &[Oid], bits: u32, ignore: u32) -> bool {
+    oids.windows(2)
+        .all(|w| radix_field(w[0] as u64, bits, ignore) <= radix_field(w[1] as u64, bits, ignore))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn shuffled_oids(n: usize, seed: u64) -> Vec<Oid> {
+        let mut v: Vec<Oid> = (0..n as Oid).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(seed));
+        v
+    }
+
+    #[test]
+    fn zero_bits_is_identity() {
+        let keys = vec![5u64, 3, 9];
+        let pay = vec![0u32, 1, 2];
+        let c = radix_cluster(&keys, &pay, RadixClusterSpec::single_pass(0));
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.keys(), &keys[..]);
+        assert_eq!(c.payloads(), &pay[..]);
+    }
+
+    #[test]
+    fn clusters_cover_input_and_preserve_pairs() {
+        let oids = shuffled_oids(1000, 1);
+        let pay: Vec<u32> = (0..1000).collect();
+        let c = radix_cluster_oids(&oids, &pay, RadixClusterSpec::single_pass(4));
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.num_clusters(), 16);
+        assert_eq!(*c.bounds().last().unwrap(), 1000);
+        // Pairs stay together: payload i still rides with oid oids[i].
+        for (k, p) in c.keys().iter().zip(c.payloads()) {
+            assert_eq!(oids[*p as usize], *k);
+        }
+    }
+
+    #[test]
+    fn oid_clustering_groups_by_radix_field() {
+        let oids = shuffled_oids(256, 2);
+        let pay = vec![0u8; 256];
+        let c = radix_cluster_oids(&oids, &pay, RadixClusterSpec::single_pass(4));
+        for j in 0..c.num_clusters() {
+            for &o in c.cluster_keys(j) {
+                assert_eq!(radix_field(o as u64, 4, 0) as usize, j);
+            }
+        }
+        assert!(is_clustered(c.keys(), 4, 0));
+    }
+
+    #[test]
+    fn multi_pass_equals_single_pass() {
+        let oids = shuffled_oids(5000, 3);
+        let pay: Vec<u32> = (0..5000).collect();
+        let one = radix_cluster_oids(&oids, &pay, RadixClusterSpec::partial(8, 1, 0));
+        let two = radix_cluster_oids(&oids, &pay, RadixClusterSpec::partial(8, 2, 0));
+        let three = radix_cluster_oids(&oids, &pay, RadixClusterSpec::partial(8, 3, 0));
+        assert_eq!(one.bounds(), two.bounds());
+        // Within a cluster the relative input order is preserved by every
+        // per-pass counting sort, so the outputs are identical, not merely
+        // equivalent.
+        assert_eq!(one.keys(), two.keys());
+        assert_eq!(one.payloads(), three.payloads());
+    }
+
+    #[test]
+    fn clustering_is_stable_within_clusters() {
+        // Property (2) of §3.2: "within each cluster, the oids are still
+        // sorted" — when the payload order follows an already-sorted key.
+        let oids: Vec<Oid> = (0..1024).collect();
+        let pay: Vec<u32> = (0..1024).collect();
+        let c = radix_cluster_oids(&oids, &pay, RadixClusterSpec::partial(3, 1, 2));
+        for j in 0..c.num_clusters() {
+            let keys = c.cluster_keys(j);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "cluster {j} not sorted");
+        }
+    }
+
+    #[test]
+    fn ignore_bits_stop_early() {
+        let oids = shuffled_oids(4096, 4);
+        let pay = vec![(); 4096];
+        let c = radix_cluster_oids(&oids, &pay, RadixClusterSpec::partial(4, 1, 8));
+        // Clustered on bits 8..12 but NOT on the lowermost 8 bits.
+        assert!(is_clustered(c.keys(), 4, 8));
+        assert!(!is_clustered(c.keys(), 12, 0));
+    }
+
+    #[test]
+    fn radix_sort_sorts_oids() {
+        let oids = shuffled_oids(10_000, 5);
+        let pay: Vec<u32> = (0..10_000).collect();
+        let c = radix_sort_oids(&oids, &pay, 10_000);
+        for w in c.keys().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // All values still present.
+        let mut sorted = c.keys().to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10_000);
+    }
+
+    #[test]
+    fn radix_count_matches_cluster_bounds() {
+        let oids = shuffled_oids(3000, 6);
+        let pay = vec![(); 3000];
+        let spec = RadixClusterSpec::partial(5, 1, 3);
+        let c = radix_cluster_oids(&oids, &pay, spec);
+        assert_eq!(radix_count(c.keys(), 5, 3), c.bounds());
+    }
+
+    #[test]
+    fn hashed_clustering_spreads_sequential_keys() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let pay = vec![(); 10_000];
+        let c = radix_cluster(&keys, &pay, RadixClusterSpec::single_pass(6));
+        let expected = 10_000 / 64;
+        for j in 0..c.num_clusters() {
+            let size = c.cluster_range(j).len();
+            assert!(
+                size > expected / 2 && size < expected * 2,
+                "cluster {j} holds {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_keeps_full_cluster_structure() {
+        // An empty input must still expose 2^B (empty) clusters, so that
+        // per-cluster consumers like Partitioned Hash-Join can iterate them.
+        let c = radix_cluster::<u32>(&[], &[], RadixClusterSpec::single_pass(4));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.num_clusters(), 16);
+        for j in 0..16 {
+            assert!(c.cluster_range(j).is_empty());
+        }
+        // Zero bits on a non-empty input is a single all-covering cluster.
+        let single = radix_cluster(&[7u64, 8], &[0u32, 1], RadixClusterSpec::single_pass(0));
+        assert_eq!(single.num_clusters(), 1);
+        assert_eq!(single.cluster_range(0), 0..2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        radix_cluster(&[1u64], &[1u32, 2], RadixClusterSpec::single_pass(1));
+    }
+}

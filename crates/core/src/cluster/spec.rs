@@ -1,0 +1,142 @@
+//! Clustering specifications and the §3.1 parameter formulas.
+
+use crate::hash::significant_bits;
+
+/// A Radix-Cluster configuration: `B` radix bits split over `P` passes,
+/// ignoring the lowermost `I` bits (the *partial* Radix-Cluster of §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixClusterSpec {
+    /// Total radix bits `B`; the input is split into `2^B` clusters.
+    pub bits: u32,
+    /// Number of passes `P` (each pass handles `≈ B/P` bits, leftmost first).
+    pub passes: u32,
+    /// Ignore bits `I`: the clustering field is `[I, I+B)`, leaving the input
+    /// unsorted on the lowermost `I` bits.
+    pub ignore: u32,
+}
+
+impl RadixClusterSpec {
+    /// A single-pass clustering on `bits` bits, no ignore bits.
+    pub fn single_pass(bits: u32) -> Self {
+        Self::partial(bits, 1, 0)
+    }
+
+    /// A `passes`-pass clustering on `bits` bits, no ignore bits.
+    pub fn new(bits: u32, passes: u32) -> Self {
+        Self::partial(bits, passes, 0)
+    }
+
+    /// A partial clustering: `bits` bits over `passes` passes, ignoring the
+    /// lowermost `ignore` bits.
+    ///
+    /// # Panics
+    /// Panics if `bits + ignore > 40` (2^40 clusters is far past any sensible
+    /// configuration and would overflow allocation sizes) or `passes == 0`.
+    pub fn partial(bits: u32, passes: u32, ignore: u32) -> Self {
+        assert!(passes >= 1, "at least one pass is required");
+        assert!(bits + ignore <= 40, "unreasonable radix configuration");
+        RadixClusterSpec {
+            bits,
+            passes,
+            ignore,
+        }
+    }
+
+    /// Number of clusters `H = 2^B`.
+    pub fn num_clusters(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// The per-pass bit counts, leftmost (most significant) pass first.
+    /// Passes never exceed `bits`, so asking for more passes than bits simply
+    /// collapses to `bits` one-bit passes.
+    pub fn pass_bits(&self) -> Vec<u32> {
+        if self.bits == 0 {
+            return vec![];
+        }
+        let passes = self.passes.min(self.bits).max(1);
+        let base = self.bits / passes;
+        let extra = self.bits % passes;
+        (0..passes)
+            .map(|p| if p < extra { base + 1 } else { base })
+            .collect()
+    }
+
+    /// The §3.1 formula for projecting from a column of `column_tuples` values
+    /// of `value_width` bytes through a join index over an oid domain of
+    /// `column_tuples`:
+    ///
+    /// * `B` is chosen so that one cluster's worth of the projection column
+    ///   (`‖COLUMN‖ / 2^B`) just fits in a cache of `cache_bytes`;
+    /// * `I` is whatever remains of the oid's significant bits, i.e. the bits
+    ///   Radix-Sort may ignore ("stop early").
+    pub fn optimal_partial(column_tuples: usize, value_width: usize, cache_bytes: usize) -> Self {
+        let column_bytes = column_tuples.saturating_mul(value_width);
+        let mut bits = 0u32;
+        while (column_bytes >> bits) > cache_bytes && bits < 30 {
+            bits += 1;
+        }
+        let significant = significant_bits(column_tuples);
+        let ignore = significant.saturating_sub(bits);
+        // Use two passes once a single pass would create more clusters than a
+        // few thousand output cursors can sustain (§2.1).
+        let passes = if bits > 11 { 2 } else { 1 };
+        RadixClusterSpec {
+            bits,
+            passes,
+            ignore,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_bits_split_evenly_leftmost_heavy() {
+        assert_eq!(RadixClusterSpec::new(8, 1).pass_bits(), vec![8]);
+        assert_eq!(RadixClusterSpec::new(8, 2).pass_bits(), vec![4, 4]);
+        assert_eq!(RadixClusterSpec::new(7, 2).pass_bits(), vec![4, 3]);
+        assert_eq!(RadixClusterSpec::new(3, 5).pass_bits(), vec![1, 1, 1]);
+        assert_eq!(RadixClusterSpec::new(0, 2).pass_bits(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn paper_example_of_section_3_1() {
+        // "if we have a CPU cache of 64KB and values that are 4 bytes wide …
+        // if the source table has 10M tuples, we would create 2^10 = 1024
+        // clusters … allowing Radix-Sort to ignore the lowermost 14 bits."
+        let spec = RadixClusterSpec::optimal_partial(10_000_000, 4, 64 * 1024);
+        assert_eq!(spec.bits, 10);
+        assert_eq!(spec.ignore, 14);
+        // Mean cluster fits the cache.
+        assert!(10_000_000usize * 4 / spec.num_clusters() <= 64 * 1024);
+    }
+
+    #[test]
+    fn optimal_partial_small_column_needs_no_clustering() {
+        let spec = RadixClusterSpec::optimal_partial(1000, 4, 512 * 1024);
+        assert_eq!(spec.bits, 0);
+        assert_eq!(spec.num_clusters(), 1);
+    }
+
+    #[test]
+    fn optimal_partial_switches_to_two_passes_for_many_clusters() {
+        let spec = RadixClusterSpec::optimal_partial(500_000_000, 4, 16 * 1024);
+        assert!(spec.bits > 11);
+        assert_eq!(spec.passes, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_passes_rejected() {
+        RadixClusterSpec::partial(4, 0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn absurd_bit_count_rejected() {
+        RadixClusterSpec::partial(41, 1, 0);
+    }
+}

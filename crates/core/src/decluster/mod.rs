@@ -1,0 +1,259 @@
+//! Radix-Decluster (paper §3.2, Figs. 5 and 6) — the paper's contribution.
+//!
+//! Input: projected values in *clustered* order (`CLUST_VALUES`), the final
+//! result position of each of them (`CLUST_RESULT`), and the cluster borders
+//! (`CLUST_BORDERS`, from `radix_count`).  Output: the values in final result
+//! order.
+//!
+//! The algorithm restricts its random writes to an *insertion window* of
+//! `‖W‖` bytes: per window it advances a cursor in every cluster, draining the
+//! tuples whose destination falls inside the window, then shifts the window.
+//! Sequential bandwidth is used on `CLUST_VALUES`/`CLUST_RESULT`, random
+//! access is confined to a cache-resident window — the best of merging
+//! (`O(N log H)` CPU) and direct scattering (uncacheable random writes).
+
+pub mod paged;
+pub mod traced;
+pub mod varsize;
+
+use rdx_cache::CacheParams;
+use rdx_dsm::Oid;
+
+/// Picks an insertion-window size: half the (outermost) cache by default,
+/// shrunk never below one cache line and never above the cache capacity, and
+/// large enough that on average at least [`MIN_TUPLES_PER_CLUSTER_PER_WINDOW`]
+/// tuples of every cluster fall into one window (the `w ≥ 32` rule of §4.1).
+pub fn choose_window_bytes(value_width: usize, num_clusters: usize, params: &CacheParams) -> usize {
+    let cache = params.cache_capacity();
+    let line = params.last_level().line_size;
+    let preferred = cache / 2;
+    let min_for_bandwidth = MIN_TUPLES_PER_CLUSTER_PER_WINDOW * num_clusters * value_width;
+    preferred.max(min_for_bandwidth).clamp(line, cache)
+}
+
+/// The `w = 32` of §4.1: the average number of tuples that should be drained
+/// from each cluster per window to amortise the per-cluster start-up misses.
+pub const MIN_TUPLES_PER_CLUSTER_PER_WINDOW: usize = 32;
+
+/// The scalability bound of §4.1/§6: the largest relation (in tuples) that
+/// Radix-Decluster can handle while keeping both `w ≥ 32` and `‖W‖ ≤ C`:
+/// `|R| ≤ C² / (32 · W̄²)`.
+pub fn scalability_limit(value_width: usize, params: &CacheParams) -> usize {
+    let c = params.cache_capacity();
+    c * c / (MIN_TUPLES_PER_CLUSTER_PER_WINDOW * value_width * value_width)
+}
+
+/// Radix-Decluster (Fig. 6): reorders `values` into final result order.
+///
+/// * `values[i]` — the projected value of clustered tuple `i` (`CLUST_VALUES`);
+/// * `result_positions[i]` — where that value belongs in the output
+///   (`CLUST_RESULT`); must be a permutation of `0..N` that is ascending
+///   within each cluster (the two properties §3.2 proves Radix-Cluster
+///   guarantees);
+/// * `bounds` — cluster borders, `H + 1` offsets (from clustering or
+///   [`crate::cluster::radix_count`]);
+/// * `window_bytes` — insertion-window size `‖W‖`.
+///
+/// # Panics
+/// Panics if the slices disagree in length or the borders do not cover the
+/// input.  Violations of the two ordering properties are caught by debug
+/// assertions (they indicate a bug in the caller's clustering, not bad data).
+pub fn radix_decluster<T: Copy + Default>(
+    values: &[T],
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_bytes: usize,
+) -> Vec<T> {
+    let n = values.len();
+    assert_eq!(result_positions.len(), n, "values/positions length mismatch");
+    assert_eq!(*bounds.last().unwrap_or(&0), n, "cluster borders do not cover the input");
+    debug_assert!(validate_inputs(result_positions, bounds));
+
+    let mut result = vec![T::default(); n];
+    if n == 0 {
+        return result;
+    }
+
+    // Live clusters as (cursor, end) pairs; empty ones are dropped up front.
+    let mut clusters: Vec<(usize, usize)> = bounds
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let mut nclusters = clusters.len();
+
+    let window_elems = (window_bytes / std::mem::size_of::<T>().max(1)).max(1);
+    let mut window_limit = window_elems;
+
+    while nclusters > 0 {
+        let mut i = 0;
+        while i < nclusters {
+            loop {
+                let (cursor, end) = clusters[i];
+                if (result_positions[cursor] as usize) >= window_limit {
+                    i += 1;
+                    break;
+                }
+                result[result_positions[cursor] as usize] = values[cursor];
+                let next = cursor + 1;
+                if next >= end {
+                    // Delete the drained cluster by swapping in the last live one;
+                    // the swapped-in cluster is processed next without advancing `i`.
+                    nclusters -= 1;
+                    clusters[i] = clusters[nclusters];
+                    if i >= nclusters {
+                        i += 1;
+                    }
+                    break;
+                }
+                clusters[i].0 = next;
+            }
+        }
+        window_limit += window_elems;
+    }
+    result
+}
+
+/// Checks the two §3.2 properties Radix-Decluster relies on:
+/// (1) `result_positions` is a permutation of `0..N`;
+/// (2) positions are ascending within every cluster.
+pub fn validate_inputs(result_positions: &[Oid], bounds: &[usize]) -> bool {
+    let n = result_positions.len();
+    let mut seen = vec![false; n];
+    for &p in result_positions {
+        let p = p as usize;
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    for w in bounds.windows(2) {
+        let cluster = &result_positions[w[0]..w[1]];
+        if !cluster.windows(2).all(|x| x[0] < x[1]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    /// Builds a (values, positions, bounds) triple the way the §3.2 pipeline
+    /// does: take a join-result permutation, radix-cluster it, and attach a
+    /// value to each clustered tuple.
+    fn clustered_input(n: usize, bits: u32, seed: u64) -> (Vec<i64>, Vec<Oid>, Vec<usize>) {
+        // `smaller_oids[r]` = which smaller-relation tuple result row r uses.
+        let mut smaller_oids: Vec<Oid> = (0..n as Oid).collect();
+        smaller_oids.shuffle(&mut StdRng::seed_from_u64(seed));
+        // Cluster (smaller_oid, result_position) on the smaller oid — this is
+        // the CLUST_SMALLER / CLUST_RESULT construction of Fig. 4.
+        let result_positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(
+            &smaller_oids,
+            &result_positions,
+            RadixClusterSpec::single_pass(bits),
+        );
+        // The projected value of a clustered tuple derives from its smaller oid.
+        let values: Vec<i64> = clustered.keys().iter().map(|&o| o as i64 * 7).collect();
+        let positions = clustered.payloads().to_vec();
+        let bounds = clustered.bounds().to_vec();
+        (values, positions, bounds)
+    }
+
+    #[test]
+    fn paper_figure_5_example() {
+        // CLUST_RESULT = [3,5,1,4,6,2,0? ] — Fig. 5 uses 6 tuples with result
+        // positions [3,5,1,4,6,2] minus… we reproduce the shown 6-tuple case:
+        // positions {0..5}, two clusters, ascending within each.
+        let values = ['e', 'f', 'g', 'f', 'h', 'e'];
+        let positions: Vec<Oid> = vec![1, 2, 3, 0, 4, 5];
+        let bounds = vec![0, 3, 6];
+        // window of 2 elements
+        let out = radix_decluster(&values, &positions, &bounds, 2 * std::mem::size_of::<char>());
+        assert_eq!(out, vec!['f', 'e', 'f', 'g', 'h', 'e']);
+    }
+
+    #[test]
+    fn decluster_inverts_clustering_for_any_window() {
+        for &n in &[1usize, 2, 17, 1000, 4096] {
+            let (values, positions, bounds) = clustered_input(n, 4, n as u64);
+            let expected: Vec<i64> = {
+                let mut out = vec![0i64; n];
+                for (i, &p) in positions.iter().enumerate() {
+                    out[p as usize] = values[i];
+                }
+                out
+            };
+            for window_bytes in [8usize, 64, 1024, 1 << 20] {
+                let got = radix_decluster(&values, &positions, &bounds, window_bytes);
+                assert_eq!(got, expected, "n={n} window={window_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_scatter() {
+        let values = vec![10, 20, 30, 40];
+        let positions = vec![2, 0, 3, 1];
+        let bounds = vec![0, 4];
+        // Positions ascending within the single cluster? They are not — so
+        // cluster on 2 bits first like the pipeline would.  Here we instead
+        // use a genuinely sorted-within-cluster input.
+        let positions_sorted = vec![0, 1, 2, 3];
+        let out = radix_decluster(&values, &positions_sorted, &bounds, 4);
+        assert_eq!(out, values);
+        let _ = positions;
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = radix_decluster(&[], &[], &[0], 1024);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn validate_inputs_detects_violations() {
+        // Not a permutation.
+        assert!(!validate_inputs(&[0, 0, 2], &[0, 3]));
+        // Out of range.
+        assert!(!validate_inputs(&[0, 5], &[0, 2]));
+        // Not ascending within a cluster.
+        assert!(!validate_inputs(&[1, 0, 2, 3], &[0, 2, 4]));
+        // A valid clustered permutation.
+        assert!(validate_inputs(&[1, 3, 0, 2], &[0, 2, 4]));
+    }
+
+    #[test]
+    fn window_choice_respects_cache_and_bandwidth_bounds() {
+        let params = CacheParams::paper_pentium4();
+        let w = choose_window_bytes(4, 256, &params);
+        assert!(w <= params.cache_capacity());
+        assert!(w >= 256 * MIN_TUPLES_PER_CLUSTER_PER_WINDOW * 4 || w == params.cache_capacity());
+        assert_eq!(choose_window_bytes(4, 8, &params), params.cache_capacity() / 2);
+    }
+
+    #[test]
+    fn scalability_limit_matches_paper_examples() {
+        let params = CacheParams::paper_pentium4();
+        // "the 512KB cache of a Pentium4 Xeon allows to project relations of
+        // up to half a billion tuples" (§6), for 4-byte values.
+        let limit = scalability_limit(4, &params);
+        assert!(limit > 400_000_000 && limit < 600_000_000, "limit {limit}");
+    }
+
+    #[test]
+    fn works_with_wide_value_types() {
+        let (values, positions, bounds) = clustered_input(500, 3, 9);
+        let wide: Vec<[i64; 4]> = values.iter().map(|&v| [v, v + 1, v + 2, v + 3]).collect();
+        let out = radix_decluster(&wide, &positions, &bounds, 1024);
+        for (i, &p) in positions.iter().enumerate() {
+            assert_eq!(out[p as usize], wide[i]);
+        }
+    }
+}

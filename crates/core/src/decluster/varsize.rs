@@ -1,0 +1,165 @@
+//! Radix-Decluster for variable-size values into a contiguous string heap.
+//!
+//! The §5 / Fig. 12 discussion introduces the three-phase trick (lengths →
+//! prefix sums → copy) for declustering variable-size values when the output
+//! cannot be addressed "by position".  [`super::paged`] targets buffer-manager
+//! pages; this module targets the in-memory case — the output is an ordinary
+//! DSM [`VarColumn`] (offset array + byte heap), which is what a MonetDB-style
+//! column-at-a-time engine wants as the materialised result column.
+
+use crate::decluster::radix_decluster;
+use rdx_dsm::{Oid, VarColumn};
+
+/// Radix-Declusters variable-size values into final result order, producing a
+/// [`VarColumn`].
+///
+/// * `values` — the projected variable-size values in clustered order
+///   (`CLUST_VALUES`);
+/// * `result_positions` / `bounds` / `window_bytes` — as for
+///   [`radix_decluster`].
+///
+/// Phase 1 reuses the fixed-width Radix-Decluster to bring the value *lengths*
+/// into result order; phase 2 turns them into byte offsets with one sequential
+/// prefix-sum pass; phase 3 re-runs the decluster traversal copying each
+/// value's bytes to its pre-computed offset.  All random access stays within
+/// the insertion window, exactly as in the fixed-width case.
+pub fn radix_decluster_varsize(
+    values: &VarColumn,
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_bytes: usize,
+) -> VarColumn {
+    let n = values.len();
+    assert_eq!(result_positions.len(), n, "values/positions length mismatch");
+    assert_eq!(*bounds.last().unwrap_or(&0), n, "cluster borders do not cover the input");
+
+    // Phase 1: lengths into result order.
+    let clustered_lengths: Vec<u32> = (0..n).map(|i| values.value_len(i) as u32).collect();
+    let lengths = radix_decluster(&clustered_lengths, result_positions, bounds, window_bytes);
+
+    // Phase 2: prefix sums -> byte offsets of every result value.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    offsets.push(0u32);
+    for &len in &lengths {
+        acc += len;
+        offsets.push(acc);
+    }
+    let total_bytes = acc as usize;
+
+    // Phase 3: decluster traversal copying bytes to their offsets.
+    let mut heap = vec![0u8; total_bytes];
+    let mut clusters: Vec<(usize, usize)> = bounds
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let mut nclusters = clusters.len();
+    let window_elems = (window_bytes / 4).max(1);
+    let mut window_limit = window_elems;
+    while nclusters > 0 {
+        let mut i = 0;
+        while i < nclusters {
+            loop {
+                let (cursor, end) = clusters[i];
+                let dest = result_positions[cursor] as usize;
+                if dest >= window_limit {
+                    i += 1;
+                    break;
+                }
+                let start = offsets[dest] as usize;
+                let bytes = values.get_bytes(cursor);
+                heap[start..start + bytes.len()].copy_from_slice(bytes);
+                let next = cursor + 1;
+                if next >= end {
+                    nclusters -= 1;
+                    clusters[i] = clusters[nclusters];
+                    if i >= nclusters {
+                        i += 1;
+                    }
+                    break;
+                }
+                clusters[i].0 = next;
+            }
+        }
+        window_limit += window_elems;
+    }
+
+    let mut out = VarColumn::with_capacity(n, if n == 0 { 0 } else { total_bytes / n });
+    for r in 0..n {
+        out.push_bytes(&heap[offsets[r] as usize..offsets[r + 1] as usize]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
+
+    fn make_inputs(n: usize, bits: u32) -> (VarColumn, Vec<Oid>, Vec<usize>, Vec<String>) {
+        let strings: Vec<String> = (0..n).map(|i| format!("s{i}:{}", "z".repeat(i % 11))).collect();
+        let smaller_oids: Vec<Oid> = (0..n as Oid).map(|r| (r * 17 + 5) % n as Oid).collect();
+        let result_positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(
+            &smaller_oids,
+            &result_positions,
+            RadixClusterSpec::single_pass(bits),
+        );
+        let mut values = VarColumn::new();
+        for &o in clustered.keys() {
+            values.push_str(&strings[o as usize]);
+        }
+        let expected: Vec<String> = smaller_oids.iter().map(|&o| strings[o as usize].clone()).collect();
+        (values, clustered.payloads().to_vec(), clustered.bounds().to_vec(), expected)
+    }
+
+    #[test]
+    fn varsize_decluster_restores_result_order() {
+        for &(n, bits, window) in &[(1usize, 0u32, 64usize), (200, 3, 128), (2000, 6, 4096)] {
+            let (values, positions, bounds, expected) = make_inputs(n, bits);
+            let out = radix_decluster_varsize(&values, &positions, &bounds, window);
+            assert_eq!(out.len(), n);
+            for (r, exp) in expected.iter().enumerate() {
+                assert_eq!(out.get_str(r), exp, "n={n} bits={bits} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_paged_variant() {
+        use crate::decluster::paged::radix_decluster_paged;
+        use rdx_nsm::BufferManager;
+        let (values, positions, bounds, expected) = make_inputs(500, 4);
+        let in_memory = radix_decluster_varsize(&values, &positions, &bounds, 1024);
+        let mut bm = BufferManager::new(1024);
+        let paged = radix_decluster_paged(&values, &positions, &bounds, 1024, &mut bm);
+        for r in 0..500 {
+            assert_eq!(in_memory.get_str(r), expected[r]);
+            assert_eq!(paged.read(&bm, r, expected[r].len()), expected[r].as_bytes());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = radix_decluster_varsize(&VarColumn::new(), &[], &[0], 64);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handles_empty_strings_mixed_with_long_ones() {
+        let strings = ["", "aaaa", "", "bb", "cccccccccc", ""];
+        let n = strings.len();
+        let smaller: Vec<Oid> = vec![5, 3, 1, 0, 4, 2];
+        let positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(&smaller, &positions, RadixClusterSpec::single_pass(1));
+        let mut values = VarColumn::new();
+        for &o in clustered.keys() {
+            values.push_str(strings[o as usize]);
+        }
+        let out = radix_decluster_varsize(&values, clustered.payloads(), clustered.bounds(), 8);
+        for r in 0..n {
+            assert_eq!(out.get_str(r), strings[smaller[r] as usize]);
+        }
+    }
+}

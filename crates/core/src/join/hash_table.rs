@@ -1,0 +1,140 @@
+//! A bucket-chained hash table over a key column (MonetDB style).
+//!
+//! The build side is stored as two parallel arrays: `buckets[h]` holds the
+//! head of the chain for hash bucket `h` and `next[i]` links entries with the
+//! same bucket.  Probing therefore touches the bucket array randomly and the
+//! chain entries (which are positions into the build relation) — this is the
+//! random access pattern that Partitioned Hash-Join keeps inside the cache by
+//! making each build partition small (§2.1).
+
+use crate::hash::hash_key;
+use rdx_dsm::Oid;
+
+/// Sentinel meaning "end of chain".
+const NONE: u32 = u32::MAX;
+
+/// A chained hash table mapping key values to the positions they occupy in the
+/// build-side key column.
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    mask: u64,
+    buckets: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl HashTable {
+    /// Builds a table over `keys`, with roughly one bucket per key (rounded up
+    /// to a power of two).
+    pub fn build(keys: &[u64]) -> Self {
+        let nbuckets = keys.len().next_power_of_two().max(1);
+        let mut table = HashTable {
+            mask: (nbuckets - 1) as u64,
+            buckets: vec![NONE; nbuckets],
+            next: vec![NONE; keys.len()],
+        };
+        for (i, &k) in keys.iter().enumerate() {
+            let b = (hash_key(k) & table.mask) as usize;
+            table.next[i] = table.buckets[b];
+            table.buckets[b] = i as u32;
+        }
+        table
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Iterates over the *positions* of all build-side entries whose key
+    /// equals `key` (the caller re-checks equality against its key column, so
+    /// hash collisions across different keys are filtered there).
+    #[inline]
+    pub fn probe(&self, key: u64) -> ChainIter<'_> {
+        let b = (hash_key(key) & self.mask) as usize;
+        ChainIter {
+            next: &self.next,
+            cursor: self.buckets[b],
+        }
+    }
+
+    /// Convenience: probe and filter by actual key equality against the build
+    /// key column, yielding matching build positions.
+    #[inline]
+    pub fn probe_matches<'a>(
+        &'a self,
+        key: u64,
+        build_keys: &'a [u64],
+    ) -> impl Iterator<Item = Oid> + 'a {
+        self.probe(key)
+            .filter(move |&pos| build_keys[pos as usize] == key)
+    }
+}
+
+/// Iterator over one hash chain.
+pub struct ChainIter<'a> {
+    next: &'a [u32],
+    cursor: u32,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = Oid;
+
+    #[inline]
+    fn next(&mut self) -> Option<Oid> {
+        if self.cursor == NONE {
+            None
+        } else {
+            let pos = self.cursor;
+            self.cursor = self.next[pos as usize];
+            Some(pos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_finds_all_duplicates() {
+        let keys = vec![7u64, 3, 7, 9, 7];
+        let ht = HashTable::build(&keys);
+        let mut hits: Vec<Oid> = ht.probe_matches(7, &keys).collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2, 4]);
+        assert_eq!(ht.probe_matches(3, &keys).collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn probe_of_absent_key_is_empty() {
+        let keys = vec![1u64, 2, 3];
+        let ht = HashTable::build(&keys);
+        assert_eq!(ht.probe_matches(99, &keys).count(), 0);
+    }
+
+    #[test]
+    fn empty_table() {
+        let ht = HashTable::build(&[]);
+        assert!(ht.is_empty());
+        assert_eq!(ht.probe(5).count(), 0);
+    }
+
+    #[test]
+    fn all_positions_reachable() {
+        let keys: Vec<u64> = (0..1000).map(|i| i % 100).collect();
+        let ht = HashTable::build(&keys);
+        assert_eq!(ht.len(), 1000);
+        let mut found = vec![false; 1000];
+        for k in 0..100u64 {
+            for pos in ht.probe_matches(k, &keys) {
+                found[pos as usize] = true;
+            }
+        }
+        assert!(found.iter().all(|&f| f));
+    }
+}

@@ -1,0 +1,41 @@
+//! # rdx-core — Cache-conscious Radix-Decluster projections
+//!
+//! The paper's algorithms, built on the `rdx-dsm` / `rdx-nsm` storage
+//! substrates:
+//!
+//! * [`hash`] — the integer hash used to derive radix bits from join keys
+//!   (oids are clustered without hashing, as the paper prescribes).
+//! * [`cluster`] — **Radix-Cluster**: multi-pass partitioning on `B` radix
+//!   bits with `P` passes, the *partial* variant that ignores the lowermost
+//!   `I` bits (§3.1), Radix-Sort as the all-bits special case, and
+//!   `radix_count` for recovering cluster boundaries.
+//! * [`join`] — bucket-chained Hash-Join and the cache-conscious
+//!   **Partitioned Hash-Join** (§2.1), producing a [`rdx_dsm::JoinIndex`].
+//! * [`positional`] — the Positional-Join variants (unsorted / sorted /
+//!   clustered / sparse) used by every post-projection strategy (§3).
+//! * [`decluster`] — **Radix-Decluster** (§3.2, Fig. 5/6), the paper's main
+//!   contribution, plus the §5 buffer-manager variant for variable-size
+//!   values (Fig. 12) and a traced variant that replays its access pattern
+//!   through the `rdx-cache` simulator (Fig. 7a).
+//! * [`jive`] — the Jive-Join baseline [LR99] (§4.2).
+//! * [`strategy`] — the end-to-end projected-join strategies compared in §4:
+//!   DSM post-projection (u/s/c/d), DSM pre-projection, NSM pre-projection
+//!   (naive and partitioned hash join), and NSM post-projection
+//!   (Radix-Decluster and Jive-Join).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod decluster;
+pub mod hash;
+pub mod jive;
+pub mod join;
+pub mod positional;
+pub mod strategy;
+pub mod trace;
+
+pub use cluster::{radix_cluster, radix_count, radix_sort_oids, Clustered, RadixClusterSpec};
+pub use decluster::{choose_window_bytes, radix_decluster};
+pub use join::{hash_join, partitioned_hash_join};
+pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

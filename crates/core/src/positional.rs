@@ -1,0 +1,111 @@
+//! Positional-Joins: projecting column values through an oid list (paper §3).
+//!
+//! A Positional-Join is "array lookup" — fetching `column[oid]` for every oid
+//! of the join index.  All variants below compute exactly the same values;
+//! they differ only in the order (and therefore the memory access pattern) in
+//! which the oids arrive:
+//!
+//! * **unsorted** — oids in join-output order: random access over the column;
+//! * **sorted** — oids ascending (after Radix-Sort): sequential access;
+//! * **clustered** — oids partially clustered (§3.1): each cluster touches
+//!   only a cache-sized slice of the column;
+//! * **sparse** — oids refer to a base table through a [`Selection`], so only
+//!   a fraction of each loaded cache line is useful (§4.1, Fig. 11).
+
+use rdx_dsm::{Column, Oid, Selection};
+
+/// Positional-Join: `out[i] = column[oids[i]]`.
+///
+/// This single implementation serves the unsorted, sorted and clustered
+/// strategies — the access pattern is dictated entirely by the order of
+/// `oids`, which is what the different clustering strategies manipulate.
+pub fn positional_join<T: Copy>(oids: &[Oid], column: &Column<T>) -> Column<T> {
+    column.gather(oids)
+}
+
+/// Positional-Join appending into an existing buffer (used by operators that
+/// project several columns back-to-back without reallocating).
+pub fn positional_join_into<T: Copy>(oids: &[Oid], column: &Column<T>, out: &mut Vec<T>) {
+    out.reserve(oids.len());
+    for &oid in oids {
+        out.push(column.value(oid as usize));
+    }
+}
+
+/// Clustered Positional-Join: processes the oid list cluster by cluster.
+///
+/// Functionally identical to [`positional_join`]; it exists so that the
+/// benchmark harness can measure the per-cluster loop the paper describes
+/// (Fig. 9c) rather than one flat gather, and so the traced variants can
+/// attribute accesses to clusters.
+pub fn clustered_positional_join<T: Copy>(
+    oids: &[Oid],
+    bounds: &[usize],
+    column: &Column<T>,
+) -> Column<T> {
+    debug_assert_eq!(*bounds.last().unwrap_or(&0), oids.len());
+    let mut out = Vec::with_capacity(oids.len());
+    for cluster in bounds.windows(2) {
+        for &oid in &oids[cluster[0]..cluster[1]] {
+            out.push(column.value(oid as usize));
+        }
+    }
+    Column::from_vec(out)
+}
+
+/// Sparse Positional-Join: the oids address positions *within a selection*;
+/// they are first rebased to base-table oids and then fetched from the base
+/// column.  The lower the selectivity, the fewer values per loaded cache line
+/// are useful — the effect Fig. 11 quantifies.
+pub fn sparse_positional_join<T: Copy>(
+    selection_oids: &[Oid],
+    selection: &Selection,
+    base_column: &Column<T>,
+) -> Column<T> {
+    let base_oids = selection.rebase(selection_oids);
+    base_column.gather(&base_oids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column() -> Column<i32> {
+        Column::from_vec((0..100).map(|i| i * 10).collect())
+    }
+
+    #[test]
+    fn unsorted_and_clustered_agree() {
+        let col = column();
+        let oids = vec![17, 3, 99, 3, 42, 0];
+        let bounds = vec![0, 2, 5, 6];
+        let flat = positional_join(&oids, &col);
+        let clustered = clustered_positional_join(&oids, &bounds, &col);
+        assert_eq!(flat, clustered);
+        assert_eq!(flat.as_slice(), &[170, 30, 990, 30, 420, 0]);
+    }
+
+    #[test]
+    fn join_into_appends() {
+        let col = column();
+        let mut out = vec![-1];
+        positional_join_into(&[1, 2], &col, &mut out);
+        assert_eq!(out, vec![-1, 10, 20]);
+    }
+
+    #[test]
+    fn sparse_join_rebases_through_selection() {
+        let base = Column::from_vec((0..1000).map(|i| i as i32).collect());
+        let sel = Selection::new(vec![10, 200, 999], 1000);
+        // selection positions 2,0 -> base oids 999,10
+        let out = sparse_positional_join(&[2, 0], &sel, &base);
+        assert_eq!(out.as_slice(), &[999, 10]);
+    }
+
+    #[test]
+    fn empty_oid_list() {
+        let col = column();
+        assert!(positional_join(&[], &col).is_empty());
+        assert!(clustered_positional_join(&[], &[0], &col).is_empty());
+    }
+}

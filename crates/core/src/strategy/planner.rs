@@ -1,0 +1,217 @@
+//! A cost-model-driven planner for the DSM post-projection codes.
+//!
+//! §4.1 ends with the observation that which projection strategy is cheapest
+//! "depends on the number of projection columns in both relations, the data
+//! types in these projection columns, and the number of tuples in both input
+//! relations", and §1.1 motivates the Appendix-A cost models precisely as the
+//! tool to "draw conclusions on their optimal parameter settings".  This
+//! module closes that loop: it prices every `u/s/c × u/d` code combination
+//! with the `rdx-cost` formulas and picks the cheapest, giving a planner that
+//! adapts to π, N and the cache parameters instead of using only the
+//! fits-in-cache rule of [`DsmPostProjection::plan`].
+
+use crate::hash::significant_bits;
+use crate::strategy::common::{ProjectionCode, SecondSideCode};
+use crate::strategy::{DsmPostProjection, QuerySpec};
+use rdx_cache::CacheParams;
+use rdx_cost::algorithms as cost;
+use rdx_cost::DataRegion;
+use rdx_dsm::DsmRelation;
+
+/// Value width of the paper's integer attribute columns.
+const VALUE_WIDTH: usize = 4;
+
+/// Predicted cost (milliseconds on the modeled platform) of the *projection
+/// phase* of a DSM post-projection with the given codes.
+///
+/// The join phase is identical for every code combination, so it is omitted;
+/// the comparison between code combinations is unaffected.
+pub fn predict_projection_cost(
+    first: ProjectionCode,
+    second: SecondSideCode,
+    larger_tuples: usize,
+    smaller_tuples: usize,
+    result_tuples: usize,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> f64 {
+    let cache = params.cache_capacity();
+    let larger_col = DataRegion::new(larger_tuples, VALUE_WIDTH);
+    let smaller_col = DataRegion::new(smaller_tuples, VALUE_WIDTH);
+    let join_index = DataRegion::new(result_tuples, 8);
+
+    // --- first (larger) side -------------------------------------------------
+    let first_bits = optimal_bits(larger_tuples, cache);
+    let first_cost = match first {
+        ProjectionCode::Unsorted => {
+            spec.project_larger as f64
+                * cost::positional_join_unsorted(result_tuples, larger_col, VALUE_WIDTH, params)
+                    .millis(params)
+        }
+        ProjectionCode::Sorted => {
+            let sort_bits = significant_bits(larger_tuples);
+            cost::radix_cluster(join_index, sort_bits, 2, params).millis(params)
+                + spec.project_larger as f64
+                    * cost::positional_join_sorted(result_tuples, larger_col, VALUE_WIDTH, params)
+                        .millis(params)
+        }
+        ProjectionCode::PartialCluster => {
+            cost::radix_cluster(join_index, first_bits, passes_for(first_bits), params)
+                .millis(params)
+                + spec.project_larger as f64
+                    * cost::positional_join_clustered(
+                        result_tuples,
+                        larger_col,
+                        VALUE_WIDTH,
+                        first_bits,
+                        params,
+                    )
+                    .millis(params)
+        }
+    };
+
+    // --- second (smaller) side -----------------------------------------------
+    let second_bits = optimal_bits(smaller_tuples, cache);
+    let window = cache / 2;
+    let second_cost = match second {
+        SecondSideCode::Unsorted => {
+            spec.project_smaller as f64
+                * cost::positional_join_unsorted(result_tuples, smaller_col, VALUE_WIDTH, params)
+                    .millis(params)
+        }
+        SecondSideCode::Decluster => {
+            cost::radix_cluster(join_index, second_bits, passes_for(second_bits), params)
+                .millis(params)
+                + spec.project_smaller as f64
+                    * (cost::positional_join_clustered(
+                        result_tuples,
+                        smaller_col,
+                        VALUE_WIDTH,
+                        second_bits,
+                        params,
+                    )
+                    .millis(params)
+                        + cost::radix_decluster(result_tuples, VALUE_WIDTH, second_bits, window, params)
+                            .millis(params))
+        }
+    };
+
+    first_cost + second_cost
+}
+
+/// Picks the cheapest `u/s/c × u/d` combination under the cost model.
+pub fn plan_by_cost(
+    larger: &DsmRelation,
+    smaller: &DsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> DsmPostProjection {
+    // With hit rate unknown at planning time, assume |result| ≈ |larger|, the
+    // paper's h = 1 default.
+    let result_tuples = larger.cardinality();
+    let mut best = (f64::INFINITY, DsmPostProjection::plan(larger, smaller, params));
+    for first in [
+        ProjectionCode::Unsorted,
+        ProjectionCode::Sorted,
+        ProjectionCode::PartialCluster,
+    ] {
+        for second in [SecondSideCode::Unsorted, SecondSideCode::Decluster] {
+            let predicted = predict_projection_cost(
+                first,
+                second,
+                larger.cardinality(),
+                smaller.cardinality(),
+                result_tuples,
+                spec,
+                params,
+            );
+            if predicted < best.0 {
+                best = (predicted, DsmPostProjection::with_codes(first, second));
+            }
+        }
+    }
+    best.1
+}
+
+/// The §3.1 cluster-count rule, shared with `RadixClusterSpec::optimal_partial`.
+fn optimal_bits(column_tuples: usize, cache_bytes: usize) -> u32 {
+    let bytes = column_tuples.saturating_mul(VALUE_WIDTH);
+    let mut bits = 0u32;
+    while (bytes >> bits) > cache_bytes && bits < 30 {
+        bits += 1;
+    }
+    bits
+}
+
+fn passes_for(bits: u32) -> u32 {
+    if bits > 11 {
+        2
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_workload::JoinWorkloadBuilder;
+
+    #[test]
+    fn small_relations_plan_unsorted() {
+        let w = JoinWorkloadBuilder::equal(5_000, 1).build();
+        let params = CacheParams::paper_pentium4();
+        let plan = plan_by_cost(&w.larger, &w.smaller, &QuerySpec::symmetric(1), &params);
+        assert_eq!(plan.first_side, ProjectionCode::Unsorted);
+        assert_eq!(plan.second_side, SecondSideCode::Unsorted);
+    }
+
+    #[test]
+    fn large_relations_plan_reordering() {
+        let w = JoinWorkloadBuilder::equal(4_000_000, 1).build();
+        let params = CacheParams::paper_pentium4();
+        let plan = plan_by_cost(&w.larger, &w.smaller, &QuerySpec::symmetric(4), &params);
+        assert_ne!(plan.first_side, ProjectionCode::Unsorted);
+        assert_eq!(plan.second_side, SecondSideCode::Decluster);
+    }
+
+    #[test]
+    fn predicted_costs_reproduce_fig8_orderings() {
+        let params = CacheParams::paper_pentium4();
+        let n = 8_000_000;
+        let spec_low = QuerySpec::symmetric(1);
+        let spec_high = QuerySpec::symmetric(64);
+        let price = |first, spec: &QuerySpec| {
+            predict_projection_cost(first, SecondSideCode::Unsorted, n, n, n, spec, &params)
+        };
+        // Large N: unsorted loses to both reordering codes at high π (Fig. 8).
+        assert!(price(ProjectionCode::Unsorted, &spec_high) > price(ProjectionCode::Sorted, &spec_high));
+        assert!(
+            price(ProjectionCode::Unsorted, &spec_high)
+                > price(ProjectionCode::PartialCluster, &spec_high)
+        );
+        // At small π, partial-cluster beats full sorting (Fig. 8).
+        assert!(
+            price(ProjectionCode::PartialCluster, &spec_low) < price(ProjectionCode::Sorted, &spec_low)
+        );
+    }
+
+    #[test]
+    fn cost_planner_agrees_with_heuristic_planner_at_the_extremes() {
+        let params = CacheParams::paper_pentium4();
+        let small = JoinWorkloadBuilder::equal(2_000, 1).build();
+        let by_cost = plan_by_cost(&small.larger, &small.smaller, &QuerySpec::symmetric(1), &params);
+        let heuristic = DsmPostProjection::plan(&small.larger, &small.smaller, &params);
+        assert_eq!(by_cost.second_side, heuristic.second_side);
+    }
+
+    #[test]
+    fn planned_codes_still_produce_correct_results() {
+        use crate::strategy::reference::{reference_rows, result_rows};
+        let w = JoinWorkloadBuilder::equal(3_000, 2).seed(55).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let plan = plan_by_cost(&w.larger, &w.smaller, &spec, &params);
+        let out = plan.execute(&w.larger, &w.smaller, &spec, &params);
+        assert_eq!(result_rows(&out.result), reference_rows(&w.larger, &w.smaller, &spec));
+    }
+}

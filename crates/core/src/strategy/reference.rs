@@ -1,0 +1,97 @@
+//! A deliberately simple reference executor used to verify every strategy.
+//!
+//! It computes the projected join with a plain hash join and per-row value
+//! fetches, and returns the result as a canonically sorted multiset of rows,
+//! so that strategies with different (legitimate) result orders can be
+//! compared for semantic equality.
+
+use crate::strategy::QuerySpec;
+use rdx_dsm::{DsmRelation, ResultRelation};
+use std::collections::HashMap;
+
+/// One result row: the projected larger-side values followed by the projected
+/// smaller-side values.
+pub type Row = Vec<i32>;
+
+/// Computes the reference result as a sorted multiset of rows.
+pub fn reference_rows(larger: &DsmRelation, smaller: &DsmRelation, spec: &QuerySpec) -> Vec<Row> {
+    let mut by_key: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (s, &k) in smaller.key().as_slice().iter().enumerate() {
+        by_key.entry(k).or_default().push(s);
+    }
+    let mut rows = Vec::new();
+    for (l, &k) in larger.key().as_slice().iter().enumerate() {
+        if let Some(matches) = by_key.get(&k) {
+            for &s in matches {
+                let mut row = Vec::with_capacity(spec.total());
+                for a in 0..spec.project_larger {
+                    row.push(larger.attr(a)[l]);
+                }
+                for b in 0..spec.project_smaller {
+                    row.push(smaller.attr(b)[s]);
+                }
+                rows.push(row);
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+/// Converts a strategy's [`ResultRelation`] into the same sorted-multiset-of-
+/// rows representation for comparison against [`reference_rows`].
+pub fn result_rows(result: &ResultRelation) -> Vec<Row> {
+    let n = result.cardinality();
+    let mut rows: Vec<Row> = (0..n)
+        .map(|r| result.columns().iter().map(|c| c[r]).collect())
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_dsm::Column;
+
+    fn rel(keys: Vec<u64>, attrs: Vec<Vec<i32>>) -> DsmRelation {
+        DsmRelation::new(
+            Column::from_vec(keys),
+            attrs.into_iter().map(Column::from_vec).collect(),
+        )
+    }
+
+    #[test]
+    fn reference_computes_projected_equi_join() {
+        let larger = rel(vec![1, 2, 2, 9], vec![vec![10, 20, 21, 90]]);
+        let smaller = rel(vec![2, 1, 7], vec![vec![200, 100, 700]]);
+        let rows = reference_rows(&larger, &smaller, &QuerySpec::symmetric(1));
+        assert_eq!(rows, vec![vec![10, 100], vec![20, 200], vec![21, 200]]);
+    }
+
+    #[test]
+    fn result_rows_round_trip() {
+        let mut res = ResultRelation::new();
+        res.push_column(Column::from_vec(vec![3, 1, 2]));
+        res.push_column(Column::from_vec(vec![30, 10, 20]));
+        assert_eq!(
+            result_rows(&res),
+            vec![vec![1, 10], vec![2, 20], vec![3, 30]]
+        );
+    }
+
+    #[test]
+    fn empty_projection_spec() {
+        let larger = rel(vec![1], vec![vec![5]]);
+        let smaller = rel(vec![1], vec![vec![6]]);
+        let rows = reference_rows(
+            &larger,
+            &smaller,
+            &QuerySpec {
+                project_larger: 0,
+                project_smaller: 1,
+            },
+        );
+        assert_eq!(rows, vec![vec![6]]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Traced variants of Radix-Cluster and Positional-Join.
+//!
+//! Like [`crate::decluster::traced`], these run the *same* algorithm as their
+//! untraced counterparts while replaying every array reference through the
+//! `rdx-cache` simulator.  They substitute for the hardware performance
+//! counters behind the Fig. 9 "measured" points: the simulated L1/L2/TLB miss
+//! counts show the same knees (cursor count vs. cache lines and TLB entries
+//! for clustering, column size vs. cache capacity for positional joins) that
+//! the paper measures on the Pentium 4.
+
+use crate::cluster::{Clustered, RadixClusterSpec};
+use crate::hash::radix_field;
+use rdx_cache::{AddressSpace, EventCounts, MemorySystem};
+use rdx_dsm::{Column, Oid};
+
+fn delta(before: EventCounts, after: EventCounts) -> EventCounts {
+    EventCounts {
+        accesses: after.accesses - before.accesses,
+        l1_misses: after.l1_misses - before.l1_misses,
+        l2_misses: after.l2_misses - before.l2_misses,
+        tlb_misses: after.tlb_misses - before.tlb_misses,
+    }
+}
+
+/// Single-pass Radix-Cluster of `(oid, payload)` pairs with a simulated memory
+/// system, returning the clustering and the miss counts of the scatter pass.
+///
+/// Multi-pass clustering is simply this function applied per pass; the single
+/// pass is what exhibits the Fig. 9a staircase, so that is what the harness
+/// traces.
+pub fn radix_cluster_oids_traced<P: Copy>(
+    oids: &[Oid],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    mem: &mut MemorySystem,
+) -> (Clustered<Oid, P>, EventCounts) {
+    assert_eq!(oids.len(), payloads.len());
+    let n = oids.len();
+    let payload_width = std::mem::size_of::<P>().max(1);
+
+    let mut space = AddressSpace::new();
+    let in_keys = space.alloc(n.max(1), 4);
+    let in_pay = space.alloc(n.max(1), payload_width);
+    let out_keys = space.alloc(n.max(1), 4);
+    let out_pay = space.alloc(n.max(1), payload_width);
+
+    let before = mem.counts();
+
+    // Histogram pass: sequential read of the keys.
+    let clusters = spec.num_clusters();
+    let mut counts = vec![0usize; clusters];
+    for (i, &o) in oids.iter().enumerate() {
+        mem.read(in_keys.addr(i), 4);
+        counts[radix_field(o as u64, spec.bits, spec.ignore) as usize] += 1;
+    }
+    // Prefix sums.
+    let mut offsets = vec![0usize; clusters];
+    let mut bounds = Vec::with_capacity(clusters + 1);
+    let mut acc = 0usize;
+    bounds.push(0);
+    for (c, &count) in counts.iter().enumerate() {
+        offsets[c] = acc;
+        acc += count;
+        bounds.push(acc);
+    }
+    // Scatter pass: sequential reads, per-cluster-cursor writes.
+    let mut keys_out = vec![0 as Oid; n];
+    let mut pay_out: Vec<P> = payloads.to_vec();
+    for i in 0..n {
+        mem.read(in_keys.addr(i), 4);
+        mem.read(in_pay.addr(i), payload_width);
+        let c = radix_field(oids[i] as u64, spec.bits, spec.ignore) as usize;
+        let dst = offsets[c];
+        offsets[c] += 1;
+        mem.write(out_keys.addr(dst), 4);
+        mem.write(out_pay.addr(dst), payload_width);
+        keys_out[dst] = oids[i];
+        pay_out[dst] = payloads[i];
+    }
+
+    let counts_delta = delta(before, mem.counts());
+    // Package the result through the untraced constructor path so that the
+    // invariants (bounds cover the input, clusters ordered) are identical.
+    let clustered = Clustered::from_raw_parts(keys_out, pay_out, bounds, spec);
+    (clustered, counts_delta)
+}
+
+/// Positional-Join with a simulated memory system: `out[i] = column[oids[i]]`.
+///
+/// The oid order determines the access pattern, exactly as for the untraced
+/// [`crate::positional::positional_join`]; tracing an unsorted vs. a clustered
+/// oid sequence reproduces the Fig. 9c contrast in miss counts.
+pub fn positional_join_traced<T: Copy>(
+    oids: &[Oid],
+    column: &Column<T>,
+    mem: &mut MemorySystem,
+) -> (Column<T>, EventCounts) {
+    let width = std::mem::size_of::<T>().max(1);
+    let mut space = AddressSpace::new();
+    let oid_region = space.alloc(oids.len().max(1), 4);
+    let col_region = space.alloc(column.len().max(1), width);
+    let out_region = space.alloc(oids.len().max(1), width);
+
+    let before = mem.counts();
+    let mut out = Vec::with_capacity(oids.len());
+    for (i, &oid) in oids.iter().enumerate() {
+        mem.read(oid_region.addr(i), 4);
+        mem.read(col_region.addr(oid as usize), width);
+        mem.write(out_region.addr(i), width);
+        out.push(column.value(oid as usize));
+    }
+    (Column::from_vec(out), delta(before, mem.counts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::radix_cluster_oids;
+    use rdx_cache::CacheParams;
+
+    fn reversed_oids(n: usize) -> Vec<Oid> {
+        (0..n as Oid).rev().collect()
+    }
+
+    #[test]
+    fn traced_cluster_matches_untraced() {
+        let oids = reversed_oids(4_000);
+        let payloads: Vec<u32> = (0..4_000).collect();
+        let spec = RadixClusterSpec::single_pass(5);
+        let mut mem = MemorySystem::new(&CacheParams::tiny_for_tests());
+        let (traced, counts) = radix_cluster_oids_traced(&oids, &payloads, spec, &mut mem);
+        let plain = radix_cluster_oids(&oids, &payloads, spec);
+        assert_eq!(traced.keys(), plain.keys());
+        assert_eq!(traced.payloads(), plain.payloads());
+        assert_eq!(traced.bounds(), plain.bounds());
+        assert!(counts.accesses > 0);
+    }
+
+    #[test]
+    fn cluster_fanout_beyond_tlb_explodes_misses_fig9a() {
+        let params = CacheParams::tiny_for_tests(); // 8-entry TLB
+        let oids = reversed_oids(16_384);
+        let payloads = vec![0u32; 16_384];
+        let run = |bits: u32| {
+            let mut mem = MemorySystem::new(&params);
+            let (_, c) =
+                radix_cluster_oids_traced(&oids, &payloads, RadixClusterSpec::single_pass(bits), &mut mem);
+            c
+        };
+        // With 1 radix bit the scatter touches 2 input streams plus 2×2 output
+        // cursors = 6 concurrent pages, within the 8-entry TLB; with 8 bits it
+        // juggles 2 + 2×256 cursors and thrashes on every write.
+        let few = run(1);
+        let many = run(8);
+        assert!(
+            many.tlb_misses > 4 * few.tlb_misses,
+            "256 cursors should thrash the 8-entry TLB: {} vs {}",
+            many.tlb_misses,
+            few.tlb_misses
+        );
+    }
+
+    #[test]
+    fn traced_positional_join_matches_untraced_and_shows_fig9c_contrast() {
+        let params = CacheParams::tiny_for_tests(); // 8 KB L2
+        let n = 16_384; // 64 KB column, 8× the cache
+        let column: Column<i32> = (0..n as i32).collect();
+
+        // Unsorted oids: a bit-reversal permutation (maximally non-local).
+        let bits = 14;
+        let unsorted: Vec<Oid> = (0..n as Oid)
+            .map(|i| (i.reverse_bits() >> (32 - bits)) as Oid)
+            .collect();
+        // Clustered oids: the same multiset, partially clustered on the 6
+        // *uppermost* significant bits (ignore the lowermost 8), so each
+        // cluster covers a contiguous 1 KB slice of the column — the §3.1
+        // partial clustering.
+        let clustered = radix_cluster_oids(
+            &unsorted,
+            &vec![(); n],
+            RadixClusterSpec::partial(6, 1, 8),
+        );
+
+        let mut mem_u = MemorySystem::new(&params);
+        let (out_u, misses_u) = positional_join_traced(&unsorted, &column, &mut mem_u);
+        let mut mem_c = MemorySystem::new(&params);
+        let (out_c, misses_c) = positional_join_traced(clustered.keys(), &column, &mut mem_c);
+
+        // Same values fetched (as multisets).
+        let mut a = out_u.into_vec();
+        let mut b = out_c.into_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Clustered access misses far less in L2.
+        assert!(
+            misses_u.l2_misses > 2 * misses_c.l2_misses,
+            "unsorted {} vs clustered {}",
+            misses_u.l2_misses,
+            misses_c.l2_misses
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut mem = MemorySystem::new(&CacheParams::tiny_for_tests());
+        let (c, counts) = radix_cluster_oids_traced::<u32>(&[], &[], RadixClusterSpec::single_pass(3), &mut mem);
+        assert!(c.is_empty());
+        assert_eq!(counts.accesses, 0);
+        let col: Column<i32> = Column::new();
+        let (out, _) = positional_join_traced(&[], &col, &mut mem);
+        assert!(out.is_empty());
+    }
+}

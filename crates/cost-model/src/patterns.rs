@@ -1,0 +1,324 @@
+//! The basic access patterns of the cost framework.
+//!
+//! Each pattern is a function of one or more [`DataRegion`]s and the
+//! [`CacheParams`], and yields a [`PatternCost`]: estimated sequential misses,
+//! random misses and TLB misses for every cache level, plus a CPU-work term.
+//! The per-level estimates follow the standard Manegold approximations: a
+//! region that fits a level only ever pays cold (compulsory) misses there; a
+//! region that exceeds it pays capacity misses proportional to the fraction of
+//! the region that cannot be resident.
+
+use crate::{CacheParams, DataRegion};
+
+/// Nominal CPU work per logical data item touched, in cycles.  The paper's
+/// column-at-a-time operators run tight hard-coded loops; a couple of cycles
+/// per item is the right order of magnitude and keeps CPU visible (but small)
+/// next to memory stalls, as the paper observes.
+pub const CPU_CYCLES_PER_ITEM: f64 = 2.0;
+
+/// Per-level and CPU cost components of one access pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PatternCost {
+    /// Sequential (prefetchable) misses per cache level, innermost first.
+    pub seq_misses: [f64; 2],
+    /// Random (latency-bound) misses per cache level, innermost first.
+    pub rand_misses: [f64; 2],
+    /// TLB misses.
+    pub tlb_misses: f64,
+    /// CPU work in cycles.
+    pub cpu_cycles: f64,
+}
+
+impl PatternCost {
+    /// The all-zero cost.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` (both misses and CPU).
+    pub fn accumulate(&mut self, other: &PatternCost) {
+        for i in 0..2 {
+            self.seq_misses[i] += other.seq_misses[i];
+            self.rand_misses[i] += other.rand_misses[i];
+        }
+        self.tlb_misses += other.tlb_misses;
+        self.cpu_cycles += other.cpu_cycles;
+    }
+
+    /// Scales every component by `factor` (e.g. "per cluster" costs times the
+    /// number of clusters).
+    pub fn scaled(&self, factor: f64) -> PatternCost {
+        PatternCost {
+            seq_misses: [self.seq_misses[0] * factor, self.seq_misses[1] * factor],
+            rand_misses: [self.rand_misses[0] * factor, self.rand_misses[1] * factor],
+            tlb_misses: self.tlb_misses * factor,
+            cpu_cycles: self.cpu_cycles * factor,
+        }
+    }
+
+    /// Total predicted cycles under `params` (see the crate docs for how
+    /// sequential misses are discounted).
+    pub fn cycles(&self, params: &CacheParams) -> f64 {
+        let mut total = self.cpu_cycles;
+        for (i, level) in params.levels.iter().enumerate().take(2) {
+            let seq_cost = (level.line_size as f64 / params.sequential_bandwidth * params.cpu_hz)
+                .min(level.miss_latency_cycles as f64);
+            total += self.seq_misses[i] * seq_cost;
+            total += self.rand_misses[i] * level.miss_latency_cycles as f64;
+        }
+        total += self.tlb_misses * params.tlb.miss_latency_cycles as f64;
+        total
+    }
+
+    /// Total predicted milliseconds under `params`.
+    pub fn millis(&self, params: &CacheParams) -> f64 {
+        params.cycles_to_seconds(self.cycles(params)) * 1e3
+    }
+
+    /// Predicted misses at the innermost (L1) level.
+    pub fn l1_misses(&self) -> f64 {
+        self.seq_misses[0] + self.rand_misses[0]
+    }
+
+    /// Predicted misses at the outermost (L2) level.
+    pub fn l2_misses(&self) -> f64 {
+        self.seq_misses[1] + self.rand_misses[1]
+    }
+}
+
+fn level_count(params: &CacheParams) -> usize {
+    params.levels.len().min(2)
+}
+
+/// Cold misses of a region at one level: one miss per line it spans.
+fn cold_misses(region: &DataRegion, line_size: usize) -> f64 {
+    (region.byte_size() as f64 / line_size as f64).ceil()
+}
+
+/// `s_trav(R)` — single sequential traversal of `R`.
+pub fn s_trav(region: &DataRegion, params: &CacheParams) -> PatternCost {
+    let mut cost = PatternCost {
+        cpu_cycles: region.tuples as f64 * CPU_CYCLES_PER_ITEM,
+        ..PatternCost::zero()
+    };
+    for i in 0..level_count(params) {
+        cost.seq_misses[i] = cold_misses(region, params.levels[i].line_size);
+    }
+    cost.tlb_misses = (region.byte_size() as f64 / params.tlb.page_size as f64).ceil();
+    cost
+}
+
+/// `rs_trav(k, R)` — `k` repeated sequential traversals of `R`.
+///
+/// If `R` fits a level (or the TLB reach) only the first traversal misses
+/// there; otherwise every traversal pays the full cold-miss count again.
+pub fn rs_trav(k: usize, region: &DataRegion, params: &CacheParams) -> PatternCost {
+    let mut cost = PatternCost {
+        cpu_cycles: (k * region.tuples) as f64 * CPU_CYCLES_PER_ITEM,
+        ..PatternCost::zero()
+    };
+    for i in 0..level_count(params) {
+        let level = &params.levels[i];
+        let once = cold_misses(region, level.line_size);
+        cost.seq_misses[i] = if region.fits(level.capacity) {
+            once
+        } else {
+            once * k as f64
+        };
+    }
+    let pages = (region.byte_size() as f64 / params.tlb.page_size as f64).ceil();
+    cost.tlb_misses = if region.byte_size() <= params.tlb.reach() {
+        pages
+    } else {
+        pages * k as f64
+    };
+    cost
+}
+
+/// `r_trav(R)` — single random traversal: every item of `R` is touched exactly
+/// once, in random order.
+pub fn r_trav(region: &DataRegion, params: &CacheParams) -> PatternCost {
+    r_acc(region.tuples, region, params)
+}
+
+/// `rr_trav(k, R, stride)` — repetitive random traversal: `R` is traversed `k`
+/// times, each traversal touching `|R|/k` items with the given access stride
+/// (Appendix A uses this for the Radix-Decluster insertion window, which is
+/// traversed once per input cluster with stride `2^B · X̄`).
+///
+/// Across all `k` traversals every item is touched exactly once, so the
+/// capacity behaviour is that of a single random traversal; the stride only
+/// matters for how many items share a line within one traversal, which the
+/// random-access approximation already captures.
+pub fn rr_trav(k: usize, region: &DataRegion, _stride: usize, params: &CacheParams) -> PatternCost {
+    let mut cost = r_acc(region.tuples, region, params);
+    // Re-walking the cluster boundaries k times is pure CPU bookkeeping.
+    cost.cpu_cycles += k as f64 * CPU_CYCLES_PER_ITEM;
+    cost
+}
+
+/// `r_acc(n, R)` — `n` independent random accesses into region `R`.
+///
+/// If `R` fits a level, only cold misses occur (at most one per line, and no
+/// more than `n`).  If it does not fit, a fraction `1 − C/‖R‖` of the accesses
+/// miss on top of the cold misses of the resident fraction.
+pub fn r_acc(n: usize, region: &DataRegion, params: &CacheParams) -> PatternCost {
+    let mut cost = PatternCost {
+        cpu_cycles: n as f64 * CPU_CYCLES_PER_ITEM,
+        ..PatternCost::zero()
+    };
+    let bytes = region.byte_size() as f64;
+    for i in 0..level_count(params) {
+        let level = &params.levels[i];
+        let cold = cold_misses(region, level.line_size).min(n as f64);
+        cost.rand_misses[i] = if region.fits(level.capacity) {
+            cold
+        } else {
+            let resident_fraction = level.capacity as f64 / bytes;
+            let capacity_misses = n as f64 * (1.0 - resident_fraction);
+            capacity_misses + cold * resident_fraction
+        };
+    }
+    let pages = (bytes / params.tlb.page_size as f64).ceil().min(n as f64);
+    cost.tlb_misses = if region.byte_size() <= params.tlb.reach() {
+        pages
+    } else {
+        let resident_fraction = params.tlb.reach() as f64 / bytes;
+        n as f64 * (1.0 - resident_fraction) + pages * resident_fraction
+    };
+    cost
+}
+
+/// `nest({R_j}, H, s_trav, ran)` — interleaved multi-cursor sequential access:
+/// `H` output partitions are written sequentially but in random interleaving,
+/// as the partitioning phase of Radix-Cluster does.
+///
+/// As long as one line (and one TLB entry) per cursor fits the level, the cost
+/// degenerates to a sequential traversal of the union.  Once `H` exceeds the
+/// number of available lines (or TLB entries), the cursors evict each other
+/// and every single item write misses — this is exactly the cache/TLB
+/// thrashing that limits single-pass partitioning (§2.1) and produces the
+/// upward steps in Fig. 9a.
+pub fn nest(total: &DataRegion, partitions: usize, params: &CacheParams) -> PatternCost {
+    let mut cost = PatternCost {
+        cpu_cycles: total.tuples as f64 * CPU_CYCLES_PER_ITEM,
+        ..PatternCost::zero()
+    };
+    for i in 0..level_count(params) {
+        let level = &params.levels[i];
+        // Conservative usable-line estimate: a set-associative cache cannot
+        // dedicate every line to a distinct cursor; half is a common rule of
+        // thumb and matches where the measured knees appear.
+        let usable_lines = level.lines() / 2;
+        cost.rand_misses[i] = if partitions <= usable_lines.max(1) {
+            cold_misses(total, level.line_size)
+        } else {
+            total.tuples as f64
+        };
+    }
+    let usable_tlb = (params.tlb.entries / 2).max(1);
+    cost.tlb_misses = if partitions <= usable_tlb {
+        (total.byte_size() as f64 / params.tlb.page_size as f64).ceil()
+    } else {
+        total.tuples as f64
+    };
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CacheParams {
+        CacheParams::paper_pentium4()
+    }
+
+    #[test]
+    fn s_trav_counts_lines_and_pages() {
+        let p = params();
+        let r = DataRegion::new(1_000_000, 4); // 4 MB
+        let c = s_trav(&r, &p);
+        assert_eq!(c.seq_misses[0], (4_000_000f64 / 32.0).ceil());
+        assert_eq!(c.seq_misses[1], (4_000_000f64 / 128.0).ceil());
+        assert_eq!(c.tlb_misses, (4_000_000f64 / 4096.0).ceil());
+        assert_eq!(c.rand_misses, [0.0, 0.0]);
+        assert!(c.cpu_cycles > 0.0);
+    }
+
+    #[test]
+    fn rs_trav_free_repeats_when_resident() {
+        let p = params();
+        let small = DataRegion::new(1000, 4); // 4 KB — fits everything
+        let once = rs_trav(1, &small, &p);
+        let many = rs_trav(10, &small, &p);
+        assert_eq!(once.seq_misses, many.seq_misses);
+        assert!(many.cpu_cycles > once.cpu_cycles);
+
+        let big = DataRegion::new(1_000_000, 4); // 4 MB — fits nothing
+        let big10 = rs_trav(10, &big, &p);
+        let big1 = rs_trav(1, &big, &p);
+        assert!(big10.seq_misses[1] > 9.0 * big1.seq_misses[1]);
+    }
+
+    #[test]
+    fn r_acc_cheap_when_region_fits_cache() {
+        let p = params();
+        let resident = DataRegion::new(10_000, 4); // 40 KB < 512 KB L2
+        let c = r_acc(1_000_000, &resident, &p);
+        // At most one (L2) miss per line of the region, regardless of n.
+        assert!(c.rand_misses[1] <= (40_000f64 / 128.0).ceil());
+        // L1 (16 KB) is overflowed, so L1 misses are plentiful.
+        assert!(c.rand_misses[0] > c.rand_misses[1]);
+    }
+
+    #[test]
+    fn r_acc_scales_with_n_when_region_exceeds_cache() {
+        let p = params();
+        let huge = DataRegion::new(10_000_000, 4); // 40 MB
+        let c1 = r_acc(1_000_000, &huge, &p);
+        let c2 = r_acc(2_000_000, &huge, &p);
+        assert!(c2.rand_misses[1] > 1.9 * c1.rand_misses[1]);
+        assert!(c2.tlb_misses > 1.9 * c1.tlb_misses);
+    }
+
+    #[test]
+    fn r_trav_equals_racc_of_all_tuples() {
+        let p = params();
+        let r = DataRegion::new(123_456, 4);
+        assert_eq!(r_trav(&r, &p), r_acc(123_456, &r, &p));
+    }
+
+    #[test]
+    fn nest_explodes_beyond_line_budget() {
+        let p = params();
+        let out = DataRegion::new(1_000_000, 8);
+        let few = nest(&out, 8, &p);
+        let many = nest(&out, 100_000, &p);
+        assert!(few.rand_misses[1] < many.rand_misses[1]);
+        assert_eq!(many.rand_misses[1], 1_000_000.0);
+        // TLB thrashing kicks in even earlier (64-entry TLB).
+        let mid = nest(&out, 256, &p);
+        assert_eq!(mid.tlb_misses, 1_000_000.0);
+        assert!(few.tlb_misses < mid.tlb_misses);
+    }
+
+    #[test]
+    fn cycles_weight_random_misses_more_than_sequential() {
+        let p = params();
+        let r = DataRegion::new(1_000_000, 4);
+        let seq = s_trav(&r, &p);
+        let rand = r_trav(&r, &p);
+        assert!(rand.cycles(&p) > seq.cycles(&p));
+        assert!(seq.millis(&p) > 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_all_components() {
+        let p = params();
+        let r = DataRegion::new(1000, 4);
+        let c = s_trav(&r, &p);
+        let d = c.scaled(3.0);
+        assert_eq!(d.seq_misses[0], 3.0 * c.seq_misses[0]);
+        assert_eq!(d.cpu_cycles, 3.0 * c.cpu_cycles);
+    }
+}

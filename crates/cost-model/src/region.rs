@@ -1,0 +1,89 @@
+//! Data regions: the operands of the cost models.
+
+/// A data region `R`: `|R|` data items of `R̄` bytes each (Table 1 of the
+/// paper's Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataRegion {
+    /// Number of data items `|R|`.
+    pub tuples: usize,
+    /// Width of one data item in bytes `R̄`.
+    pub width: usize,
+}
+
+impl DataRegion {
+    /// A region of `tuples` items of `width` bytes.
+    pub fn new(tuples: usize, width: usize) -> Self {
+        DataRegion { tuples, width }
+    }
+
+    /// A region of `tuples` 4-byte items — the common case throughout the
+    /// paper (oids and integer attribute values are both 4 bytes wide).
+    pub fn of_u32(tuples: usize) -> Self {
+        DataRegion::new(tuples, 4)
+    }
+
+    /// Total size `‖R‖ = |R| · R̄` in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.tuples * self.width
+    }
+
+    /// The region holding `1/parts` of this region (used for clusters and for
+    /// the per-window slices of Radix-Decluster).  Rounds up so that costs
+    /// never silently drop the remainder tuples.
+    pub fn split(&self, parts: usize) -> DataRegion {
+        DataRegion {
+            tuples: self.tuples.div_ceil(parts.max(1)),
+            width: self.width,
+        }
+    }
+
+    /// A region covering the same bytes but viewed with a different item
+    /// width (e.g. a join-index viewed as 8-byte pairs instead of two 4-byte
+    /// columns).
+    pub fn with_width(&self, width: usize) -> DataRegion {
+        DataRegion {
+            tuples: self.byte_size() / width.max(1),
+            width,
+        }
+    }
+
+    /// `true` if the region fits within `capacity` bytes.
+    pub fn fits(&self, capacity: usize) -> bool {
+        self.byte_size() <= capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_is_product() {
+        let r = DataRegion::new(1000, 4);
+        assert_eq!(r.byte_size(), 4000);
+        assert_eq!(DataRegion::of_u32(10).byte_size(), 40);
+    }
+
+    #[test]
+    fn split_rounds_up() {
+        let r = DataRegion::new(10, 4);
+        assert_eq!(r.split(3).tuples, 4);
+        assert_eq!(r.split(1), r);
+        assert_eq!(r.split(0).tuples, 10);
+    }
+
+    #[test]
+    fn with_width_preserves_bytes() {
+        let r = DataRegion::new(100, 4);
+        let pairs = r.with_width(8);
+        assert_eq!(pairs.tuples, 50);
+        assert_eq!(pairs.byte_size(), r.byte_size());
+    }
+
+    #[test]
+    fn fits_compares_total_bytes() {
+        let r = DataRegion::new(100, 4);
+        assert!(r.fits(400));
+        assert!(!r.fits(399));
+    }
+}

@@ -1,0 +1,160 @@
+//! Variable-size (string) columns.
+//!
+//! "Columns of variable-sized types like string use an extra — separate —
+//! memory buffer, where the array simply contains integer offsets into"
+//! (paper §3, footnote 3).  The §5 buffer-manager variant of Radix-Decluster
+//! (Fig. 12) needs exactly this: values whose byte length varies per tuple.
+
+use crate::Oid;
+
+/// A variable-size column: per-tuple byte strings stored in one contiguous
+/// heap, addressed through an offsets array (`offsets.len() == len + 1`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarColumn {
+    offsets: Vec<u32>,
+    heap: Vec<u8>,
+}
+
+impl VarColumn {
+    /// Creates an empty variable-size column.
+    pub fn new() -> Self {
+        VarColumn {
+            offsets: vec![0],
+            heap: Vec::new(),
+        }
+    }
+
+    /// Creates an empty column sized for `tuples` values of ≈`avg_len` bytes.
+    pub fn with_capacity(tuples: usize, avg_len: usize) -> Self {
+        let mut offsets = Vec::with_capacity(tuples + 1);
+        offsets.push(0);
+        VarColumn {
+            offsets,
+            heap: Vec::with_capacity(tuples * avg_len),
+        }
+    }
+
+    /// Builds a column from string slices.
+    pub fn from_strs<'a>(values: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut col = VarColumn::new();
+        for v in values {
+            col.push_str(v);
+        }
+        col
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total heap size in bytes.
+    pub fn heap_size(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Appends a byte-string value, returning its oid.
+    pub fn push_bytes(&mut self, value: &[u8]) -> Oid {
+        let oid = self.len() as Oid;
+        self.heap.extend_from_slice(value);
+        self.offsets.push(self.heap.len() as u32);
+        oid
+    }
+
+    /// Appends a UTF-8 string value, returning its oid.
+    pub fn push_str(&mut self, value: &str) -> Oid {
+        self.push_bytes(value.as_bytes())
+    }
+
+    /// The raw bytes of value `pos`.
+    pub fn get_bytes(&self, pos: usize) -> &[u8] {
+        let start = self.offsets[pos] as usize;
+        let end = self.offsets[pos + 1] as usize;
+        &self.heap[start..end]
+    }
+
+    /// The value at `pos` as UTF-8 (panics if it is not valid UTF-8).
+    pub fn get_str(&self, pos: usize) -> &str {
+        std::str::from_utf8(self.get_bytes(pos)).expect("VarColumn value is not valid UTF-8")
+    }
+
+    /// Byte length of value `pos`.
+    ///
+    /// Phase 1 of the Fig. 12 buffer-manager decluster records exactly these
+    /// lengths ("records the lengths of the variable-size values in an extra
+    /// integer array").  The paper stores `strlen + 1`; we store the exact
+    /// byte length and let the page layer add any terminator it wants.
+    pub fn value_len(&self, pos: usize) -> usize {
+        (self.offsets[pos + 1] - self.offsets[pos]) as usize
+    }
+
+    /// Iterate over the values as byte slices.
+    pub fn iter_bytes(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.len()).map(move |i| self.get_bytes(i))
+    }
+
+    /// Positional gather: collects `self[oids[i]]` into a new column.
+    pub fn gather(&self, oids: &[Oid]) -> VarColumn {
+        let total: usize = oids.iter().map(|&o| self.value_len(o as usize)).sum();
+        let mut out = VarColumn::with_capacity(oids.len(), total / oids.len().max(1));
+        for &oid in oids {
+            out.push_bytes(self.get_bytes(oid as usize));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut col = VarColumn::new();
+        assert_eq!(col.push_str("fast"), 0);
+        assert_eq!(col.push_str("hashing"), 1);
+        assert_eq!(col.push_str(""), 2);
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.get_str(0), "fast");
+        assert_eq!(col.get_str(1), "hashing");
+        assert_eq!(col.get_str(2), "");
+    }
+
+    #[test]
+    fn value_len_matches_byte_length() {
+        let col = VarColumn::from_strs(["efficient", "great", "fast", "hashing", "effective"]);
+        assert_eq!(col.value_len(0), 9);
+        assert_eq!(col.value_len(2), 4);
+        assert_eq!(col.heap_size(), 9 + 5 + 4 + 7 + 9);
+    }
+
+    #[test]
+    fn gather_preserves_values() {
+        let col = VarColumn::from_strs(["a", "bb", "ccc", "dddd"]);
+        let out = col.gather(&[3, 1, 1, 0]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.get_str(0), "dddd");
+        assert_eq!(out.get_str(1), "bb");
+        assert_eq!(out.get_str(2), "bb");
+        assert_eq!(out.get_str(3), "a");
+    }
+
+    #[test]
+    fn iter_bytes_yields_all_values() {
+        let col = VarColumn::from_strs(["xy", "z"]);
+        let vals: Vec<&[u8]> = col.iter_bytes().collect();
+        assert_eq!(vals, vec![b"xy".as_slice(), b"z".as_slice()]);
+    }
+
+    #[test]
+    fn empty_column() {
+        let col = VarColumn::new();
+        assert!(col.is_empty());
+        assert_eq!(col.heap_size(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Slotted pages and a minimal buffer manager (paper §5, Fig. 12).
+//!
+//! In an NSM RDBMS "columns would be stored in pages at various locations of
+//! the buffer pool", so Radix-Decluster's insert-by-position must be mapped to
+//! (page, offset) pairs.  These types provide the target of that mapping: a
+//! pool of fixed-size pages, each with a header, a payload area filled from
+//! the front, and a record-offset directory growing from the end of the page
+//! ("record offsets at end of page" in Fig. 12).
+
+/// Identifies a page within a [`BufferManager`].
+pub type PageId = usize;
+
+/// Identifies a record slot within a [`Page`].
+pub type SlotId = usize;
+
+/// Size of the page header in bytes (Fig. 12's `hdr`).
+pub const PAGE_HEADER_BYTES: usize = 8;
+
+/// Size of one slot-directory entry in bytes (Fig. 12's `sizeof(short)`).
+pub const SLOT_ENTRY_BYTES: usize = 2;
+
+/// A fixed-size slotted page.
+///
+/// Payload bytes are written at explicit offsets (Radix-Decluster dictates the
+/// position); the slot directory at the end of the page records, per record,
+/// the payload offset where it starts, so records remain addressable by
+/// `(PageId, SlotId)` afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    payload: Vec<u8>,
+    /// Slot directory: `slots[i]` = payload offset of record `i`'s first byte,
+    /// `u16::MAX` when slot `i` has not been written yet.
+    slots: Vec<u16>,
+    page_size: usize,
+}
+
+impl Page {
+    /// Creates an empty page of `page_size` total bytes.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is too small to hold the header plus one slot.
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size > PAGE_HEADER_BYTES + SLOT_ENTRY_BYTES,
+            "page size {page_size} too small"
+        );
+        Page {
+            payload: Vec::new(),
+            slots: Vec::new(),
+            page_size,
+        }
+    }
+
+    /// Total page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Payload capacity of the page given `nslots` directory entries — the
+    /// `P = sizeof(page) − (sizeof(hdr) + sizeof(short))`-per-record budget of
+    /// Fig. 12 generalised to the actual slot count.
+    pub fn payload_capacity(&self, nslots: usize) -> usize {
+        self.page_size - PAGE_HEADER_BYTES - nslots * SLOT_ENTRY_BYTES
+    }
+
+    /// Number of slots registered so far.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes of payload written so far (high-water mark).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Writes `bytes` at payload offset `offset`, registering it as slot
+    /// `slot`.  Gaps between writes are zero-filled; Radix-Decluster writes
+    /// positions out of order, so arriving "late" for an earlier offset is
+    /// normal.
+    ///
+    /// # Panics
+    /// Panics if the write would exceed the payload capacity for the current
+    /// slot count, or if the slot was already written.
+    pub fn write_at(&mut self, slot: SlotId, offset: usize, bytes: &[u8]) {
+        if slot >= self.slots.len() {
+            self.slots.resize(slot + 1, u16::MAX);
+        }
+        assert_eq!(self.slots[slot], u16::MAX, "slot {slot} written twice");
+        let end = offset + bytes.len();
+        assert!(
+            end <= self.payload_capacity(self.slots.len()),
+            "write of {} bytes at offset {offset} overflows page (capacity {})",
+            bytes.len(),
+            self.payload_capacity(self.slots.len())
+        );
+        if end > self.payload.len() {
+            self.payload.resize(end, 0);
+        }
+        self.payload[offset..end].copy_from_slice(bytes);
+        self.slots[slot] = offset as u16;
+    }
+
+    /// Reads the record registered in `slot`, given its length.
+    pub fn read(&self, slot: SlotId, len: usize) -> &[u8] {
+        let offset = self.slots[slot];
+        assert_ne!(offset, u16::MAX, "slot {slot} never written");
+        &self.payload[offset as usize..offset as usize + len]
+    }
+
+    /// The payload offset registered for `slot`, if written.
+    pub fn slot_offset(&self, slot: SlotId) -> Option<usize> {
+        match self.slots.get(slot) {
+            Some(&o) if o != u16::MAX => Some(o as usize),
+            _ => None,
+        }
+    }
+}
+
+/// A pool of pre-allocated pages ("Output space has been allocated in a number
+/// of buffer pages, whose start addresses are stored in an index array",
+/// Fig. 12).
+#[derive(Debug, Clone)]
+pub struct BufferManager {
+    page_size: usize,
+    pages: Vec<Page>,
+}
+
+impl BufferManager {
+    /// Creates a buffer manager handing out pages of `page_size` bytes.
+    pub fn new(page_size: usize) -> Self {
+        BufferManager {
+            page_size,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pre-allocates `n` empty pages, returning the id of the first one.
+    pub fn allocate(&mut self, n: usize) -> PageId {
+        let first = self.pages.len();
+        for _ in 0..n {
+            self.pages.push(Page::new(self.page_size));
+        }
+        first
+    }
+
+    /// Number of pages currently allocated.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Borrow page `id`.
+    pub fn page(&self, id: PageId) -> &Page {
+        &self.pages[id]
+    }
+
+    /// Mutably borrow page `id`.
+    pub fn page_mut(&mut self, id: PageId) -> &mut Page {
+        &mut self.pages[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_write_and_read_roundtrip() {
+        let mut p = Page::new(128);
+        p.write_at(0, 0, b"fast");
+        p.write_at(1, 4, b"hashing");
+        assert_eq!(p.read(0, 4), b"fast");
+        assert_eq!(p.read(1, 7), b"hashing");
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.slot_offset(1), Some(4));
+    }
+
+    #[test]
+    fn out_of_order_writes_zero_fill_gaps() {
+        let mut p = Page::new(128);
+        p.write_at(1, 10, b"bb");
+        p.write_at(0, 0, b"a");
+        assert_eq!(p.read(0, 1), b"a");
+        assert_eq!(p.read(1, 2), b"bb");
+        // The gap between offset 1 and 10 is zero-filled.
+        assert_eq!(p.payload_len(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_write_to_slot_panics() {
+        let mut p = Page::new(128);
+        p.write_at(0, 0, b"x");
+        p.write_at(0, 1, b"y");
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut p = Page::new(32);
+        // capacity = 32 - 8 - 2 = 22 bytes with one slot
+        p.write_at(0, 0, &[0u8; 23]);
+    }
+
+    #[test]
+    fn payload_capacity_shrinks_with_slot_count() {
+        let p = Page::new(4096);
+        assert_eq!(p.payload_capacity(0), 4096 - 8);
+        assert_eq!(p.payload_capacity(10), 4096 - 8 - 20);
+    }
+
+    #[test]
+    fn buffer_manager_allocates_pages() {
+        let mut bm = BufferManager::new(256);
+        let first = bm.allocate(3);
+        assert_eq!(first, 0);
+        assert_eq!(bm.num_pages(), 3);
+        bm.page_mut(2).write_at(0, 0, b"xyz");
+        assert_eq!(bm.page(2).read(0, 3), b"xyz");
+        let next = bm.allocate(2);
+        assert_eq!(next, 3);
+        assert_eq!(bm.num_pages(), 5);
+    }
+}

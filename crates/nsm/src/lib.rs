@@ -1,0 +1,26 @@
+//! # rdx-nsm — N-ary Storage Model substrate
+//!
+//! The paper compares its DSM strategies against the conventional NSM layout,
+//! "simulated" in MonetDB "by introducing new atomic types that hold 1, 4, 16,
+//! 64, and 256 integer column values, and which are copied and projected from
+//! using a NSM projection routine that iterates over such a 'record' and
+//! copies selected values out of it" (§4).  This crate provides:
+//!
+//! * [`NsmRelation`] — a row-major relation of ω 4-byte attributes per tuple
+//!   (attribute 0 is the join key), plus the record-projection routine.
+//! * [`Page`] / [`BufferManager`] — slotted pages with the record-offset
+//!   directory at the end of the page and the page/offset arithmetic of
+//!   Fig. 12, used by the §5 "DSM Radix-Decluster in a NSM DBMS" scenario.
+//! * [`paged::assign_positions`] — phase 2 of the Fig. 12 three-phase
+//!   decluster: turning per-value lengths into page/offset placements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod paged;
+pub mod relation;
+
+pub use buffer::{BufferManager, Page, PageId, SlotId};
+pub use paged::{assign_positions, Placement};
+pub use relation::NsmRelation;

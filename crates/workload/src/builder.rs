@@ -1,0 +1,179 @@
+//! Single-relation generation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rdx_dsm::{Column, DsmRelation};
+use rdx_nsm::NsmRelation;
+
+/// Deterministic attribute value of tuple `row`, attribute `attr`.
+///
+/// A cheap injective-ish mixing function: tests and the figure harness use it
+/// to validate projected results without retaining the generating relation.
+pub fn attr_value(row: usize, attr: usize) -> i32 {
+    let x = (row as u64).wrapping_mul(2654435761).wrapping_add(attr as u64 * 40503);
+    (x & 0x7fff_ffff) as i32
+}
+
+/// Builder for one relation, in either storage model.
+///
+/// * cardinality `N` — number of tuples;
+/// * `columns` — number of attribute columns ω (beyond the join key);
+/// * `seed` — RNG seed for the key permutation;
+/// * `key_domain` — keys are a random permutation of `0..N` by default, or of
+///   `0..key_domain` (with repetition if `key_domain < N`) when set.
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    cardinality: usize,
+    columns: usize,
+    seed: u64,
+    key_domain: Option<u64>,
+}
+
+impl RelationBuilder {
+    /// Starts a builder for a relation of `cardinality` tuples.
+    pub fn new(cardinality: usize) -> Self {
+        RelationBuilder {
+            cardinality,
+            columns: 1,
+            seed: 42,
+            key_domain: None,
+        }
+    }
+
+    /// Sets the number of attribute columns ω (default 1).
+    pub fn columns(mut self, columns: usize) -> Self {
+        self.columns = columns;
+        self
+    }
+
+    /// Sets the RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Draws keys from `0..domain` instead of a permutation of `0..N`.
+    pub fn key_domain(mut self, domain: u64) -> Self {
+        self.key_domain = Some(domain);
+        self
+    }
+
+    /// Generates the key column for this configuration.
+    pub fn keys(&self) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.key_domain {
+            None => {
+                let mut keys: Vec<u64> = (0..self.cardinality as u64).collect();
+                keys.shuffle(&mut rng);
+                keys
+            }
+            Some(domain) => {
+                let domain = domain.max(1);
+                let n = self.cardinality as u64;
+                // domain ≤ N: cycle through the domain so every value appears
+                // ⌈N/domain⌉ or ⌊N/domain⌋ times (skew-free duplication, used
+                // by the h ≥ 1 hit-rate workloads).  domain > N: spread the
+                // keys evenly over the domain so only a N/domain fraction of
+                // any sub-range is populated (used by the h < 1 workloads,
+                // where most probe keys must find no partner).
+                let mut keys: Vec<u64> = if domain <= n {
+                    (0..n).map(|i| i % domain).collect()
+                } else {
+                    (0..n).map(|i| (i as u128 * domain as u128 / n as u128) as u64).collect()
+                };
+                keys.shuffle(&mut rng);
+                keys
+            }
+        }
+    }
+
+    /// Builds the relation in DSM form: one key column + ω value columns.
+    pub fn build_dsm(&self) -> DsmRelation {
+        let keys = self.keys();
+        let mut rel = DsmRelation::from_key(Column::from_vec(keys));
+        for attr in 0..self.columns {
+            let col: Vec<i32> = (0..self.cardinality).map(|row| attr_value(row, attr)).collect();
+            rel.push_attr(Column::from_vec(col));
+        }
+        rel
+    }
+
+    /// Builds the relation in NSM form: records of `1 + ω` integer attributes,
+    /// attribute 0 being the join key.
+    ///
+    /// # Panics
+    /// Panics if any key exceeds `i32::MAX` (NSM records store 4-byte
+    /// attributes, exactly as the paper's NSM simulation does).
+    pub fn build_nsm(&self) -> NsmRelation {
+        let keys = self.keys();
+        let mut rel = NsmRelation::with_capacity(1 + self.columns, self.cardinality);
+        let mut tuple = vec![0i32; 1 + self.columns];
+        for (row, &key) in keys.iter().enumerate() {
+            assert!(key <= i32::MAX as u64, "key {key} does not fit an NSM attribute");
+            tuple[0] = key as i32;
+            for attr in 0..self.columns {
+                tuple[attr + 1] = attr_value(row, attr);
+            }
+            rel.push_tuple(&tuple);
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_keys_are_a_permutation() {
+        let b = RelationBuilder::new(1000).seed(7);
+        let keys = b.keys();
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), 1000);
+        assert_eq!(*keys.iter().max().unwrap(), 999);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = RelationBuilder::new(500).seed(3).keys();
+        let b = RelationBuilder::new(500).seed(3).keys();
+        let c = RelationBuilder::new(500).seed(4).keys();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_domain_duplicates_evenly() {
+        let keys = RelationBuilder::new(100).key_domain(10).keys();
+        for k in 0..10u64 {
+            assert_eq!(keys.iter().filter(|&&x| x == k).count(), 10);
+        }
+    }
+
+    #[test]
+    fn dsm_and_nsm_agree_on_content() {
+        let b = RelationBuilder::new(200).columns(3).seed(11);
+        let dsm = b.build_dsm();
+        let nsm = b.build_nsm();
+        assert_eq!(dsm.cardinality(), 200);
+        assert_eq!(nsm.cardinality(), 200);
+        assert_eq!(dsm.width(), 3);
+        assert_eq!(nsm.width(), 4); // key + 3
+        for row in 0..200 {
+            assert_eq!(dsm.key_at(row as u32), nsm.key(row));
+            for attr in 0..3 {
+                assert_eq!(dsm.attr(attr)[row], nsm.value(row, attr + 1));
+                assert_eq!(dsm.attr(attr)[row], attr_value(row, attr));
+            }
+        }
+    }
+
+    #[test]
+    fn attr_value_varies_with_both_arguments() {
+        assert_ne!(attr_value(1, 0), attr_value(2, 0));
+        assert_ne!(attr_value(1, 0), attr_value(1, 1));
+        assert!(attr_value(123, 7) >= 0);
+    }
+}

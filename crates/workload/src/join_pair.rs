@@ -1,0 +1,217 @@
+//! Generation of joinable relation pairs with a controlled hit rate.
+
+use crate::builder::RelationBuilder;
+use rdx_dsm::DsmRelation;
+use rdx_nsm::NsmRelation;
+
+/// The join hit rate `h` of §4: the expected number of result tuples per
+/// tuple of the probing (larger) relation.
+///
+/// * `h = 1`   — every larger tuple matches exactly one smaller tuple
+///   (the `1:1` case of Fig. 10b);
+/// * `h = 3`   — every larger tuple matches three smaller tuples (`3:1`);
+/// * `h = 0.3` — only 30% of the larger tuples find a match (`1:3`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRate(pub f64);
+
+impl HitRate {
+    /// The paper's three evaluation points.
+    pub const PAPER_POINTS: [HitRate; 3] = [HitRate(1.0 / 3.0), HitRate(1.0), HitRate(3.0)];
+
+    /// Expected join-result cardinality for a probing relation of `n` tuples.
+    pub fn expected_matches(&self, n: usize) -> usize {
+        (self.0 * n as f64).round() as usize
+    }
+}
+
+/// A generated pair of joinable relations plus bookkeeping for verification.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// The larger (probing) relation, DSM form.
+    pub larger: DsmRelation,
+    /// The smaller (build) relation, DSM form.
+    pub smaller: DsmRelation,
+    /// The same larger relation in NSM form (width 1 + ω).
+    pub larger_nsm: NsmRelation,
+    /// The same smaller relation in NSM form.
+    pub smaller_nsm: NsmRelation,
+    /// The exact number of matching pairs the key columns produce.
+    pub expected_matches: usize,
+}
+
+/// Builder for a [`JoinWorkload`].
+#[derive(Debug, Clone)]
+pub struct JoinWorkloadBuilder {
+    larger_cardinality: usize,
+    smaller_cardinality: usize,
+    columns: usize,
+    hit_rate: HitRate,
+    seed: u64,
+}
+
+impl JoinWorkloadBuilder {
+    /// Starts a builder for two relations of equal cardinality `n` (the
+    /// paper's setting) with ω = `columns` attribute columns each.
+    pub fn equal(n: usize, columns: usize) -> Self {
+        JoinWorkloadBuilder {
+            larger_cardinality: n,
+            smaller_cardinality: n,
+            columns,
+            hit_rate: HitRate(1.0),
+            seed: 42,
+        }
+    }
+
+    /// Uses different cardinalities for the two relations.
+    pub fn cardinalities(mut self, larger: usize, smaller: usize) -> Self {
+        self.larger_cardinality = larger;
+        self.smaller_cardinality = smaller;
+        self
+    }
+
+    /// Sets the join hit rate (default 1.0).
+    pub fn hit_rate(mut self, h: HitRate) -> Self {
+        self.hit_rate = h;
+        self
+    }
+
+    /// Sets the RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload.
+    ///
+    /// Key construction: the smaller relation's keys cover the domain
+    /// `0..d_s`, each value appearing `⌈h⌉` times when `h > 1`.  The larger
+    /// relation's keys cover `0..d_l` with `d_l` chosen so that exactly the
+    /// intended fraction of larger tuples has a partner.  All keys stay below
+    /// `i32::MAX` so the NSM twins can hold them.
+    pub fn build(&self) -> JoinWorkload {
+        let h = self.hit_rate.0;
+        let n_l = self.larger_cardinality;
+        let n_s = self.smaller_cardinality;
+
+        let (smaller_domain, larger_domain) = if h >= 1.0 {
+            // Each smaller key appears `dup` times; larger keys all fall in the
+            // smaller domain, so every larger tuple matches `dup` partners.
+            let dup = h.round() as u64;
+            let sd = (n_s as u64 / dup).max(1);
+            (sd, sd)
+        } else {
+            // Smaller keys are (near-)unique over 0..n_s; larger keys range
+            // over a wider domain so only a fraction `h` of them has a match.
+            let ld = (n_s as f64 / h).round() as u64;
+            (n_s as u64, ld.max(n_s as u64))
+        };
+
+        let larger_builder = RelationBuilder::new(n_l)
+            .columns(self.columns)
+            .seed(self.seed)
+            .key_domain(larger_domain);
+        let smaller_builder = RelationBuilder::new(n_s)
+            .columns(self.columns)
+            .seed(self.seed.wrapping_add(1))
+            .key_domain(smaller_domain);
+
+        let larger = larger_builder.build_dsm();
+        let smaller = smaller_builder.build_dsm();
+        let larger_nsm = larger_builder.build_nsm();
+        let smaller_nsm = smaller_builder.build_nsm();
+
+        // Count the exact matches the generated keys produce.
+        let mut smaller_key_counts = vec![0u32; smaller_domain as usize];
+        for &k in smaller.key().as_slice() {
+            smaller_key_counts[k as usize] += 1;
+        }
+        let expected_matches = larger
+            .key()
+            .as_slice()
+            .iter()
+            .map(|&k| {
+                smaller_key_counts
+                    .get(k as usize)
+                    .copied()
+                    .unwrap_or(0) as usize
+            })
+            .sum();
+
+        JoinWorkload {
+            larger,
+            smaller,
+            larger_nsm,
+            smaller_nsm,
+            expected_matches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_one_yields_n_matches() {
+        let w = JoinWorkloadBuilder::equal(10_000, 2).hit_rate(HitRate(1.0)).build();
+        assert_eq!(w.expected_matches, 10_000);
+        assert_eq!(w.larger.cardinality(), 10_000);
+        assert_eq!(w.smaller.cardinality(), 10_000);
+        assert_eq!(w.larger.width(), 2);
+    }
+
+    #[test]
+    fn hit_rate_three_triples_matches() {
+        let w = JoinWorkloadBuilder::equal(9_000, 1).hit_rate(HitRate(3.0)).build();
+        let expected = 3 * 9_000;
+        let tolerance = expected / 100;
+        assert!(
+            (w.expected_matches as i64 - expected as i64).unsigned_abs() as usize <= tolerance,
+            "matches {} not within 1% of {}",
+            w.expected_matches,
+            expected
+        );
+    }
+
+    #[test]
+    fn hit_rate_one_third_shrinks_matches() {
+        let w = JoinWorkloadBuilder::equal(9_000, 1)
+            .hit_rate(HitRate(1.0 / 3.0))
+            .build();
+        let expected = 3_000;
+        let tolerance = expected / 10;
+        assert!(
+            (w.expected_matches as i64 - expected as i64).unsigned_abs() as usize <= tolerance,
+            "matches {} not within 10% of {}",
+            w.expected_matches,
+            expected
+        );
+    }
+
+    #[test]
+    fn nsm_twins_share_keys_with_dsm() {
+        let w = JoinWorkloadBuilder::equal(500, 3).seed(9).build();
+        for row in 0..500 {
+            assert_eq!(w.larger.key_at(row as u32), w.larger_nsm.key(row));
+            assert_eq!(w.smaller.key_at(row as u32), w.smaller_nsm.key(row));
+        }
+    }
+
+    #[test]
+    fn expected_matches_helper() {
+        assert_eq!(HitRate(1.0).expected_matches(100), 100);
+        assert_eq!(HitRate(3.0).expected_matches(100), 300);
+        assert_eq!(HitRate(0.3).expected_matches(100), 30);
+    }
+
+    #[test]
+    fn unequal_cardinalities() {
+        let w = JoinWorkloadBuilder::equal(1000, 1)
+            .cardinalities(2000, 500)
+            .build();
+        assert_eq!(w.larger.cardinality(), 2000);
+        assert_eq!(w.smaller.cardinality(), 500);
+        // every larger key is drawn from the smaller key domain
+        assert_eq!(w.expected_matches, 2000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # rdx-workload — evaluation workload generators
+//!
+//! Generators for the relations used throughout the paper's §4 evaluation:
+//! equal-sized relations of `N ∈ {15K … 16M}` tuples with `ω ∈ {1,4,16,64}`
+//! 4-byte integer columns, joined on an integer key with hit rate
+//! `h ∈ {3, 1, 0.3}`, projecting `π` columns from each side, optionally with
+//! one side being a `s ∈ {1, 0.1, 0.01}` selection of a larger base table
+//! (the sparse-projection experiments).
+//!
+//! Everything is seeded and deterministic, so benchmarks and tests are
+//! reproducible, and attribute values are a pure function of `(row, attr)`
+//! ([`attr_value`]) so that any projected join result can be verified without
+//! keeping the inputs around.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod join_pair;
+pub mod sparse;
+
+pub use builder::{attr_value, RelationBuilder};
+pub use join_pair::{HitRate, JoinWorkload, JoinWorkloadBuilder};
+pub use sparse::SparseWorkload;

@@ -1,0 +1,114 @@
+//! Sparse-projection workloads (paper §4.1 "Sparse Projections", Fig. 11).
+//!
+//! One join relation is a selection of fraction `s` over a larger base table.
+//! The join itself sees only the selected tuples, but the projection columns
+//! live in the base table, so positional joins touch only `s` of the values in
+//! each cache line they load.
+
+use crate::builder::RelationBuilder;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rdx_dsm::{DsmRelation, Oid, Selection};
+
+/// A base table plus a selection over it.
+#[derive(Debug, Clone)]
+pub struct SparseWorkload {
+    /// The base table (cardinality `selected / selectivity`).
+    pub base: DsmRelation,
+    /// The selection: `selected` ascending oids into the base table.
+    pub selection: Selection,
+}
+
+impl SparseWorkload {
+    /// Generates a base table such that a selection of `selected` tuples has
+    /// the given `selectivity` (1.0 means the selection covers the whole base
+    /// table, 0.01 means the base table is 100× larger).
+    ///
+    /// The selected oids are drawn uniformly at random (then sorted), which is
+    /// what a value-predicate selection over an unordered table produces.
+    ///
+    /// # Panics
+    /// Panics if `selectivity` is not in `(0, 1]`.
+    pub fn generate(selected: usize, selectivity: f64, columns: usize, seed: u64) -> Self {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1]"
+        );
+        let base_cardinality = (selected as f64 / selectivity).round() as usize;
+        let base = RelationBuilder::new(base_cardinality)
+            .columns(columns)
+            .seed(seed)
+            .build_dsm();
+
+        let selection = if base_cardinality == selected {
+            Selection::all(base_cardinality)
+        } else {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+            let mut all: Vec<Oid> = (0..base_cardinality as Oid).collect();
+            all.shuffle(&mut rng);
+            let mut chosen: Vec<Oid> = all.into_iter().take(selected).collect();
+            chosen.sort_unstable();
+            Selection::new(chosen, base_cardinality)
+        };
+
+        SparseWorkload { base, selection }
+    }
+
+    /// Number of selected tuples.
+    pub fn selected(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// The effective selectivity of the generated selection.
+    pub fn selectivity(&self) -> f64 {
+        self.selection.selectivity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_selectivity_selects_everything() {
+        let w = SparseWorkload::generate(1000, 1.0, 2, 3);
+        assert_eq!(w.base.cardinality(), 1000);
+        assert_eq!(w.selected(), 1000);
+        assert_eq!(w.selectivity(), 1.0);
+    }
+
+    #[test]
+    fn ten_percent_selectivity_uses_ten_times_base() {
+        let w = SparseWorkload::generate(1000, 0.1, 1, 3);
+        assert_eq!(w.base.cardinality(), 10_000);
+        assert_eq!(w.selected(), 1000);
+        assert!((w.selectivity() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_oids_are_ascending_and_in_range() {
+        let w = SparseWorkload::generate(500, 0.01, 1, 9);
+        let oids = w.selection.oids();
+        assert_eq!(oids.len(), 500);
+        for pair in oids.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert!((*oids.last().unwrap() as usize) < w.base.cardinality());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SparseWorkload::generate(100, 0.1, 1, 5);
+        let b = SparseWorkload::generate(100, 0.1, 1, 5);
+        let c = SparseWorkload::generate(100, 0.1, 1, 6);
+        assert_eq!(a.selection.oids(), b.selection.oids());
+        assert_ne!(a.selection.oids(), c.selection.oids());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_selectivity_rejected() {
+        SparseWorkload::generate(100, 0.0, 1, 1);
+    }
+}

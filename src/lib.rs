@@ -1,0 +1,55 @@
+//! # radix_decluster
+//!
+//! Facade crate for the reproduction of *"Cache-Conscious Radix-Decluster
+//! Projections"* (Manegold, Boncz, Nes, Kersten — CWI / VLDB 2004).
+//!
+//! The workspace is split into focused crates; this facade re-exports the
+//! public surface so downstream users can depend on a single crate:
+//!
+//! * [`dsm`] — Decomposition Storage Model substrate: dense columns with
+//!   implicit (void) object-ids, join indices, `mark()`, variable-size columns.
+//! * [`nsm`] — N-ary Storage Model substrate: row-major relations, record
+//!   projection, slotted pages and a small buffer manager (paper §5).
+//! * [`cache`] — cache hierarchy + TLB simulator and calibrator, standing in
+//!   for the paper's hardware performance counters.
+//! * [`cost`] — the Appendix-A hierarchical-memory cost models.
+//! * [`workload`] — generators for the evaluation workloads (cardinality N,
+//!   width ω, join hit rate h, selectivity s).
+//! * [`core`] — the paper's algorithms: Radix-Cluster, Radix-Decluster,
+//!   Partitioned Hash-Join, positional joins, Jive-Join, and the end-to-end
+//!   projection strategies compared in §4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use radix_decluster::prelude::*;
+//!
+//! // Two relations of equal size that join on `key`, one projection column each.
+//! let workload = workload::JoinWorkloadBuilder::equal(10_000, 1).seed(1).build();
+//!
+//! let params = CacheParams::paper_pentium4();
+//! let spec = QuerySpec::symmetric(1);
+//! let plan = DsmPostProjection::plan(&workload.larger, &workload.smaller, &params);
+//! let outcome = plan.execute(&workload.larger, &workload.smaller, &spec, &params);
+//! assert_eq!(outcome.result.num_columns(), 2);
+//! assert_eq!(outcome.result.cardinality(), workload.expected_matches);
+//! ```
+
+pub use rdx_cache as cache;
+pub use rdx_core as core;
+pub use rdx_cost as cost;
+pub use rdx_dsm as dsm;
+pub use rdx_nsm as nsm;
+pub use rdx_workload as workload;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use rdx_cache::{CacheParams, MemorySystem};
+    pub use rdx_core::cluster::{radix_cluster, RadixClusterSpec};
+    pub use rdx_core::decluster::radix_decluster;
+    pub use rdx_core::join::partitioned_hash_join;
+    pub use rdx_core::strategy::{DsmPostProjection, ProjectionCode, QuerySpec, SecondSideCode};
+    pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
+    pub use rdx_nsm::NsmRelation;
+    pub use rdx_workload::{self as workload, JoinWorkloadBuilder, RelationBuilder};
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the core invariants, spanning the workspace crates.
+
+use proptest::prelude::*;
+use radix_decluster::core::cluster::{
+    is_clustered, radix_cluster, radix_cluster_oids, radix_count, radix_sort_oids,
+    RadixClusterSpec,
+};
+use radix_decluster::core::decluster::paged::radix_decluster_paged;
+use radix_decluster::core::decluster::radix_decluster;
+use radix_decluster::core::join::{hash_join, partitioned_hash_join};
+use radix_decluster::dsm::VarColumn;
+use radix_decluster::nsm::BufferManager;
+use radix_decluster::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Radix-clustering is a permutation: nothing added, nothing lost, pairs
+    /// stay together, and the output really is clustered on the radix field.
+    #[test]
+    fn radix_cluster_is_a_stable_permutation(
+        oids in proptest::collection::vec(0u32..50_000, 0..2_000),
+        bits in 0u32..10,
+        passes in 1u32..4,
+        ignore in 0u32..6,
+    ) {
+        let payloads: Vec<u32> = (0..oids.len() as u32).collect();
+        let spec = RadixClusterSpec::partial(bits, passes, ignore);
+        let clustered = radix_cluster_oids(&oids, &payloads, spec);
+
+        prop_assert_eq!(clustered.len(), oids.len());
+        prop_assert_eq!(*clustered.bounds().last().unwrap(), oids.len());
+        prop_assert!(is_clustered(clustered.keys(), bits, ignore));
+        // Pairs preserved: payload p still rides with oids[p].
+        for (&k, &p) in clustered.keys().iter().zip(clustered.payloads()) {
+            prop_assert_eq!(oids[p as usize], k);
+        }
+        // radix_count over the clustered keys reproduces the bounds.
+        prop_assert_eq!(radix_count(clustered.keys(), bits, ignore), clustered.bounds().to_vec());
+    }
+
+    /// Radix-Sort really sorts, for any oid multiset.
+    #[test]
+    fn radix_sort_sorts_any_oid_column(
+        oids in proptest::collection::vec(0u32..100_000, 0..3_000),
+    ) {
+        let payloads: Vec<u32> = (0..oids.len() as u32).collect();
+        let domain = oids.iter().map(|&o| o as usize + 1).max().unwrap_or(0);
+        let sorted = radix_sort_oids(&oids, &payloads, domain);
+        prop_assert!(sorted.keys().windows(2).all(|w| w[0] <= w[1]));
+        let mut expected = oids.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(sorted.keys(), &expected[..]);
+    }
+
+    /// Radix-Decluster inverts the clustering permutation for every window
+    /// size and clustering granularity.
+    #[test]
+    fn radix_decluster_inverts_clustering(
+        n in 1usize..3_000,
+        bits in 0u32..8,
+        window_bytes in 4usize..1_000_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        // A pseudo-random permutation of smaller oids.
+        let mut smaller: Vec<Oid> = (0..n as Oid).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            smaller.swap(i, j);
+        }
+        let result_positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(&smaller, &result_positions, RadixClusterSpec::single_pass(bits));
+        let values: Vec<i64> = clustered.keys().iter().map(|&o| o as i64 * 3 + 1).collect();
+
+        let out = radix_decluster(&values, clustered.payloads(), clustered.bounds(), window_bytes);
+
+        // Expected: result row r holds the value derived from smaller[r].
+        let expected: Vec<i64> = smaller.iter().map(|&o| o as i64 * 3 + 1).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Partitioned Hash-Join equals naive Hash-Join equals a set-based
+    /// reference, for arbitrary key multisets.
+    #[test]
+    fn joins_agree_with_reference(
+        larger in proptest::collection::vec(0u64..500, 0..400),
+        smaller in proptest::collection::vec(0u64..500, 0..400),
+        bits in 0u32..8,
+        passes in 1u32..3,
+    ) {
+        let reference: HashSet<(Oid, Oid)> = larger
+            .iter()
+            .enumerate()
+            .flat_map(|(l, &lk)| {
+                smaller
+                    .iter()
+                    .enumerate()
+                    .filter(move |(_, &sk)| sk == lk)
+                    .map(move |(s, _)| (l as Oid, s as Oid))
+            })
+            .collect();
+        let naive: HashSet<(Oid, Oid)> = hash_join(&larger, &smaller).iter().collect();
+        let partitioned: HashSet<(Oid, Oid)> =
+            partitioned_hash_join(&larger, &smaller, RadixClusterSpec::new(bits, passes))
+                .iter()
+                .collect();
+        prop_assert_eq!(&naive, &reference);
+        prop_assert_eq!(&partitioned, &reference);
+    }
+
+    /// Hashed radix clustering sends equal keys to equal clusters (the
+    /// property Partitioned Hash-Join relies on).
+    #[test]
+    fn equal_keys_land_in_equal_clusters(
+        keys in proptest::collection::vec(0u64..1_000, 1..1_000),
+        bits in 1u32..8,
+    ) {
+        let payloads: Vec<u32> = (0..keys.len() as u32).collect();
+        let clustered = radix_cluster(&keys, &payloads, RadixClusterSpec::single_pass(bits));
+        // Map key -> cluster, ensure it is a function.
+        let mut cluster_of = std::collections::HashMap::new();
+        for j in 0..clustered.num_clusters() {
+            for &k in clustered.cluster_keys(j) {
+                if let Some(&prev) = cluster_of.get(&k) {
+                    prop_assert_eq!(prev, j, "key {} in clusters {} and {}", k, prev, j);
+                } else {
+                    cluster_of.insert(k, j);
+                }
+            }
+        }
+    }
+
+    /// The paged (Fig. 12) decluster stores every variable-size value
+    /// retrievably and never splits a value across pages.
+    #[test]
+    fn paged_decluster_round_trips(
+        n in 1usize..400,
+        bits in 0u32..6,
+        page_size in 128usize..2_048,
+    ) {
+        let strings: Vec<String> = (0..n).map(|i| format!("v{i}-{}", "y".repeat(i % 17))).collect();
+        let smaller: Vec<Oid> = (0..n as Oid).map(|r| (r * 31 + 7) % n as Oid).collect();
+        let positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(&smaller, &positions, RadixClusterSpec::single_pass(bits));
+        let mut values = VarColumn::new();
+        for &o in clustered.keys() {
+            values.push_str(&strings[o as usize]);
+        }
+        let mut bm = BufferManager::new(page_size);
+        let placed = radix_decluster_paged(&values, clustered.payloads(), clustered.bounds(), 256, &mut bm);
+        for r in 0..n {
+            let expected = &strings[smaller[r] as usize];
+            prop_assert_eq!(placed.read(&bm, r, expected.len()), expected.as_bytes());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end: the planned DSM post-projection strategy matches the
+    /// reference executor for arbitrary (small) workload shapes.
+    #[test]
+    fn dsm_post_projection_matches_reference(
+        n in 16usize..800,
+        pi in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        use radix_decluster::core::strategy::reference::{reference_rows, result_rows};
+        use radix_decluster::workload::JoinWorkloadBuilder;
+
+        let w = JoinWorkloadBuilder::equal(n, pi).seed(seed).build();
+        let spec = QuerySpec::symmetric(pi);
+        let params = CacheParams::tiny_for_tests();
+        let out = DsmPostProjection::plan(&w.larger, &w.smaller, &params)
+            .execute(&w.larger, &w.smaller, &spec, &params);
+        prop_assert_eq!(result_rows(&out.result), reference_rows(&w.larger, &w.smaller, &spec));
+    }
+}
