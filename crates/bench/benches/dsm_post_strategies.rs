@@ -16,9 +16,7 @@ fn bench_dsm_post_strategies(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("code_{code}"), pi),
                 &(code, pi),
-                |b, &(code, pi)| {
-                    b.iter(|| dsm_post_projection_phase_ms(code, n, pi, &params))
-                },
+                |b, &(code, pi)| b.iter(|| dsm_post_projection_phase_ms(code, n, pi, &params)),
             );
         }
     }

@@ -14,9 +14,11 @@ fn bench_join_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_join_phases");
     group.sample_size(10);
     for bits in [0u32, 6, 12] {
-        group.bench_with_input(BenchmarkId::new("radix_cluster", bits), &bits, |b, &bits| {
-            b.iter(|| fig9_radix_cluster(n, bits, &params))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("radix_cluster", bits),
+            &bits,
+            |b, &bits| b.iter(|| fig9_radix_cluster(n, bits, &params)),
+        );
         group.bench_with_input(
             BenchmarkId::new("partitioned_hash_join", bits),
             &bits,
@@ -27,9 +29,11 @@ fn bench_join_phases(c: &mut Criterion) {
             &bits,
             |b, &bits| b.iter(|| fig9_clustered_positional_join(n / 2, bits, &params)),
         );
-        group.bench_with_input(BenchmarkId::new("radix_decluster", bits), &bits, |b, &bits| {
-            b.iter(|| fig9_radix_decluster(n / 2, bits, &params))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("radix_decluster", bits),
+            &bits,
+            |b, &bits| b.iter(|| fig9_radix_decluster(n / 2, bits, &params)),
+        );
         group.bench_with_input(BenchmarkId::new("left_jive", bits), &bits, |b, &bits| {
             b.iter(|| fig9_jive(n / 4, bits, true, &params))
         });

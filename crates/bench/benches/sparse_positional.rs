@@ -14,11 +14,9 @@ fn bench_sparse_positional(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_sparse_positional");
     group.sample_size(10);
     for (label, selectivity) in [("100pct", 1.0), ("10pct", 0.1), ("1pct", 0.01)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &selectivity,
-            |b, &s| b.iter(|| sparse_clustered_positional_ms(selected, s, bits, &params)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &selectivity, |b, &s| {
+            b.iter(|| sparse_clustered_positional_ms(selected, s, bits, &params))
+        });
     }
     group.finish();
 }

@@ -42,7 +42,10 @@ fn main() {
         return;
     }
 
-    assert!(sanity_check(), "sanity check failed: strategies disagree on a small workload");
+    assert!(
+        sanity_check(),
+        "sanity check failed: strategies disagree on a small workload"
+    );
     println!("# scale = {scale:?}, cache model = paper Pentium 4 (512 KB L2, 64-entry TLB)");
     println!();
 
@@ -109,7 +112,12 @@ fn fig7a(scale: Scale, params: &CacheParams) {
     let timed_points = decluster_window_sweep(&input, bits, &windows, params, false);
 
     let mut t = Table::new(vec![
-        "window[B]", "L1 misses", "L2 misses", "TLB misses", "measured[ms]", "model[ms]",
+        "window[B]",
+        "L1 misses",
+        "L2 misses",
+        "TLB misses",
+        "measured[ms]",
+        "model[ms]",
     ]);
     for (sim, timed) in sim_points.iter().zip(&timed_points) {
         t.row(vec![
@@ -122,7 +130,10 @@ fn fig7a(scale: Scale, params: &CacheParams) {
         ]);
     }
     t.print();
-    println!("(miss counts simulated on N/8 = {} tuples; times measured on the full N)\n", n / 8);
+    println!(
+        "(miss counts simulated on N/8 = {} tuples; times measured on the full N)\n",
+        n / 8
+    );
 }
 
 /// Fig. 7b — components (Radix-Cluster, Positional-Join, Radix-Decluster) and
@@ -134,7 +145,12 @@ fn fig7b(scale: Scale, params: &CacheParams) {
     let bits_list = scale.bit_sweep(max_bits);
     let points = decluster_components_sweep(n, &bits_list, params);
     let mut t = Table::new(vec![
-        "bits", "radix-cluster[ms]", "positional-join[ms]", "radix-decluster[ms]", "total[ms]", "model-total[ms]",
+        "bits",
+        "radix-cluster[ms]",
+        "positional-join[ms]",
+        "radix-decluster[ms]",
+        "total[ms]",
+        "model-total[ms]",
     ]);
     for p in points {
         t.row(vec![
@@ -156,7 +172,13 @@ fn fig8(scale: Scale, params: &CacheParams) {
     println!("## Figure 8 — DSM post-projection strategies vs projectivity");
     for n in scale.fig8_cardinalities() {
         println!("### cardinality N = {n}");
-        let mut t = Table::new(vec!["pi", "unsorted[ms]", "sorted[ms]", "p.-clustered[ms]", "declustered[ms]"]);
+        let mut t = Table::new(vec![
+            "pi",
+            "unsorted[ms]",
+            "sorted[ms]",
+            "p.-clustered[ms]",
+            "declustered[ms]",
+        ]);
         for pi in [1usize, 4, 16, 64] {
             let row: Vec<String> = ['u', 's', 'c', 'd']
                 .iter()
@@ -209,7 +231,9 @@ fn fig9(name: &str, panel: Fig9Panel, scale: Scale, params: &CacheParams) {
             let p = match panel {
                 Fig9Panel::RadixCluster => fig9_radix_cluster(n, bits, params),
                 Fig9Panel::PartitionedHashJoin => fig9_partitioned_hash_join(n, bits, params),
-                Fig9Panel::ClusteredPositionalJoin => fig9_clustered_positional_join(n, bits, params),
+                Fig9Panel::ClusteredPositionalJoin => {
+                    fig9_clustered_positional_join(n, bits, params)
+                }
                 Fig9Panel::RadixDecluster => fig9_radix_decluster(n, bits, params),
                 Fig9Panel::LeftJive => fig9_jive(n, bits, true, params),
                 Fig9Panel::RightJive => fig9_jive(n, bits, false, params),
@@ -229,7 +253,9 @@ fn fig9(name: &str, panel: Fig9Panel, scale: Scale, params: &CacheParams) {
 /// Fig. 10a — overall join performance vs. projectivity.
 fn fig10a(scale: Scale, sparse: bool, params: &CacheParams) {
     let (n, omega) = scale.fig10_base();
-    println!("## Figure 10a — overall strategies vs projectivity (N = {n}, omega = {omega}, h = 1:1)");
+    println!(
+        "## Figure 10a — overall strategies vs projectivity (N = {n}, omega = {omega}, h = 1:1)"
+    );
     let pis: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64]
         .into_iter()
         .filter(|&p| p <= omega)
@@ -253,7 +279,10 @@ fn fig10a(scale: Scale, sparse: bool, params: &CacheParams) {
         println!("### sparse DSM post-projection (error bars): smaller-side projection phase only");
         let mut t = Table::new(vec!["selectivity", "pi=4 [ms]"]);
         for s in [1.0, 0.1, 0.01] {
-            t.row(vec![format!("{:.0}%", s * 100.0), ms(dsm_post_sparse_ms(n, 4, s, params))]);
+            t.row(vec![
+                format!("{:.0}%", s * 100.0),
+                ms(dsm_post_sparse_ms(n, 4, s, params)),
+            ]);
         }
         t.print();
     }
@@ -263,7 +292,9 @@ fn fig10a(scale: Scale, sparse: bool, params: &CacheParams) {
 /// Fig. 10b — overall join performance vs. join hit rate.
 fn fig10b(scale: Scale, params: &CacheParams) {
     let (n, omega) = scale.fig10_base();
-    println!("## Figure 10b — overall strategies vs join hit rate (N = {n}, omega = {omega}, pi = 4)");
+    println!(
+        "## Figure 10b — overall strategies vs join hit rate (N = {n}, omega = {omega}, pi = 4)"
+    );
     let spec = QuerySpec::symmetric(4.min(omega));
     let mut t = Table::new(vec!["strategy", "h=1:3 [ms]", "h=1:1 [ms]", "h=3:1 [ms]"]);
     for strategy in OverallStrategy::ALL {
@@ -283,7 +314,9 @@ fn fig10b(scale: Scale, params: &CacheParams) {
 /// also reports which projection codes the planner chose.
 fn fig10c(scale: Scale, params: &CacheParams) {
     let (_, omega) = scale.fig10_base();
-    println!("## Figure 10c — overall strategies vs cardinality (omega = {omega}, pi = 4, h = 1:1)");
+    println!(
+        "## Figure 10c — overall strategies vs cardinality (omega = {omega}, pi = 4, h = 1:1)"
+    );
     let spec = QuerySpec::symmetric(4.min(omega));
     let mut t = Table::new(vec![
         "N",
@@ -382,12 +415,24 @@ fn fig12(scale: Scale, params: &CacheParams) {
     let payload: usize = strings.iter().map(|s| s.len()).sum();
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec!["tuples".to_string(), format!("{n}")]);
-    t.row(vec!["clusters".to_string(), format!("{}", clustered.num_clusters())]);
-    t.row(vec!["insertion window [KB]".to_string(), format!("{}", window / 1024)]);
-    t.row(vec!["pages allocated".to_string(), format!("{}", bm.num_pages())]);
+    t.row(vec![
+        "clusters".to_string(),
+        format!("{}", clustered.num_clusters()),
+    ]);
+    t.row(vec![
+        "insertion window [KB]".to_string(),
+        format!("{}", window / 1024),
+    ]);
+    t.row(vec![
+        "pages allocated".to_string(),
+        format!("{}", bm.num_pages()),
+    ]);
     t.row(vec![
         "page utilisation".to_string(),
-        format!("{:.1}%", 100.0 * payload as f64 / (bm.num_pages() * page_size) as f64),
+        format!(
+            "{:.1}%",
+            100.0 * payload as f64 / (bm.num_pages() * page_size) as f64
+        ),
     ]);
     t.row(vec!["three-phase decluster [ms]".to_string(), ms(total_ms)]);
     t.row(vec!["verified samples".to_string(), format!("{checked}")]);

@@ -114,9 +114,14 @@ pub fn decluster_window_sweep(
             } else {
                 (None, None, None)
             };
-            let model_millis =
-                rdx_cost::algorithms::radix_decluster(input.values.len(), 4, bits, window_bytes, params)
-                    .millis(params);
+            let model_millis = rdx_cost::algorithms::radix_decluster(
+                input.values.len(),
+                4,
+                bits,
+                window_bytes,
+                params,
+            )
+            .millis(params);
             WindowPoint {
                 window_bytes,
                 l1_misses: l1,
@@ -164,7 +169,11 @@ pub fn decluster_components_sweep(
         .map(|&bits| {
             let passes = if bits > 11 { 2 } else { 1 };
             let (clustered, cluster_ms) = time_ms(|| {
-                radix_cluster_oids(&smaller, &result_positions, RadixClusterSpec::new(bits, passes))
+                radix_cluster_oids(
+                    &smaller,
+                    &result_positions,
+                    RadixClusterSpec::new(bits, passes),
+                )
             });
             let (clust_values, positional_ms) = time_ms(|| {
                 clustered_positional_join(clustered.keys(), clustered.bounds(), &column)
@@ -501,16 +510,12 @@ pub fn fig10_workload(n: usize, omega: usize, hit_rate: f64, seed: u64) -> JoinW
 /// Fig. 10 "error bars": the DSM post-projection strategy where the smaller
 /// side is a `selectivity` selection over a larger base table, measuring only
 /// the sparse smaller-side projection phase differences.
-pub fn dsm_post_sparse_ms(
-    n: usize,
-    pi: usize,
-    selectivity: f64,
-    params: &CacheParams,
-) -> f64 {
+pub fn dsm_post_sparse_ms(n: usize, pi: usize, selectivity: f64, params: &CacheParams) -> f64 {
     let sparse = SparseWorkload::generate(n, selectivity, pi, 19);
     let mut oids: Vec<Oid> = (0..n as Oid).collect();
     oids.shuffle(&mut StdRng::seed_from_u64(20));
-    let spec = RadixClusterSpec::optimal_partial(sparse.base.cardinality(), 4, params.cache_capacity());
+    let spec =
+        RadixClusterSpec::optimal_partial(sparse.base.cardinality(), 4, params.cache_capacity());
     let result_positions: Vec<Oid> = (0..n as Oid).collect();
     let (_, ms) = time_ms(|| {
         let clustered = radix_cluster_oids(&oids, &result_positions, spec);
@@ -543,7 +548,11 @@ pub fn sparse_clustered_positional_ms(
     let mut oids: Vec<Oid> = (0..selected as Oid).collect();
     oids.shuffle(&mut StdRng::seed_from_u64(24));
     let payload: Vec<Oid> = (0..selected as Oid).collect();
-    let clustered = radix_cluster_oids(&oids, &payload, RadixClusterSpec::new(bits, if bits > 11 { 2 } else { 1 }));
+    let clustered = radix_cluster_oids(
+        &oids,
+        &payload,
+        RadixClusterSpec::new(bits, if bits > 11 { 2 } else { 1 }),
+    );
     let (_, ms) = time_ms(|| {
         std::hint::black_box(sparse_positional_join(
             clustered.keys(),
@@ -563,8 +572,9 @@ pub fn sanity_check() -> bool {
     let spec = QuerySpec::symmetric(2);
     let params = CacheParams::paper_pentium4();
     let expected = reference_rows(&w.larger, &w.smaller, &spec);
-    let a = DsmPostProjection::with_codes(ProjectionCode::PartialCluster, SecondSideCode::Decluster)
-        .execute(&w.larger, &w.smaller, &spec, &params);
+    let a =
+        DsmPostProjection::with_codes(ProjectionCode::PartialCluster, SecondSideCode::Decluster)
+            .execute(&w.larger, &w.smaller, &spec, &params);
     let b = nsm_pre_projection_phash(&w.larger_nsm, &w.smaller_nsm, &spec, &params);
     result_rows(&a.result) == expected && result_rows(&b.result) == expected
 }
@@ -600,7 +610,10 @@ mod tests {
         let input = make_decluster_input(2_000, 4, 1);
         assert_eq!(input.values.len(), 2_000);
         assert_eq!(*input.bounds.last().unwrap(), 2_000);
-        assert!(rdx_core::decluster::validate_inputs(&input.positions, &input.bounds));
+        assert!(rdx_core::decluster::validate_inputs(
+            &input.positions,
+            &input.bounds
+        ));
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl Region {
     /// own array is a bug in the trace, not a recoverable condition.
     #[inline]
     pub fn addr(&self, index: usize) -> u64 {
-        assert!(index < self.elems, "index {index} out of region ({})", self.elems);
+        assert!(
+            index < self.elems,
+            "index {index} out of region ({})",
+            self.elems
+        );
         self.base + (index * self.elem_width) as u64
     }
 
@@ -90,7 +94,10 @@ impl AddressSpace {
 
     /// A fresh address space with a custom allocation alignment.
     pub fn with_alignment(alignment: u64) -> Self {
-        assert!(alignment.is_power_of_two(), "alignment must be a power of two");
+        assert!(
+            alignment.is_power_of_two(),
+            "alignment must be a power of two"
+        );
         AddressSpace {
             next: alignment.max(1 << 20),
             alignment,
@@ -105,7 +112,7 @@ impl AddressSpace {
             elems,
         };
         let bytes = (elems * elem_width) as u64;
-        self.next = (self.next + bytes + self.alignment - 1) / self.alignment * self.alignment;
+        self.next = (self.next + bytes).div_ceil(self.alignment) * self.alignment;
         region
     }
 }

@@ -78,7 +78,9 @@ impl Calibrator {
         let mut order: Vec<usize> = (0..hops).collect();
         let mut state = 0x9e3779b9u64;
         for i in (1..hops).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             order.swap(i, j);
         }
@@ -153,7 +155,11 @@ mod tests {
         }
         for p in &points {
             assert!(p.latency_ns > 0.0);
-            assert!(p.latency_ns < 10_000.0, "implausible latency {}", p.latency_ns);
+            assert!(
+                p.latency_ns < 10_000.0,
+                "implausible latency {}",
+                p.latency_ns
+            );
         }
     }
 

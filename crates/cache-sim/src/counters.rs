@@ -40,8 +40,16 @@ impl EventCounts {
     /// simulator's replay of an algorithm is how we reproduce the
     /// "modeled (lines) vs measured (points)" panels of Fig. 7 and Fig. 9.
     pub fn stall_cycles(&self, params: &CacheParams) -> f64 {
-        let l1 = params.levels.first().map(|l| l.miss_latency_cycles).unwrap_or(0);
-        let l2 = params.levels.get(1).map(|l| l.miss_latency_cycles).unwrap_or(0);
+        let l1 = params
+            .levels
+            .first()
+            .map(|l| l.miss_latency_cycles)
+            .unwrap_or(0);
+        let l2 = params
+            .levels
+            .get(1)
+            .map(|l| l.miss_latency_cycles)
+            .unwrap_or(0);
         self.l1_misses as f64 * l1 as f64
             + self.l2_misses as f64 * l2 as f64
             + self.tlb_misses as f64 * params.tlb.miss_latency_cycles as f64

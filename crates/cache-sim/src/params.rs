@@ -143,6 +143,28 @@ impl CacheParams {
         self.last_level().capacity
     }
 
+    /// The hierarchy as seen by one of `threads` concurrently active cores:
+    /// the *shared* resources — the outermost cache level and the sequential
+    /// RAM bandwidth — are divided evenly (capacity never below one cache
+    /// line).  Inner cache levels and the TLB are per-core private on the
+    /// multi-core hosts this models, so they are left untouched.  The
+    /// parallel executor (`rdx-exec`) and the `threads`-aware planner use
+    /// this so each worker's working set — cluster sizes, insertion windows,
+    /// hash-join build partitions — is tuned to its *share* of the shared
+    /// cache instead of the whole of it, exactly the per-core
+    /// cache-containment argument of the morsel model.
+    ///
+    /// With `threads <= 1` this is the identity.
+    pub fn per_core_share(&self, threads: usize) -> CacheParams {
+        let threads = threads.max(1);
+        let mut shared = self.clone();
+        if let Some(last) = shared.levels.last_mut() {
+            last.capacity = (last.capacity / threads).max(last.line_size);
+        }
+        shared.sequential_bandwidth /= threads as f64;
+        shared
+    }
+
     /// Seconds per CPU cycle.
     pub fn cycle_seconds(&self) -> f64 {
         1.0 / self.cpu_hz
@@ -199,6 +221,28 @@ mod tests {
         };
         assert_eq!(l.ways(), 16);
         assert_eq!(l.sets(), 1);
+    }
+
+    #[test]
+    fn per_core_share_divides_only_shared_resources() {
+        let p = CacheParams::paper_pentium4();
+        let quarter = p.per_core_share(4);
+        assert_eq!(quarter.cache_capacity(), p.cache_capacity() / 4);
+        assert_eq!(quarter.sequential_bandwidth, p.sequential_bandwidth / 4.0);
+        // Per-core-private resources — inner levels, TLB — are untouched,
+        // and line sizes / latencies are physical properties that never
+        // change.
+        assert_eq!(quarter.l1().capacity, p.l1().capacity);
+        assert_eq!(quarter.tlb.entries, p.tlb.entries);
+        assert_eq!(quarter.l1().line_size, p.l1().line_size);
+        assert_eq!(
+            quarter.last_level().miss_latency_cycles,
+            p.last_level().miss_latency_cycles
+        );
+        // Identity at one thread, floor at absurd thread counts.
+        assert_eq!(p.per_core_share(1), p);
+        let floor = p.per_core_share(1_000_000);
+        assert_eq!(floor.cache_capacity(), p.last_level().line_size);
     }
 
     #[test]

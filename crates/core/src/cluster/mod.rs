@@ -84,14 +84,19 @@ impl<K, P> Clustered<K, P> {
         (self.keys, self.payloads, self.bounds)
     }
 
-    /// Assembles a `Clustered` from already-clustered parts (used by the
-    /// traced variants in [`crate::trace`], which run the same algorithm but
-    /// own their scatter loop).
+    /// Assembles a `Clustered` from already-clustered parts.  Used by the
+    /// traced variants in [`crate::trace`] and by the parallel kernels in
+    /// `rdx-exec`, which run the same algorithm but own their scatter loops
+    /// (per-thread histograms + prefix-sum merge into disjoint output slices).
+    ///
+    /// The caller guarantees the semantic invariant that `keys` really is
+    /// clustered on `spec` with the given `bounds`; only the structural
+    /// invariants are checked here.
     ///
     /// # Panics
     /// Panics if the bounds do not cover the keys or have the wrong cluster
     /// count for `spec`.
-    pub(crate) fn from_raw_parts(
+    pub fn from_parts(
         keys: Vec<K>,
         payloads: Vec<P>,
         bounds: Vec<usize>,
@@ -224,9 +229,17 @@ pub fn radix_cluster_oids<P: Copy>(
 /// more than 2048 clusters would be needed, mirroring the paper's observation
 /// that one pass stops scaling at a few thousand output cursors.
 pub fn radix_sort_oids<P: Copy>(oids: &[Oid], payloads: &[P], domain: usize) -> Clustered<Oid, P> {
+    radix_cluster_oids(oids, payloads, radix_sort_spec(domain))
+}
+
+/// The clustering configuration [`radix_sort_oids`] uses for a dense oid
+/// `domain`: all significant bits, no ignore bits, two passes once a single
+/// pass would need more than 2048 output cursors.  Shared with the parallel
+/// sort in `rdx-exec` so the two can never drift apart.
+pub fn radix_sort_spec(domain: usize) -> RadixClusterSpec {
     let bits = significant_bits(domain);
     let passes = if bits > 11 { 2 } else { 1 };
-    radix_cluster_oids(oids, payloads, RadixClusterSpec::partial(bits, passes, 0))
+    RadixClusterSpec::partial(bits, passes, 0)
 }
 
 /// `radix_count`: recomputes the cluster sizes (as boundary offsets) of an
@@ -332,7 +345,10 @@ mod tests {
         let c = radix_cluster_oids(&oids, &pay, RadixClusterSpec::partial(3, 1, 2));
         for j in 0..c.num_clusters() {
             let keys = c.cluster_keys(j);
-            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "cluster {j} not sorted");
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "cluster {j} not sorted"
+            );
         }
     }
 

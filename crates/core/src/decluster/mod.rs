@@ -65,36 +65,104 @@ pub fn radix_decluster<T: Copy + Default>(
     window_bytes: usize,
 ) -> Vec<T> {
     let n = values.len();
-    assert_eq!(result_positions.len(), n, "values/positions length mismatch");
-    assert_eq!(*bounds.last().unwrap_or(&0), n, "cluster borders do not cover the input");
+    assert_eq!(
+        result_positions.len(),
+        n,
+        "values/positions length mismatch"
+    );
+    assert_eq!(
+        *bounds.last().unwrap_or(&0),
+        n,
+        "cluster borders do not cover the input"
+    );
     debug_assert!(validate_inputs(result_positions, bounds));
 
     let mut result = vec![T::default(); n];
     if n == 0 {
         return result;
     }
+    let elems = window_elems(window_bytes, std::mem::size_of::<T>());
+    let windows = n.div_ceil(elems);
+    radix_decluster_windows(
+        values,
+        result_positions,
+        bounds,
+        elems,
+        0..windows,
+        &mut result,
+    );
+    result
+}
 
-    // Live clusters as (cursor, end) pairs; empty ones are dropped up front.
+/// Number of tuples one insertion window of `window_bytes` holds for values of
+/// `value_width` bytes (never zero, even for degenerate window sizes).
+#[inline]
+pub fn window_elems(window_bytes: usize, value_width: usize) -> usize {
+    (window_bytes / value_width.max(1)).max(1)
+}
+
+/// The windowed Radix-Decluster kernel: processes only the insertion windows
+/// in `window_range` (window `w` covers result positions
+/// `[w · window_elems, (w + 1) · window_elems)`), writing into the disjoint
+/// output slice `out`, whose first element corresponds to result position
+/// `window_range.start · window_elems`.
+///
+/// Because every write of window `w` lands inside that window's result range,
+/// distinct window ranges touch disjoint output regions — this is the entry
+/// point the parallel executor (`rdx-exec`) hands one `&mut` output shard per
+/// worker.  Calling it with the full `0..ceil(N / window_elems)` range is
+/// exactly the sequential [`radix_decluster`].
+///
+/// # Panics
+/// Panics (possibly via slice indexing) if `out` is shorter than the result
+/// positions covered by `window_range`, or if the inputs violate the
+/// [`radix_decluster`] contract.
+#[inline]
+pub fn radix_decluster_windows<T: Copy>(
+    values: &[T],
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_elems: usize,
+    window_range: std::ops::Range<usize>,
+    out: &mut [T],
+) {
+    let base = window_range.start * window_elems;
+
+    // Live clusters as (cursor, end) pairs: cursors pre-advanced (binary
+    // search — positions are ascending within a cluster) past every tuple
+    // that belongs to an earlier window range; drained clusters are dropped.
     let mut clusters: Vec<(usize, usize)> = bounds
         .windows(2)
-        .map(|w| (w[0], w[1]))
-        .filter(|(s, e)| s < e)
+        .filter_map(|w| {
+            let (s, e) = (w[0], w[1]);
+            if s >= e {
+                return None;
+            }
+            let skip = result_positions[s..e].partition_point(|&p| (p as usize) < base);
+            if s + skip >= e {
+                None
+            } else {
+                Some((s + skip, e))
+            }
+        })
         .collect();
     let mut nclusters = clusters.len();
 
-    let window_elems = (window_bytes / std::mem::size_of::<T>().max(1)).max(1);
-    let mut window_limit = window_elems;
-
-    while nclusters > 0 {
+    let mut window_limit = base + window_elems;
+    for _ in window_range {
+        if nclusters == 0 {
+            break;
+        }
         let mut i = 0;
         while i < nclusters {
             loop {
                 let (cursor, end) = clusters[i];
-                if (result_positions[cursor] as usize) >= window_limit {
+                let pos = result_positions[cursor] as usize;
+                if pos >= window_limit {
                     i += 1;
                     break;
                 }
-                result[result_positions[cursor] as usize] = values[cursor];
+                out[pos - base] = values[cursor];
                 let next = cursor + 1;
                 if next >= end {
                     // Delete the drained cluster by swapping in the last live one;
@@ -111,7 +179,6 @@ pub fn radix_decluster<T: Copy + Default>(
         }
         window_limit += window_elems;
     }
-    result
 }
 
 /// Checks the two §3.2 properties Radix-Decluster relies on:
@@ -175,7 +242,12 @@ mod tests {
         let positions: Vec<Oid> = vec![1, 2, 3, 0, 4, 5];
         let bounds = vec![0, 3, 6];
         // window of 2 elements
-        let out = radix_decluster(&values, &positions, &bounds, 2 * std::mem::size_of::<char>());
+        let out = radix_decluster(
+            &values,
+            &positions,
+            &bounds,
+            2 * std::mem::size_of::<char>(),
+        );
         assert_eq!(out, vec!['f', 'e', 'f', 'g', 'h', 'e']);
     }
 
@@ -235,7 +307,10 @@ mod tests {
         let w = choose_window_bytes(4, 256, &params);
         assert!(w <= params.cache_capacity());
         assert!(w >= 256 * MIN_TUPLES_PER_CLUSTER_PER_WINDOW * 4 || w == params.cache_capacity());
-        assert_eq!(choose_window_bytes(4, 8, &params), params.cache_capacity() / 2);
+        assert_eq!(
+            choose_window_bytes(4, 8, &params),
+            params.cache_capacity() / 2
+        );
     }
 
     #[test]

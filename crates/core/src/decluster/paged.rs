@@ -53,7 +53,11 @@ pub fn radix_decluster_paged(
     bm: &mut BufferManager,
 ) -> PagedDecluster {
     let n = values.len();
-    assert_eq!(result_positions.len(), n, "values/positions length mismatch");
+    assert_eq!(
+        result_positions.len(),
+        n,
+        "values/positions length mismatch"
+    );
 
     // Phase 1: decluster only the value lengths into result order.
     let clustered_lengths: Vec<u32> = (0..n).map(|i| values.value_len(i) as u32).collect();
@@ -61,7 +65,10 @@ pub fn radix_decluster_paged(
         radix_decluster(&clustered_lengths, result_positions, bounds, window_bytes);
 
     // Phase 2: sequential pass over the lengths, computing placements.
-    let lengths_usize: Vec<usize> = lengths_in_result_order.iter().map(|&l| l as usize).collect();
+    let lengths_usize: Vec<usize> = lengths_in_result_order
+        .iter()
+        .map(|&l| l as usize)
+        .collect();
     let placements = assign_positions(&lengths_usize, bm.page_size());
     let first_page = rdx_nsm::paged::allocate_for(bm, &placements);
 
@@ -86,8 +93,11 @@ pub fn radix_decluster_paged(
                     break;
                 }
                 let p = placements[dest];
-                bm.page_mut(first_page + p.page)
-                    .write_at(p.slot, p.offset, values.get_bytes(cursor));
+                bm.page_mut(first_page + p.page).write_at(
+                    p.slot,
+                    p.offset,
+                    values.get_bytes(cursor),
+                );
                 let next = cursor + 1;
                 if next >= end {
                     nclusters -= 1;
@@ -118,7 +128,9 @@ mod tests {
     fn make_inputs(n: usize, bits: u32) -> (VarColumn, Vec<Oid>, Vec<usize>, Vec<String>) {
         // Result tuple r projects the string of smaller-relation tuple
         // smaller_oids[r]; strings have varying lengths.
-        let strings: Vec<String> = (0..n).map(|i| format!("value-{i}-{}", "x".repeat(i % 13))).collect();
+        let strings: Vec<String> = (0..n)
+            .map(|i| format!("value-{i}-{}", "x".repeat(i % 13)))
+            .collect();
         let smaller_oids: Vec<Oid> = (0..n as Oid).map(|r| (r * 7 + 3) % n as Oid).collect();
         let result_positions: Vec<Oid> = (0..n as Oid).collect();
         let clustered = radix_cluster_oids(
@@ -132,7 +144,10 @@ mod tests {
             clust_values.push_str(&strings[o as usize]);
         }
         // The expected final result, for verification.
-        let expected: Vec<String> = smaller_oids.iter().map(|&o| strings[o as usize].clone()).collect();
+        let expected: Vec<String> = smaller_oids
+            .iter()
+            .map(|&o| strings[o as usize].clone())
+            .collect();
         (
             clust_values,
             clustered.payloads().to_vec(),

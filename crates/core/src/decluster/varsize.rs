@@ -30,8 +30,16 @@ pub fn radix_decluster_varsize(
     window_bytes: usize,
 ) -> VarColumn {
     let n = values.len();
-    assert_eq!(result_positions.len(), n, "values/positions length mismatch");
-    assert_eq!(*bounds.last().unwrap_or(&0), n, "cluster borders do not cover the input");
+    assert_eq!(
+        result_positions.len(),
+        n,
+        "values/positions length mismatch"
+    );
+    assert_eq!(
+        *bounds.last().unwrap_or(&0),
+        n,
+        "cluster borders do not cover the input"
+    );
 
     // Phase 1: lengths into result order.
     let clustered_lengths: Vec<u32> = (0..n).map(|i| values.value_len(i) as u32).collect();
@@ -85,7 +93,7 @@ pub fn radix_decluster_varsize(
         window_limit += window_elems;
     }
 
-    let mut out = VarColumn::with_capacity(n, if n == 0 { 0 } else { total_bytes / n });
+    let mut out = VarColumn::with_capacity(n, total_bytes.checked_div(n).unwrap_or(0));
     for r in 0..n {
         out.push_bytes(&heap[offsets[r] as usize..offsets[r + 1] as usize]);
     }
@@ -98,7 +106,9 @@ mod tests {
     use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
 
     fn make_inputs(n: usize, bits: u32) -> (VarColumn, Vec<Oid>, Vec<usize>, Vec<String>) {
-        let strings: Vec<String> = (0..n).map(|i| format!("s{i}:{}", "z".repeat(i % 11))).collect();
+        let strings: Vec<String> = (0..n)
+            .map(|i| format!("s{i}:{}", "z".repeat(i % 11)))
+            .collect();
         let smaller_oids: Vec<Oid> = (0..n as Oid).map(|r| (r * 17 + 5) % n as Oid).collect();
         let result_positions: Vec<Oid> = (0..n as Oid).collect();
         let clustered = radix_cluster_oids(
@@ -110,8 +120,16 @@ mod tests {
         for &o in clustered.keys() {
             values.push_str(&strings[o as usize]);
         }
-        let expected: Vec<String> = smaller_oids.iter().map(|&o| strings[o as usize].clone()).collect();
-        (values, clustered.payloads().to_vec(), clustered.bounds().to_vec(), expected)
+        let expected: Vec<String> = smaller_oids
+            .iter()
+            .map(|&o| strings[o as usize].clone())
+            .collect();
+        (
+            values,
+            clustered.payloads().to_vec(),
+            clustered.bounds().to_vec(),
+            expected,
+        )
     }
 
     #[test]
@@ -134,9 +152,9 @@ mod tests {
         let in_memory = radix_decluster_varsize(&values, &positions, &bounds, 1024);
         let mut bm = BufferManager::new(1024);
         let paged = radix_decluster_paged(&values, &positions, &bounds, 1024, &mut bm);
-        for r in 0..500 {
-            assert_eq!(in_memory.get_str(r), expected[r]);
-            assert_eq!(paged.read(&bm, r, expected[r].len()), expected[r].as_bytes());
+        for (r, want) in expected.iter().enumerate() {
+            assert_eq!(in_memory.get_str(r), want);
+            assert_eq!(paged.read(&bm, r, want.len()), want.as_bytes());
         }
     }
 

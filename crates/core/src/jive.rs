@@ -117,7 +117,7 @@ mod tests {
 
     fn columns(n: usize, mult: i32) -> Vec<Column<i32>> {
         (0..3)
-            .map(|a| Column::from_vec((0..n).map(|i| mult * (i as i32) + a as i32).collect()))
+            .map(|a| Column::from_vec((0..n).map(|i| mult * (i as i32) + a).collect()))
             .collect()
     }
 
@@ -128,7 +128,9 @@ mod tests {
         let larger_cols = columns(n_larger, 10);
         let smaller_cols = columns(n_smaller, 1000);
         // A join index with duplicates and arbitrary order.
-        let ji = JoinIndex::from_pairs((0..n_larger as Oid).map(|l| (l, (l * 13 + 5) % n_smaller as Oid)));
+        let ji = JoinIndex::from_pairs(
+            (0..n_larger as Oid).map(|l| (l, (l * 13 + 5) % n_smaller as Oid)),
+        );
 
         let out = jive_join_projection(
             &ji,
@@ -144,11 +146,11 @@ mod tests {
         let mut pairs: Vec<(Oid, Oid)> = ji.iter().collect();
         pairs.sort_unstable();
         for (r, &(l, s)) in pairs.iter().enumerate() {
-            for a in 0..2 {
-                assert_eq!(out.larger_columns[a][r], larger_cols[a].value(l as usize));
+            for (col, vals) in larger_cols.iter().zip(&out.larger_columns) {
+                assert_eq!(vals[r], col.value(l as usize));
             }
-            for b in 0..2 {
-                assert_eq!(out.smaller_columns[b][r], smaller_cols[b].value(s as usize));
+            for (col, vals) in smaller_cols.iter().zip(&out.smaller_columns) {
+                assert_eq!(vals[r], col.value(s as usize));
             }
         }
     }
@@ -182,6 +184,6 @@ mod tests {
     fn jive_bits_sizes_partitions_to_cache() {
         assert_eq!(jive_bits(1000, 4, 512 * 1024), 0);
         let bits = jive_bits(8_000_000, 16, 512 * 1024);
-        assert!(8_000_000usize * 16 >> bits <= 512 * 1024);
+        assert!((8_000_000usize * 16) >> bits <= 512 * 1024);
     }
 }

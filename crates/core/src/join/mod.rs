@@ -129,11 +129,8 @@ mod tests {
         let naive = hash_join(&larger, &smaller);
         for bits in [1, 3, 6, 9] {
             for passes in [1, 2] {
-                let part = partitioned_hash_join(
-                    &larger,
-                    &smaller,
-                    RadixClusterSpec::new(bits, passes),
-                );
+                let part =
+                    partitioned_hash_join(&larger, &smaller, RadixClusterSpec::new(bits, passes));
                 assert_eq!(
                     part.canonical_pairs(),
                     naive.canonical_pairs(),

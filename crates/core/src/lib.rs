@@ -36,6 +36,6 @@ pub mod strategy;
 pub mod trace;
 
 pub use cluster::{radix_cluster, radix_count, radix_sort_oids, Clustered, RadixClusterSpec};
-pub use decluster::{choose_window_bytes, radix_decluster};
+pub use decluster::{choose_window_bytes, radix_decluster, radix_decluster_windows, window_elems};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn sparse_join_rebases_through_selection() {
-        let base = Column::from_vec((0..1000).map(|i| i as i32).collect());
+        let base = Column::from_vec((0..1000).collect());
         let sel = Selection::new(vec![10, 200, 999], 1000);
         // selection positions 2,0 -> base oids 999,10
         let out = sparse_positional_join(&[2, 0], &sel, &base);

@@ -68,11 +68,8 @@ pub fn order_join_index(
     match code {
         ProjectionCode::Unsorted => (join_index.larger().to_vec(), join_index.smaller().to_vec()),
         ProjectionCode::Sorted => {
-            let sorted = radix_sort_oids(
-                join_index.larger(),
-                join_index.smaller(),
-                first_cardinality,
-            );
+            let sorted =
+                radix_sort_oids(join_index.larger(), join_index.smaller(), first_cardinality);
             (sorted.keys().to_vec(), sorted.payloads().to_vec())
         }
         ProjectionCode::PartialCluster => {
@@ -128,11 +125,8 @@ pub fn project_second_side_decluster(
     params: &CacheParams,
 ) -> (Vec<Vec<i32>>, usize) {
     let n = second_oids_in_result_order.len();
-    let spec = RadixClusterSpec::optimal_partial(
-        second_cardinality,
-        value_width,
-        params.cache_capacity(),
-    );
+    let spec =
+        RadixClusterSpec::optimal_partial(second_cardinality, value_width, params.cache_capacity());
     let result_positions: Vec<Oid> = (0..n as Oid).collect();
     let clustered = radix_cluster_oids(second_oids_in_result_order, &result_positions, spec);
     let window = choose_window_bytes(value_width, clustered.num_clusters(), params);
@@ -143,7 +137,12 @@ pub fn project_second_side_decluster(
             let clust_values: Vec<i32> =
                 clustered.keys().iter().map(|&oid| fetch(oid, a)).collect();
             // Radix-Decluster into final result order.
-            radix_decluster(&clust_values, clustered.payloads(), clustered.bounds(), window)
+            radix_decluster(
+                &clust_values,
+                clustered.payloads(),
+                clustered.bounds(),
+                window,
+            )
         })
         .collect();
     (columns, clustered.num_clusters())

@@ -76,18 +76,21 @@ impl DsmPostProjection {
         spec: &QuerySpec,
         params: &CacheParams,
     ) -> StrategyOutcome {
-        assert!(spec.project_larger <= larger.width(), "larger side has too few columns");
-        assert!(spec.project_smaller <= smaller.width(), "smaller side has too few columns");
+        assert!(
+            spec.project_larger <= larger.width(),
+            "larger side has too few columns"
+        );
+        assert!(
+            spec.project_smaller <= smaller.width(),
+            "smaller side has too few columns"
+        );
         let mut timings = PhaseTimings::default();
 
         // Phase 1: join index over the key columns only.
         let t = Instant::now();
         let join_spec = join_cluster_spec(smaller.cardinality(), params.cache_capacity());
-        let join_index = partitioned_hash_join(
-            larger.key().as_slice(),
-            smaller.key().as_slice(),
-            join_spec,
-        );
+        let join_index =
+            partitioned_hash_join(larger.key().as_slice(), smaller.key().as_slice(), join_spec);
         timings.join = t.elapsed();
 
         // Phase 2a: reorder for the first side.
@@ -112,9 +115,10 @@ impl DsmPostProjection {
         let t = Instant::now();
         let second_columns = match self.second_side {
             SecondSideCode::Unsorted => {
-                let cols = project_second_side_unsorted(&second_oids, spec.project_smaller, |oid, b| {
-                    smaller.attr(b).value(oid as usize)
-                });
+                let cols =
+                    project_second_side_unsorted(&second_oids, spec.project_smaller, |oid, b| {
+                        smaller.attr(b).value(oid as usize)
+                    });
                 timings.project_smaller = t.elapsed();
                 cols
             }
@@ -186,13 +190,12 @@ mod tests {
             project_smaller: 1,
         };
         let params = CacheParams::tiny_for_tests();
-        let out = DsmPostProjection::plan(&w.larger, &w.smaller, &params).execute(
-            &w.larger,
-            &w.smaller,
-            &spec,
-            &params,
+        let out = DsmPostProjection::plan(&w.larger, &w.smaller, &params)
+            .execute(&w.larger, &w.smaller, &spec, &params);
+        assert_eq!(
+            result_rows(&out.result),
+            reference_rows(&w.larger, &w.smaller, &spec)
         );
-        assert_eq!(result_rows(&out.result), reference_rows(&w.larger, &w.smaller, &spec));
         assert_eq!(out.result.num_columns(), 4);
     }
 

@@ -50,7 +50,12 @@ impl WideBuffer {
 
     /// One counting-sort pass over the wide tuples: both the key and the whole
     /// projected payload are scattered to the output partitions.
-    fn cluster_pass(&self, bits_this_pass: u32, shift: u32, segments: &[usize]) -> (Self, Vec<usize>) {
+    fn cluster_pass(
+        &self,
+        bits_this_pass: u32,
+        shift: u32,
+        segments: &[usize],
+    ) -> (Self, Vec<usize>) {
         let hp = 1usize << bits_this_pass;
         let mask = (hp - 1) as u64;
         let mut out_keys = vec![0u64; self.keys.len()];
@@ -75,8 +80,7 @@ impl WideBuffer {
                 let dst = offsets[b];
                 offsets[b] += 1;
                 out_keys[dst] = self.keys[i];
-                out_values[dst * self.stride..(dst + 1) * self.stride]
-                    .copy_from_slice(self.row(i));
+                out_values[dst * self.stride..(dst + 1) * self.stride].copy_from_slice(self.row(i));
             }
         }
         new_segments.push(self.keys.len());

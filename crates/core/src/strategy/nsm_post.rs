@@ -122,11 +122,7 @@ pub fn nsm_post_projection_jive(
     timings.project_larger = t.elapsed();
 
     let mut result = ResultRelation::new();
-    for col in jive
-        .larger_columns
-        .into_iter()
-        .chain(jive.smaller_columns)
-    {
+    for col in jive.larger_columns.into_iter().chain(jive.smaller_columns) {
         result.push_column(Column::from_vec(col));
     }
     StrategyOutcome { result, timings }

@@ -91,8 +91,14 @@ pub fn predict_projection_cost(
                         params,
                     )
                     .millis(params)
-                        + cost::radix_decluster(result_tuples, VALUE_WIDTH, second_bits, window, params)
-                            .millis(params))
+                        + cost::radix_decluster(
+                            result_tuples,
+                            VALUE_WIDTH,
+                            second_bits,
+                            window,
+                            params,
+                        )
+                        .millis(params))
         }
     };
 
@@ -106,10 +112,35 @@ pub fn plan_by_cost(
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> DsmPostProjection {
+    plan_by_cost_with_threads(larger, smaller, spec, params, 1)
+}
+
+/// The `threads`-aware planner: prices every code combination against each
+/// core's *share* of the cache ([`CacheParams::per_core_share`]) instead of
+/// the whole of it.
+///
+/// With `threads` workers active, the per-core effective cache shrinks to
+/// `C / threads`, which moves the knees of the Appendix-A cost curves: a
+/// side whose projection columns fit a full cache may exceed a quarter of
+/// one, flipping the optimal code from `u` to `c`/`d` — and the narrower
+/// per-core cache also raises the radix-bit counts the reordering codes are
+/// priced at.  The returned plan is what the parallel executors in
+/// `rdx-exec` should run.
+pub fn plan_by_cost_with_threads(
+    larger: &DsmRelation,
+    smaller: &DsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+    threads: usize,
+) -> DsmPostProjection {
+    let params = &params.per_core_share(threads);
     // With hit rate unknown at planning time, assume |result| ≈ |larger|, the
     // paper's h = 1 default.
     let result_tuples = larger.cardinality();
-    let mut best = (f64::INFINITY, DsmPostProjection::plan(larger, smaller, params));
+    let mut best = (
+        f64::INFINITY,
+        DsmPostProjection::plan(larger, smaller, params),
+    );
     for first in [
         ProjectionCode::Unsorted,
         ProjectionCode::Sorted,
@@ -184,22 +215,57 @@ mod tests {
             predict_projection_cost(first, SecondSideCode::Unsorted, n, n, n, spec, &params)
         };
         // Large N: unsorted loses to both reordering codes at high π (Fig. 8).
-        assert!(price(ProjectionCode::Unsorted, &spec_high) > price(ProjectionCode::Sorted, &spec_high));
+        assert!(
+            price(ProjectionCode::Unsorted, &spec_high) > price(ProjectionCode::Sorted, &spec_high)
+        );
         assert!(
             price(ProjectionCode::Unsorted, &spec_high)
                 > price(ProjectionCode::PartialCluster, &spec_high)
         );
         // At small π, partial-cluster beats full sorting (Fig. 8).
         assert!(
-            price(ProjectionCode::PartialCluster, &spec_low) < price(ProjectionCode::Sorted, &spec_low)
+            price(ProjectionCode::PartialCluster, &spec_low)
+                < price(ProjectionCode::Sorted, &spec_low)
         );
+    }
+
+    #[test]
+    fn thread_count_moves_the_planning_knee() {
+        // A relation whose columns fit the whole cache but not a per-core
+        // share: the single-threaded planner keeps the unsorted code while
+        // some higher thread count must switch the second side to decluster.
+        let params = CacheParams::paper_pentium4();
+        let w = JoinWorkloadBuilder::equal(60_000, 1).build();
+        let spec = QuerySpec::symmetric(4);
+        let single = plan_by_cost_with_threads(&w.larger, &w.smaller, &spec, &params, 1);
+        assert_eq!(single, plan_by_cost(&w.larger, &w.smaller, &spec, &params));
+        let plans: Vec<_> = [1usize, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&t| plan_by_cost_with_threads(&w.larger, &w.smaller, &spec, &params, t))
+            .collect();
+        // Planning must stay well-defined at every thread count, and the
+        // effective cache only shrinks — once a reordering code is chosen it
+        // never reverts to unsorted at higher thread counts.
+        let first_reorder = plans
+            .iter()
+            .position(|p| p.second_side == SecondSideCode::Decluster);
+        if let Some(i) = first_reorder {
+            for p in &plans[i..] {
+                assert_eq!(p.second_side, SecondSideCode::Decluster);
+            }
+        }
     }
 
     #[test]
     fn cost_planner_agrees_with_heuristic_planner_at_the_extremes() {
         let params = CacheParams::paper_pentium4();
         let small = JoinWorkloadBuilder::equal(2_000, 1).build();
-        let by_cost = plan_by_cost(&small.larger, &small.smaller, &QuerySpec::symmetric(1), &params);
+        let by_cost = plan_by_cost(
+            &small.larger,
+            &small.smaller,
+            &QuerySpec::symmetric(1),
+            &params,
+        );
         let heuristic = DsmPostProjection::plan(&small.larger, &small.smaller, &params);
         assert_eq!(by_cost.second_side, heuristic.second_side);
     }
@@ -212,6 +278,9 @@ mod tests {
         let params = CacheParams::tiny_for_tests();
         let plan = plan_by_cost(&w.larger, &w.smaller, &spec, &params);
         let out = plan.execute(&w.larger, &w.smaller, &spec, &params);
-        assert_eq!(result_rows(&out.result), reference_rows(&w.larger, &w.smaller, &spec));
+        assert_eq!(
+            result_rows(&out.result),
+            reference_rows(&w.larger, &w.smaller, &spec)
+        );
     }
 }

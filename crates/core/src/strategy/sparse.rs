@@ -47,11 +47,8 @@ pub fn dsm_post_projection_sparse(
     let t = Instant::now();
     let selected_keys = selection.project_key(smaller_base.key());
     let join_spec = join_cluster_spec(selection.len(), params.cache_capacity());
-    let join_index = partitioned_hash_join(
-        larger.key().as_slice(),
-        selected_keys.as_slice(),
-        join_spec,
-    );
+    let join_index =
+        partitioned_hash_join(larger.key().as_slice(), selected_keys.as_slice(), join_spec);
     timings.join = t.elapsed();
 
     // First side: partial cluster + positional joins, exactly as the dense
@@ -76,11 +73,8 @@ pub fn dsm_post_projection_sparse(
     // sparse positional joins will touch), then decluster each column.
     let t = Instant::now();
     let base_oids: Vec<Oid> = selection.rebase(&second_oids);
-    let cluster_spec = RadixClusterSpec::optimal_partial(
-        smaller_base.cardinality(),
-        4,
-        params.cache_capacity(),
-    );
+    let cluster_spec =
+        RadixClusterSpec::optimal_partial(smaller_base.cardinality(), 4, params.cache_capacity());
     let result_positions: Vec<Oid> = (0..base_oids.len() as Oid).collect();
     let clustered = radix_cluster_oids(&base_oids, &result_positions, cluster_spec);
     let window = choose_window_bytes(4, clustered.num_clusters(), params);

@@ -7,8 +7,8 @@
 //! would use for `SELECT larger.a…, smaller.name… FROM … WHERE key = key`.
 
 use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
-use crate::decluster::varsize::radix_decluster_varsize;
 use crate::decluster::choose_window_bytes;
+use crate::decluster::varsize::radix_decluster_varsize;
 use crate::join::{join_cluster_spec, partitioned_hash_join};
 use crate::strategy::common::{order_join_index, project_first_side, ProjectionCode};
 use crate::strategy::{PhaseTimings, QuerySpec, StrategyOutcome};

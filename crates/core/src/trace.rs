@@ -81,7 +81,7 @@ pub fn radix_cluster_oids_traced<P: Copy>(
     let counts_delta = delta(before, mem.counts());
     // Package the result through the untraced constructor path so that the
     // invariants (bounds cover the input, clusters ordered) are identical.
-    let clustered = Clustered::from_raw_parts(keys_out, pay_out, bounds, spec);
+    let clustered = Clustered::from_parts(keys_out, pay_out, bounds, spec);
     (clustered, counts_delta)
 }
 
@@ -143,8 +143,12 @@ mod tests {
         let payloads = vec![0u32; 16_384];
         let run = |bits: u32| {
             let mut mem = MemorySystem::new(&params);
-            let (_, c) =
-                radix_cluster_oids_traced(&oids, &payloads, RadixClusterSpec::single_pass(bits), &mut mem);
+            let (_, c) = radix_cluster_oids_traced(
+                &oids,
+                &payloads,
+                RadixClusterSpec::single_pass(bits),
+                &mut mem,
+            );
             c
         };
         // With 1 radix bit the scatter touches 2 input streams plus 2×2 output
@@ -175,11 +179,8 @@ mod tests {
         // *uppermost* significant bits (ignore the lowermost 8), so each
         // cluster covers a contiguous 1 KB slice of the column — the §3.1
         // partial clustering.
-        let clustered = radix_cluster_oids(
-            &unsorted,
-            &vec![(); n],
-            RadixClusterSpec::partial(6, 1, 8),
-        );
+        let clustered =
+            radix_cluster_oids(&unsorted, &vec![(); n], RadixClusterSpec::partial(6, 1, 8));
 
         let mut mem_u = MemorySystem::new(&params);
         let (out_u, misses_u) = positional_join_traced(&unsorted, &column, &mut mem_u);
@@ -204,7 +205,8 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let mut mem = MemorySystem::new(&CacheParams::tiny_for_tests());
-        let (c, counts) = radix_cluster_oids_traced::<u32>(&[], &[], RadixClusterSpec::single_pass(3), &mut mem);
+        let (c, counts) =
+            radix_cluster_oids_traced::<u32>(&[], &[], RadixClusterSpec::single_pass(3), &mut mem);
         assert!(c.is_empty());
         assert_eq!(counts.accesses, 0);
         let col: Column<i32> = Column::new();

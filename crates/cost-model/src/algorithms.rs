@@ -21,14 +21,19 @@ pub const HASH_ENTRY_BYTES: usize = 8;
 /// output cursors; once the cursor count exceeds the cache-line or TLB budget
 /// the nest term degrades to per-tuple random misses (the thrashing that
 /// motivates multi-pass clustering, §2.1/§2.2).
-pub fn radix_cluster(input: DataRegion, bits: u32, passes: u32, params: &CacheParams) -> PatternCost {
+pub fn radix_cluster(
+    input: DataRegion,
+    bits: u32,
+    passes: u32,
+    params: &CacheParams,
+) -> PatternCost {
     if bits == 0 || passes == 0 {
         return PatternCost::zero();
     }
     let passes = passes.min(bits);
     let mut per_pass_bits = vec![bits / passes; passes as usize];
-    for extra in 0..(bits % passes) as usize {
-        per_pass_bits[extra] += 1;
+    for bp in per_pass_bits.iter_mut().take((bits % passes) as usize) {
+        *bp += 1;
     }
     let mut total = PatternCost::zero();
     for bp in per_pass_bits {
@@ -178,7 +183,9 @@ pub fn radix_decluster(
         let chunk_bytes = w * idx_width as f64;
         let mut chunk = PatternCost::zero();
         for i in 0..params.levels.len().min(2) {
-            let lines = (chunk_bytes / params.levels[i].line_size as f64).ceil().max(1.0);
+            let lines = (chunk_bytes / params.levels[i].line_size as f64)
+                .ceil()
+                .max(1.0);
             chunk.seq_misses[i] = lines;
         }
         chunk.tlb_misses = if clusters > params.tlb.entries {
@@ -307,7 +314,7 @@ mod tests {
         let tiny = at(1 << 10); // 1 KB
         let good = at(256 << 10); // 256 KB (≤ C, ≥ TLB reach boundary)
         let too_big = at(32 << 20); // 32 MB (≫ C)
-        // Cost falls from tiny windows to the sweet spot…
+                                    // Cost falls from tiny windows to the sweet spot…
         assert!(good < tiny, "good {good} vs tiny {tiny}");
         // …and rises sharply once the window exceeds the L2 capacity.
         assert!(too_big > 2.0 * good, "too_big {too_big} vs good {good}");
@@ -342,7 +349,10 @@ mod tests {
     #[test]
     fn zero_sized_inputs_cost_nothing() {
         let p = params();
-        assert_eq!(radix_cluster(DataRegion::new(0, 8), 0, 1, &p), PatternCost::zero());
+        assert_eq!(
+            radix_cluster(DataRegion::new(0, 8), 0, 1, &p),
+            PatternCost::zero()
+        );
         assert_eq!(radix_decluster(0, 4, 8, 1024, &p), PatternCost::zero());
     }
 }

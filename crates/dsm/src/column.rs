@@ -215,7 +215,10 @@ mod tests {
     fn mark_attaches_fresh_void_head() {
         let view = mark(vec![3_u32, 1, 2], 0);
         assert_eq!(view.seqbase(), 0);
-        assert_eq!(view.iter().collect::<Vec<_>>(), vec![(0, &3), (1, &1), (2, &2)]);
+        assert_eq!(
+            view.iter().collect::<Vec<_>>(),
+            vec![(0, &3), (1, &1), (2, &2)]
+        );
     }
 
     #[test]

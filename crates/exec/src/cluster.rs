@@ -1,0 +1,252 @@
+//! Parallel Radix-Cluster: per-thread local clustering + prefix-sum merge.
+//!
+//! Each worker radix-clusters one contiguous shard of the input with the
+//! sequential kernel (so every per-pass cursor set stays cache-contained *per
+//! core*), then the per-shard cluster sizes are prefix-summed into global
+//! cluster borders and the shards are merged — in worker order, so the result
+//! is **byte-identical** to the sequential [`rdx_core::cluster::radix_cluster`]:
+//! the sequential kernel is a stable counting sort, worker shards are
+//! contiguous input ranges, and concatenating each cluster's per-shard
+//! segments in shard order reproduces exactly the stable global order.
+//!
+//! The merge itself is parallel too: the output arrays are split at the
+//! global cluster borders into disjoint `&mut` shards (`split_by_bounds`) and
+//! whole clusters are dealt to workers, balanced by tuple count.
+
+use crate::pool::{partition_ranges, run_workers, split_by_bounds, ExecPolicy};
+use rdx_core::cluster::{
+    radix_cluster, radix_cluster_oids, radix_sort_spec, Clustered, RadixClusterSpec,
+};
+use rdx_dsm::Oid;
+use std::ops::Range;
+
+/// Parallel `radix_cluster(B, P)` over hashed keys; byte-identical to the
+/// sequential [`radix_cluster`] for every `(spec, policy)`.
+pub fn par_radix_cluster<P: Copy + Send + Sync>(
+    keys: &[u64],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    policy: &ExecPolicy,
+) -> Clustered<u64, P> {
+    par_cluster_impl(keys, payloads, spec, policy, |k, p| {
+        radix_cluster(k, p, spec)
+    })
+}
+
+/// Parallel clustering of unhashed oids (the join-index case of §3.1);
+/// byte-identical to the sequential [`radix_cluster_oids`].
+pub fn par_radix_cluster_oids<P: Copy + Send + Sync>(
+    oids: &[Oid],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    policy: &ExecPolicy,
+) -> Clustered<Oid, P> {
+    par_cluster_impl(oids, payloads, spec, policy, |k, p| {
+        radix_cluster_oids(k, p, spec)
+    })
+}
+
+/// Parallel Radix-Sort of an oid column: all significant bits, no ignore
+/// bits; byte-identical to [`rdx_core::cluster::radix_sort_oids`].
+pub fn par_radix_sort_oids<P: Copy + Send + Sync>(
+    oids: &[Oid],
+    payloads: &[P],
+    domain: usize,
+    policy: &ExecPolicy,
+) -> Clustered<Oid, P> {
+    par_radix_cluster_oids(oids, payloads, radix_sort_spec(domain), policy)
+}
+
+/// One merge work item: the group's first cluster index plus one
+/// `(keys, payloads)` output shard per cluster in the group.
+type MergeGroup<'a, K, P> = (usize, Vec<(&'a mut [K], &'a mut [P])>);
+
+fn par_cluster_impl<K, P, F>(
+    keys: &[K],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    policy: &ExecPolicy,
+    cluster_shard: F,
+) -> Clustered<K, P>
+where
+    K: Copy + Send + Sync,
+    P: Copy + Send + Sync,
+    F: Fn(&[K], &[P]) -> Clustered<K, P> + Sync,
+{
+    assert_eq!(keys.len(), payloads.len(), "keys/payloads length mismatch");
+    let n = keys.len();
+    let threads = policy.threads;
+    if threads == 1 || n == 0 || spec.bits == 0 {
+        return cluster_shard(keys, payloads);
+    }
+
+    // Phase 1 — per-thread histograms and local scatter: each worker runs the
+    // full (multi-pass, stable) sequential kernel on its contiguous shard.
+    let shards = partition_ranges(n, threads);
+    let locals: Vec<Clustered<K, P>> = run_workers(threads, |w| {
+        let r = shards[w].clone();
+        cluster_shard(&keys[r.clone()], &payloads[r])
+    });
+
+    // Phase 2 — prefix sum of the per-shard cluster sizes into global borders.
+    let clusters = spec.num_clusters();
+    let mut bounds = vec![0usize; clusters + 1];
+    for c in 0..clusters {
+        let total: usize = locals.iter().map(|l| l.cluster_range(c).len()).sum();
+        bounds[c + 1] = bounds[c] + total;
+    }
+    debug_assert_eq!(bounds[clusters], n);
+
+    // Phase 3 — parallel merge: split the output at the global borders into
+    // one disjoint `&mut` shard per cluster, deal whole clusters to workers
+    // (balanced by tuple count), and copy each cluster's per-shard segments
+    // in shard order.
+    let mut out_keys = vec![keys[0]; n];
+    let mut out_payloads = vec![payloads[0]; n];
+    let key_shards = split_by_bounds(&mut out_keys, &bounds);
+    let payload_shards = split_by_bounds(&mut out_payloads, &bounds);
+
+    let groups = balanced_cluster_groups(&bounds, threads);
+    let mut key_iter = key_shards.into_iter();
+    let mut payload_iter = payload_shards.into_iter();
+    let work: Vec<MergeGroup<'_, K, P>> = groups
+        .iter()
+        .map(|g| {
+            let shards: Vec<_> = g
+                .clone()
+                .map(|_| (key_iter.next().unwrap(), payload_iter.next().unwrap()))
+                .collect();
+            (g.start, shards)
+        })
+        .collect();
+
+    let locals_ref = &locals;
+    std::thread::scope(|scope| {
+        for (first_cluster, cluster_shards) in work {
+            scope.spawn(move || {
+                for (j, (key_out, payload_out)) in cluster_shards.into_iter().enumerate() {
+                    let c = first_cluster + j;
+                    let mut off = 0;
+                    for local in locals_ref {
+                        let seg_keys = local.cluster_keys(c);
+                        let seg_payloads = local.cluster_payloads(c);
+                        key_out[off..off + seg_keys.len()].copy_from_slice(seg_keys);
+                        payload_out[off..off + seg_payloads.len()].copy_from_slice(seg_payloads);
+                        off += seg_keys.len();
+                    }
+                    debug_assert_eq!(off, key_out.len());
+                }
+            });
+        }
+    });
+
+    Clustered::from_parts(out_keys, out_payloads, bounds, spec)
+}
+
+/// Deals clusters `0..H` into at most `parts` contiguous groups with
+/// near-equal *tuple* counts (clusters can be heavily skewed, so dealing by
+/// cluster index alone would unbalance the merge).
+fn balanced_cluster_groups(bounds: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let clusters = bounds.len() - 1;
+    let n = *bounds.last().unwrap();
+    let parts = parts.max(1).min(clusters.max(1));
+    let mut groups = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 0..parts {
+        let end = if p + 1 == parts {
+            clusters
+        } else {
+            let target = n * (p + 1) / parts;
+            bounds
+                .partition_point(|&b| b < target)
+                .clamp(start, clusters)
+        };
+        groups.push(start..end);
+        start = end;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rdx_core::cluster::radix_sort_oids;
+
+    fn shuffled_oids(n: usize, seed: u64) -> Vec<Oid> {
+        let mut v: Vec<Oid> = (0..n as Oid).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(seed));
+        v
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_every_thread_count() {
+        let oids = shuffled_oids(10_000, 3);
+        let payloads: Vec<u32> = (0..10_000).collect();
+        for bits in [0u32, 1, 4, 9] {
+            for passes in [1u32, 2, 3] {
+                let spec = RadixClusterSpec::partial(bits, passes, 2);
+                let expected = radix_cluster_oids(&oids, &payloads, spec);
+                for threads in [1usize, 2, 3, 8] {
+                    let policy = ExecPolicy::with_threads(threads);
+                    let got = par_radix_cluster_oids(&oids, &payloads, spec, &policy);
+                    assert_eq!(
+                        got, expected,
+                        "bits={bits} passes={passes} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_parallel_equals_sequential() {
+        let keys: Vec<u64> = (0..8_192).map(|i| i * 2654435761 % 10_000).collect();
+        let payloads: Vec<u32> = (0..8_192).collect();
+        let spec = RadixClusterSpec::new(6, 2);
+        let expected = radix_cluster(&keys, &payloads, spec);
+        for threads in [2usize, 5, 8] {
+            let got = par_radix_cluster(&keys, &payloads, spec, &ExecPolicy::with_threads(threads));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_equals_sequential_sort() {
+        let oids = shuffled_oids(20_000, 9);
+        let payloads: Vec<u32> = (0..20_000).collect();
+        let expected = radix_sort_oids(&oids, &payloads, 20_000);
+        let got = par_radix_sort_oids(&oids, &payloads, 20_000, &ExecPolicy::with_threads(4));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn skewed_clusters_still_merge_correctly() {
+        // Every key lands in cluster 0 except a handful: exercises the
+        // balanced group dealing with pathological skew.
+        let mut oids = vec![0 as Oid; 5_000];
+        oids.extend([7, 9, 15, 31].iter().map(|&x| x as Oid));
+        let payloads: Vec<u32> = (0..oids.len() as u32).collect();
+        let spec = RadixClusterSpec::single_pass(5);
+        let expected = radix_cluster_oids(&oids, &payloads, spec);
+        for threads in [2usize, 8] {
+            let got =
+                par_radix_cluster_oids(&oids, &payloads, spec, &ExecPolicy::with_threads(threads));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let policy = ExecPolicy::with_threads(8);
+        let empty =
+            par_radix_cluster_oids::<u32>(&[], &[], RadixClusterSpec::single_pass(4), &policy);
+        assert_eq!(empty.num_clusters(), 16);
+        assert!(empty.is_empty());
+        let one = par_radix_cluster_oids(&[3], &[99u32], RadixClusterSpec::single_pass(4), &policy);
+        assert_eq!(one.keys(), &[3]);
+        assert_eq!(one.payloads(), &[99]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Parallel Radix-Decluster: independent insertion-window ranges per worker.
+//!
+//! Radix-Decluster's writes are confined to the current insertion window, and
+//! the windows tile the result without overlap — so the window sequence can
+//! be cut into contiguous *window ranges* and each range handed to a worker
+//! together with the matching disjoint `&mut` result shard.  A worker finds
+//! its per-cluster start cursors by binary search (positions are ascending
+//! within every cluster — §3.2 property 2) and then runs the unchanged
+//! sequential window loop ([`rdx_core::decluster::radix_decluster_windows`])
+//! over its shard.  No synchronisation happens inside the loop, and the
+//! output is **byte-identical** to the sequential kernel: every tuple's
+//! destination is data-determined, workers merely split who writes it.
+
+use crate::pool::{partition_ranges, split_by_bounds, ExecPolicy};
+use rdx_core::decluster::{radix_decluster_windows, validate_inputs, window_elems};
+use rdx_dsm::Oid;
+
+/// Parallel Radix-Decluster; byte-identical to
+/// [`rdx_core::decluster::radix_decluster`] for every `(window, policy)`.
+///
+/// # Panics
+/// Panics if the slices disagree in length or the borders do not cover the
+/// input (same contract as the sequential kernel).
+pub fn par_radix_decluster<T: Copy + Default + Send + Sync>(
+    values: &[T],
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_bytes: usize,
+    policy: &ExecPolicy,
+) -> Vec<T> {
+    let n = values.len();
+    assert_eq!(
+        result_positions.len(),
+        n,
+        "values/positions length mismatch"
+    );
+    assert_eq!(
+        *bounds.last().unwrap_or(&0),
+        n,
+        "cluster borders do not cover the input"
+    );
+    debug_assert!(validate_inputs(result_positions, bounds));
+
+    let mut result = vec![T::default(); n];
+    if n == 0 {
+        return result;
+    }
+    let elems = window_elems(window_bytes, std::mem::size_of::<T>());
+    let windows = n.div_ceil(elems);
+    let threads = policy.threads.min(windows).max(1);
+    if threads == 1 {
+        radix_decluster_windows(
+            values,
+            result_positions,
+            bounds,
+            elems,
+            0..windows,
+            &mut result,
+        );
+        return result;
+    }
+
+    // Cut the window sequence into contiguous per-worker ranges and split the
+    // result at the corresponding positions: window range [a, b) owns result
+    // positions [a·elems, min(b·elems, n)).
+    let groups = partition_ranges(windows, threads);
+    let cuts: Vec<usize> = std::iter::once(0)
+        .chain(groups.iter().map(|g| (g.end * elems).min(n)))
+        .collect();
+    let shards = split_by_bounds(&mut result, &cuts);
+
+    std::thread::scope(|scope| {
+        for (range, out) in groups.into_iter().zip(shards) {
+            scope.spawn(move || {
+                radix_decluster_windows(values, result_positions, bounds, elems, range, out)
+            });
+        }
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rdx_core::cluster::{radix_cluster_oids, RadixClusterSpec};
+    use rdx_core::decluster::radix_decluster;
+
+    /// The §3.2 pipeline input: cluster a permutation, attach values.
+    fn clustered_input(n: usize, bits: u32, seed: u64) -> (Vec<i64>, Vec<Oid>, Vec<usize>) {
+        let mut smaller: Vec<Oid> = (0..n as Oid).collect();
+        smaller.shuffle(&mut StdRng::seed_from_u64(seed));
+        let positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered =
+            radix_cluster_oids(&smaller, &positions, RadixClusterSpec::single_pass(bits));
+        let values: Vec<i64> = clustered.keys().iter().map(|&o| o as i64 * 7).collect();
+        (
+            values,
+            clustered.payloads().to_vec(),
+            clustered.bounds().to_vec(),
+        )
+    }
+
+    #[test]
+    fn parallel_equals_sequential_across_thread_counts_and_windows() {
+        for &n in &[1usize, 17, 1_000, 20_000] {
+            let (values, positions, bounds) = clustered_input(n, 5, n as u64);
+            for window_bytes in [8usize, 256, 4 * 1024, 1 << 20] {
+                let expected = radix_decluster(&values, &positions, &bounds, window_bytes);
+                for threads in [1usize, 2, 3, 8] {
+                    let got = par_radix_decluster(
+                        &values,
+                        &positions,
+                        &bounds,
+                        window_bytes,
+                        &ExecPolicy::with_threads(threads),
+                    );
+                    assert_eq!(
+                        got, expected,
+                        "n={n} window={window_bytes} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_windows_degrades_gracefully() {
+        let (values, positions, bounds) = clustered_input(100, 3, 4);
+        // One giant window: only one window exists, so only one worker runs.
+        let expected = radix_decluster(&values, &positions, &bounds, 1 << 20);
+        let got = par_radix_decluster(
+            &values,
+            &positions,
+            &bounds,
+            1 << 20,
+            &ExecPolicy::with_threads(8),
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = par_radix_decluster(&[], &[], &[0], 1024, &ExecPolicy::with_threads(4));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wide_values_survive_parallel_decluster() {
+        let (values, positions, bounds) = clustered_input(2_000, 4, 11);
+        let wide: Vec<[i64; 4]> = values.iter().map(|&v| [v, v + 1, v + 2, v + 3]).collect();
+        let expected = radix_decluster(&wide, &positions, &bounds, 2048);
+        let got = par_radix_decluster(
+            &wide,
+            &positions,
+            &bounds,
+            2048,
+            &ExecPolicy::with_threads(4),
+        );
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,274 @@
+//! The morsel-driven scheduling substrate: scoped worker threads, a
+//! work-stealing morsel queue, and safe disjoint-slice distribution.
+//!
+//! The design follows the morsel-driven query execution model: work is cut
+//! into *morsels* — contiguous tuple ranges small enough that a worker's
+//! footprint stays inside its per-core cache share — and idle workers pull
+//! the next morsel from a shared cursor, so load balances dynamically without
+//! any work-item ever being split.  All parallelism is expressed with
+//! `std::thread::scope` plus `split_at_mut`-style slice partitioning, so the
+//! whole engine stays inside `#![forbid(unsafe_code)]`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default morsel granularity in tuples: large enough that queue traffic is
+/// noise, small enough that a 4-byte-value morsel sits well inside a per-core
+/// L2 share.
+pub const DEFAULT_MORSEL_TUPLES: usize = 16 * 1024;
+
+/// How a parallel kernel should run: worker count and morsel granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Number of worker threads (`>= 1`; `1` means run inline, no spawning).
+    pub threads: usize,
+    /// Morsel size in tuples for dynamically scheduled loops.
+    pub morsel_tuples: usize,
+}
+
+impl ExecPolicy {
+    /// A policy running on exactly `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "at least one worker thread is required");
+        ExecPolicy {
+            threads,
+            morsel_tuples: DEFAULT_MORSEL_TUPLES,
+        }
+    }
+
+    /// The sequential policy: one worker, everything runs inline.
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// One worker per hardware thread the host exposes.
+    pub fn available() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Overrides the morsel granularity.
+    ///
+    /// # Panics
+    /// Panics if `morsel_tuples == 0`.
+    pub fn morsel_tuples(mut self, morsel_tuples: usize) -> Self {
+        assert!(morsel_tuples >= 1, "morsels must hold at least one tuple");
+        self.morsel_tuples = morsel_tuples;
+        self
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self::available()
+    }
+}
+
+/// A lock-free work-stealing queue over the index range `0..len`: workers
+/// claim morsels (disjoint contiguous subranges) until the range is drained.
+#[derive(Debug)]
+pub struct MorselQueue {
+    next: AtomicUsize,
+    len: usize,
+    morsel: usize,
+}
+
+impl MorselQueue {
+    /// A queue over `0..len` handing out morsels of at most `morsel` indices.
+    ///
+    /// # Panics
+    /// Panics if `morsel == 0`.
+    pub fn new(len: usize, morsel: usize) -> Self {
+        assert!(morsel >= 1, "morsels must hold at least one index");
+        MorselQueue {
+            next: AtomicUsize::new(0),
+            len,
+            morsel,
+        }
+    }
+
+    /// Claims the next unprocessed morsel, or `None` when the queue is dry.
+    pub fn claim(&self) -> Option<Range<usize>> {
+        // `fetch_add` past `len` is harmless: every overshooting claimer sees
+        // `start >= len` and gives up.
+        let start = self.next.fetch_add(self.morsel, Ordering::Relaxed);
+        if start >= self.len {
+            None
+        } else {
+            Some(start..(start + self.morsel).min(self.len))
+        }
+    }
+}
+
+/// Runs `worker(worker_index)` on `threads` scoped threads and returns the
+/// per-worker results in worker order.  With `threads == 1` the closure runs
+/// inline on the caller's thread.
+pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1, "at least one worker thread is required");
+    if threads == 1 {
+        return vec![worker(0)];
+    }
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || worker(t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rdx-exec worker panicked"))
+            .collect()
+    })
+}
+
+/// Morsel-driven parallel fill of an output slice: `fill(offset, chunk)` is
+/// called for disjoint chunks of at most `policy.morsel_tuples` elements,
+/// where `offset` is the chunk's start index in `out`.  Chunks are claimed
+/// dynamically by idle workers (work stealing), so skew in per-chunk cost
+/// balances out.
+pub fn for_each_output_morsel<T, F>(out: &mut [T], policy: &ExecPolicy, fill: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let morsel = policy.morsel_tuples;
+    if policy.threads == 1 || out.len() <= morsel {
+        for (i, chunk) in out.chunks_mut(morsel).enumerate() {
+            fill(i * morsel, chunk);
+        }
+        return;
+    }
+    // `chunks_mut` hands out disjoint `&mut` shards; the Mutex only guards
+    // the *iterator*, never the data, so workers hold the lock for one
+    // `next()` call and compute unlocked.
+    let queue = Mutex::new(out.chunks_mut(morsel).enumerate());
+    run_workers(policy.threads, |_| loop {
+        let claimed = queue.lock().expect("morsel queue poisoned").next();
+        match claimed {
+            Some((i, chunk)) => fill(i * morsel, chunk),
+            None => break,
+        }
+    });
+}
+
+/// Splits `data` into the `H` disjoint `&mut` shards described by `bounds`
+/// (`H + 1` ascending offsets covering `data`), e.g. the cluster borders of a
+/// [`rdx_core::cluster::Clustered`].
+///
+/// # Panics
+/// Panics if the bounds are not ascending or do not cover `data` exactly.
+pub fn split_by_bounds<'a, T>(mut data: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    assert!(!bounds.is_empty(), "bounds need at least one offset");
+    assert_eq!(
+        *bounds.last().unwrap(),
+        data.len(),
+        "bounds must cover the data"
+    );
+    let mut shards = Vec::with_capacity(bounds.len() - 1);
+    let mut prev = bounds[0];
+    assert_eq!(prev, 0, "bounds must start at zero");
+    for &b in &bounds[1..] {
+        let (head, tail) = data.split_at_mut(b - prev);
+        shards.push(head);
+        data = tail;
+        prev = b;
+    }
+    shards
+}
+
+/// Cuts `0..n` into `parts` contiguous near-equal ranges (some possibly
+/// empty when `parts > n`).
+pub fn partition_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    (0..parts)
+        .map(|p| n * p / parts..n * (p + 1) / parts)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn morsel_queue_covers_range_exactly_once() {
+        let q = MorselQueue::new(1000, 64);
+        let claims = run_workers(4, |_| {
+            let mut mine = Vec::new();
+            while let Some(r) = q.claim() {
+                mine.push(r);
+            }
+            mine
+        });
+        let mut seen = HashSet::new();
+        for r in claims.into_iter().flatten() {
+            for i in r {
+                assert!(seen.insert(i), "index {i} claimed twice");
+            }
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn morsel_fill_writes_every_slot() {
+        let policy = ExecPolicy::with_threads(4).morsel_tuples(13);
+        let mut out = vec![0usize; 10_007];
+        for_each_output_morsel(&mut out, &policy, |off, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = off + i + 1;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i + 1);
+        }
+    }
+
+    #[test]
+    fn run_workers_preserves_worker_order() {
+        let calls = AtomicUsize::new(0);
+        let ids = run_workers(8, |w| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            w * 10
+        });
+        assert_eq!(ids, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn split_by_bounds_yields_disjoint_covering_shards() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let shards = split_by_bounds(&mut data, &[0, 3, 3, 7, 10]);
+        let lens: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![3, 0, 4, 3]);
+        assert_eq!(shards[2], &[3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn partition_ranges_cover_and_are_contiguous() {
+        for (n, parts) in [(10, 3), (0, 4), (5, 8), (1000, 7)] {
+            let ranges = partition_ranges(n, parts);
+            assert_eq!(ranges.len(), parts);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[parts - 1].end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        ExecPolicy::with_threads(0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Parallel end-to-end projected-join strategies.
+//!
+//! These executors mirror the sequential phase structure of
+//! [`rdx_core::strategy`] — join → reorder → project first side → project /
+//! decluster second side — and report the same [`PhaseTimings`] fields, so
+//! the figure harness can compare sequential and parallel runs phase by
+//! phase.  Every phase runs on the morsel pool:
+//!
+//! * the **join** uses [`par_partitioned_hash_join`];
+//! * the **reorder** uses the parallel cluster/sort kernels;
+//! * the **positional joins** are morsel-parallel gathers into disjoint
+//!   output chunks;
+//! * the **decluster** runs one insertion-window range per worker, with the
+//!   window sized to each core's *share* of the cache
+//!   ([`CacheParams::per_core_share`]) — narrower than the sequential
+//!   window, because `threads` workers now compete for the same last-level
+//!   cache.
+//!
+//! Results are byte-identical to the sequential executors: each parallel
+//! phase reproduces its sequential counterpart's output exactly (window size
+//! affects only the access pattern, never the values).
+
+use crate::cluster::{par_radix_cluster_oids, par_radix_sort_oids};
+use crate::decluster::par_radix_decluster;
+use crate::join::par_partitioned_hash_join;
+use crate::pool::{for_each_output_morsel, ExecPolicy};
+use rdx_cache::CacheParams;
+use rdx_core::cluster::RadixClusterSpec;
+use rdx_core::decluster::choose_window_bytes;
+use rdx_core::join::join_cluster_spec;
+use rdx_core::strategy::{
+    DsmPostProjection, PhaseTimings, ProjectionCode, QuerySpec, SecondSideCode, StrategyOutcome,
+};
+use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
+use rdx_nsm::NsmRelation;
+use std::time::Instant;
+
+/// Width of the fixed-size attribute values (the paper's integer columns).
+const VALUE_WIDTH: usize = 4;
+
+/// Parallel [`rdx_core::strategy::common::order_join_index`]: reorders the
+/// join index per the first-side code using the parallel cluster kernels.
+pub fn par_order_join_index(
+    join_index: &JoinIndex,
+    code: ProjectionCode,
+    first_cardinality: usize,
+    value_width: usize,
+    params: &CacheParams,
+    policy: &ExecPolicy,
+) -> (Vec<Oid>, Vec<Oid>) {
+    match code {
+        ProjectionCode::Unsorted => (join_index.larger().to_vec(), join_index.smaller().to_vec()),
+        ProjectionCode::Sorted => {
+            let sorted = par_radix_sort_oids(
+                join_index.larger(),
+                join_index.smaller(),
+                first_cardinality,
+                policy,
+            );
+            let (keys, payloads, _) = sorted.into_parts();
+            (keys, payloads)
+        }
+        ProjectionCode::PartialCluster => {
+            let spec = RadixClusterSpec::optimal_partial(
+                first_cardinality,
+                value_width,
+                params.cache_capacity(),
+            );
+            let clustered =
+                par_radix_cluster_oids(join_index.larger(), join_index.smaller(), spec, policy);
+            let (keys, payloads, _) = clustered.into_parts();
+            (keys, payloads)
+        }
+    }
+}
+
+/// Morsel-parallel positional joins: projects `n_attrs` columns by gathering
+/// `fetch(oids[r], attr)` for every result row `r`.
+pub fn par_project_columns<F>(
+    oids: &[Oid],
+    n_attrs: usize,
+    fetch: F,
+    policy: &ExecPolicy,
+) -> Vec<Vec<i32>>
+where
+    F: Fn(Oid, usize) -> i32 + Sync,
+{
+    (0..n_attrs)
+        .map(|attr| {
+            let mut column = vec![0i32; oids.len()];
+            for_each_output_morsel(&mut column, policy, |offset, chunk| {
+                let oids = &oids[offset..offset + chunk.len()];
+                for (slot, &oid) in chunk.iter_mut().zip(oids) {
+                    *slot = fetch(oid, attr);
+                }
+            });
+            column
+        })
+        .collect()
+}
+
+/// Parallel second-side Radix-Decluster pipeline (Fig. 4): parallel partial
+/// cluster, morsel-parallel clustered positional join, parallel decluster.
+/// The insertion window is sized to each worker's cache share.
+pub fn par_project_second_side_decluster<F>(
+    second_oids_in_result_order: &[Oid],
+    n_attrs: usize,
+    fetch: F,
+    second_cardinality: usize,
+    value_width: usize,
+    params: &CacheParams,
+    policy: &ExecPolicy,
+) -> (Vec<Vec<i32>>, usize)
+where
+    F: Fn(Oid, usize) -> i32 + Sync,
+{
+    let n = second_oids_in_result_order.len();
+    let spec =
+        RadixClusterSpec::optimal_partial(second_cardinality, value_width, params.cache_capacity());
+    let result_positions: Vec<Oid> = (0..n as Oid).collect();
+    let clustered =
+        par_radix_cluster_oids(second_oids_in_result_order, &result_positions, spec, policy);
+    let window = choose_window_bytes(
+        value_width,
+        clustered.num_clusters(),
+        &params.per_core_share(policy.threads),
+    );
+
+    let columns = (0..n_attrs)
+        .map(|attr| {
+            let mut clust_values = vec![0i32; n];
+            for_each_output_morsel(&mut clust_values, policy, |offset, chunk| {
+                let len = chunk.len();
+                let keys = &clustered.keys()[offset..offset + len];
+                for (slot, &oid) in chunk.iter_mut().zip(keys) {
+                    *slot = fetch(oid, attr);
+                }
+            });
+            par_radix_decluster(
+                &clust_values,
+                clustered.payloads(),
+                clustered.bounds(),
+                window,
+                policy,
+            )
+        })
+        .collect();
+    (columns, clustered.num_clusters())
+}
+
+/// Parallel DSM post-projection: the morsel-parallel counterpart of
+/// [`DsmPostProjection::execute`], byte-identical results, same
+/// [`PhaseTimings`] semantics.
+///
+/// # Panics
+/// Panics if the query asks for more projection columns than a relation has.
+pub fn par_dsm_post_projection(
+    plan: &DsmPostProjection,
+    larger: &DsmRelation,
+    smaller: &DsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+    policy: &ExecPolicy,
+) -> StrategyOutcome {
+    assert!(
+        spec.project_larger <= larger.width(),
+        "larger side has too few columns"
+    );
+    assert!(
+        spec.project_smaller <= smaller.width(),
+        "smaller side has too few columns"
+    );
+    let mut timings = PhaseTimings::default();
+
+    // Phase 1: join index over the key columns only.
+    let t = Instant::now();
+    let join_spec = join_cluster_spec(smaller.cardinality(), params.cache_capacity());
+    let join_index = par_partitioned_hash_join(
+        larger.key().as_slice(),
+        smaller.key().as_slice(),
+        join_spec,
+        policy,
+    );
+    timings.join = t.elapsed();
+
+    // Phase 2a: reorder for the first side.
+    let t = Instant::now();
+    let (first_oids, second_oids) = par_order_join_index(
+        &join_index,
+        plan.first_side,
+        larger.cardinality(),
+        VALUE_WIDTH,
+        params,
+        policy,
+    );
+    timings.reorder = t.elapsed();
+
+    // Phase 2b: project the first side.
+    let t = Instant::now();
+    let first_columns = par_project_columns(
+        &first_oids,
+        spec.project_larger,
+        |oid, a| larger.attr(a).value(oid as usize),
+        policy,
+    );
+    timings.project_larger = t.elapsed();
+
+    // Phase 3: project the second side.
+    let t = Instant::now();
+    let second_columns = match plan.second_side {
+        SecondSideCode::Unsorted => {
+            let cols = par_project_columns(
+                &second_oids,
+                spec.project_smaller,
+                |oid, b| smaller.attr(b).value(oid as usize),
+                policy,
+            );
+            timings.project_smaller = t.elapsed();
+            cols
+        }
+        SecondSideCode::Decluster => {
+            let (cols, _clusters) = par_project_second_side_decluster(
+                &second_oids,
+                spec.project_smaller,
+                |oid, b| smaller.attr(b).value(oid as usize),
+                smaller.cardinality(),
+                VALUE_WIDTH,
+                params,
+                policy,
+            );
+            timings.decluster = t.elapsed();
+            cols
+        }
+    };
+
+    let mut result = ResultRelation::new();
+    for col in first_columns.into_iter().chain(second_columns) {
+        result.push_column(Column::from_vec(col));
+    }
+    StrategyOutcome { result, timings }
+}
+
+/// Parallel NSM post-projection with Radix-Decluster: the morsel-parallel
+/// counterpart of [`rdx_core::strategy::nsm_post_projection_decluster`].
+///
+/// # Panics
+/// Panics if the query asks for more projection columns than a relation has
+/// beyond its key attribute.
+pub fn par_nsm_post_projection_decluster(
+    larger: &NsmRelation,
+    smaller: &NsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+    policy: &ExecPolicy,
+) -> StrategyOutcome {
+    assert!(spec.project_larger < larger.width());
+    assert!(spec.project_smaller < smaller.width());
+    let mut timings = PhaseTimings::default();
+
+    // Phase 1: scan the key attribute out of the wide records (morsel
+    // parallel — the scan is the unavoidable NSM entry fee) and join.
+    let t = Instant::now();
+    let mut larger_keys = vec![0u64; larger.cardinality()];
+    for_each_output_morsel(&mut larger_keys, policy, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = larger.key(offset + i);
+        }
+    });
+    let mut smaller_keys = vec![0u64; smaller.cardinality()];
+    for_each_output_morsel(&mut smaller_keys, policy, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = smaller.key(offset + i);
+        }
+    });
+    let join_spec = join_cluster_spec(smaller.cardinality(), params.cache_capacity());
+    let join_index = par_partitioned_hash_join(&larger_keys, &smaller_keys, join_spec, policy);
+    timings.join = t.elapsed();
+
+    // Phase 2: partial cluster on the larger oids; the effective value width
+    // is the full record width, which is what a cache-line fetch drags in.
+    let t = Instant::now();
+    let (first_oids, second_oids) = par_order_join_index(
+        &join_index,
+        ProjectionCode::PartialCluster,
+        larger.cardinality(),
+        larger.tuple_bytes(),
+        params,
+        policy,
+    );
+    timings.reorder = t.elapsed();
+
+    let t = Instant::now();
+    let first_columns = par_project_columns(
+        &first_oids,
+        spec.project_larger,
+        |oid, a| larger.value(oid as usize, a + 1),
+        policy,
+    );
+    timings.project_larger = t.elapsed();
+
+    let t = Instant::now();
+    let (second_columns, _clusters) = par_project_second_side_decluster(
+        &second_oids,
+        spec.project_smaller,
+        |oid, b| smaller.value(oid as usize, b + 1),
+        smaller.cardinality(),
+        smaller.tuple_bytes(),
+        params,
+        policy,
+    );
+    timings.decluster = t.elapsed();
+
+    let mut result = ResultRelation::new();
+    for col in first_columns.into_iter().chain(second_columns) {
+        result.push_column(Column::from_vec(col));
+    }
+    StrategyOutcome { result, timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_core::strategy::nsm_post_projection_decluster;
+    use rdx_core::strategy::reference::{reference_rows, result_rows};
+    use rdx_workload::JoinWorkloadBuilder;
+
+    #[test]
+    fn par_dsm_post_matches_sequential_for_all_codes() {
+        let w = JoinWorkloadBuilder::equal(3_000, 2).seed(5).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        for first in [
+            ProjectionCode::Unsorted,
+            ProjectionCode::Sorted,
+            ProjectionCode::PartialCluster,
+        ] {
+            for second in [SecondSideCode::Unsorted, SecondSideCode::Decluster] {
+                let plan = DsmPostProjection::with_codes(first, second);
+                let seq = plan.execute(&w.larger, &w.smaller, &spec, &params);
+                for threads in [1usize, 4] {
+                    let par = par_dsm_post_projection(
+                        &plan,
+                        &w.larger,
+                        &w.smaller,
+                        &spec,
+                        &params,
+                        &ExecPolicy::with_threads(threads),
+                    );
+                    assert_eq!(
+                        result_rows(&par.result),
+                        result_rows(&seq.result),
+                        "codes {} threads {threads}",
+                        plan.label()
+                    );
+                }
+            }
+        }
+        let expected = reference_rows(&w.larger, &w.smaller, &spec);
+        let plan = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        );
+        let par = par_dsm_post_projection(
+            &plan,
+            &w.larger,
+            &w.smaller,
+            &spec,
+            &params,
+            &ExecPolicy::with_threads(8),
+        );
+        assert_eq!(result_rows(&par.result), expected);
+    }
+
+    #[test]
+    fn par_nsm_post_matches_sequential() {
+        let w = JoinWorkloadBuilder::equal(2_000, 3).seed(21).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let seq = nsm_post_projection_decluster(&w.larger_nsm, &w.smaller_nsm, &spec, &params);
+        for threads in [2usize, 8] {
+            let par = par_nsm_post_projection_decluster(
+                &w.larger_nsm,
+                &w.smaller_nsm,
+                &spec,
+                &params,
+                &ExecPolicy::with_threads(threads),
+            );
+            assert_eq!(
+                result_rows(&par.result),
+                result_rows(&seq.result),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let w = JoinWorkloadBuilder::equal(2_000, 1).build();
+        let params = CacheParams::tiny_for_tests();
+        let plan = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        );
+        let out = par_dsm_post_projection(
+            &plan,
+            &w.larger,
+            &w.smaller,
+            &QuerySpec::symmetric(1),
+            &params,
+            &ExecPolicy::with_threads(2),
+        );
+        assert!(out.timings.total().as_nanos() > 0);
+        assert!(out.timings.join.as_nanos() > 0);
+    }
+}

@@ -81,9 +81,21 @@ mod tests {
         assert_eq!(
             p,
             vec![
-                Placement { page: 0, slot: 0, offset: 0 },
-                Placement { page: 0, slot: 1, offset: 4 },
-                Placement { page: 0, slot: 2, offset: 11 },
+                Placement {
+                    page: 0,
+                    slot: 0,
+                    offset: 0
+                },
+                Placement {
+                    page: 0,
+                    slot: 1,
+                    offset: 4
+                },
+                Placement {
+                    page: 0,
+                    slot: 2,
+                    offset: 11
+                },
             ]
         );
         assert_eq!(pages_needed(&p), 1);

@@ -23,7 +23,10 @@ impl NsmRelation {
     /// # Panics
     /// Panics if `width == 0`; a relation needs at least the key attribute.
     pub fn new(width: usize) -> Self {
-        assert!(width >= 1, "an NSM relation needs at least the key attribute");
+        assert!(
+            width >= 1,
+            "an NSM relation needs at least the key attribute"
+        );
         NsmRelation {
             width,
             data: Vec::new(),

@@ -1,0 +1,319 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! small, API-compatible stand-in for the subset of Criterion 0.5 that the
+//! workspace benches use: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`] and [`Bencher::iter`].
+//!
+//! Methodology: each benchmark is warmed up once, then timed for
+//! `sample_size` samples.  Very fast benchmarks are batched so that every
+//! sample lasts at least ~1 ms.  The reported statistics are the minimum,
+//! median and maximum per-iteration times, printed in a Criterion-like
+//! format.  There is no statistical regression analysis and no HTML report —
+//! the point is relative comparison in an offline environment.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum target duration of one timing sample; fast closures are batched
+/// until a sample takes at least this long.
+const MIN_SAMPLE: Duration = Duration::from_millis(1);
+
+/// Top-level benchmark driver (a stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style default sample count for subsequently created groups.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_one(id, sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample count and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration throughput used to derive rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id` with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Finishes the group (a reporting no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function/parameter`, either part optional.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_owned()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Per-iteration work declaration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code under
+/// test.
+pub struct Bencher {
+    /// Measured per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + batch calibration: make every sample last >= MIN_SAMPLE.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (MIN_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<60} (no samples: closure never called Bencher::iter)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let lo = bencher.samples[0];
+    let mid = bencher.samples[bencher.samples.len() / 2];
+    let hi = *bencher.samples.last().unwrap();
+    let mut line = format!(
+        "{label:<60} time: [{} {} {}]",
+        fmt_duration(lo),
+        fmt_duration(mid),
+        fmt_duration(hi)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |work: u64| work as f64 / mid.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.3} Melem/s", per_sec(n) / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "  thrpt: {:.3} MiB/s",
+                    per_sec(n) / (1u64 << 20) as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("64KB").to_string(), "64KB");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn groups_run_and_collect_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim_selftest");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0usize;
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! # proptest (offline shim)
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! minimal, API-compatible stand-in for the subset of `proptest` 1.x that the
+//! workspace tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, doc comments and
+//!   `arg in strategy` bindings;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * integer range strategies (`0u32..50_000`) and
+//!   [`collection::vec`] for vectors with a size range;
+//! * [`test_runner::Config`] (`ProptestConfig::with_cases(n)`).
+//!
+//! Inputs are drawn uniformly from a deterministic RNG seeded from the test
+//! name, so failures are reproducible.  There is **no shrinking**: a failing
+//! case reports the case number and the assertion message only.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that can produce values for a property test.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+        /// Draws one value using `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as u128) - (self.start as u128);
+                        let draw = (rng.next_u64() as u128) % span;
+                        (self.start as u128 + draw) as $t
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        let span = (end as u128) - (start as u128) + 1;
+                        let draw = (rng.next_u64() as u128) % span;
+                        (start as u128 + draw) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// The `Just` strategy: always produces a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The runner's configuration, RNG and failure type.
+
+    /// Per-block configuration; `ProptestConfig` in the prelude.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property is checked with.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case (no shrinking in the shim).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    /// Deterministic RNG (SplitMix64) seeded from the test name, so every run
+    /// of a given test sees the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (the generated tests pass their own
+        /// function name).
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r)
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {:?} != {:?}: {}",
+                            l,
+                            r,
+                            format!($($fmt)*)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: both sides equal {:?}", l)
+            }
+        }
+    };
+}
+
+/// The property-test macro: expands every contained function into a `#[test]`
+/// that samples its arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )*
+                    let outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds and vec sizes respect the range.
+        #[test]
+        fn ranges_and_vecs_are_in_bounds(
+            x in 10u32..20,
+            v in crate::collection::vec(0u64..5, 1..10),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            for e in &v {
+                prop_assert!(*e < 5, "element {} out of range", e);
+            }
+        }
+
+        #[test]
+        fn equality_assertions_pass(a in 0usize..100) {
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+
+    proptest! {
+        /// The no-config form uses the default case count.
+        #[test]
+        fn default_config_form_works(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        let s = 0u64..1_000_000;
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -11,7 +11,9 @@ use rdx_nsm::NsmRelation;
 /// A cheap injective-ish mixing function: tests and the figure harness use it
 /// to validate projected results without retaining the generating relation.
 pub fn attr_value(row: usize, attr: usize) -> i32 {
-    let x = (row as u64).wrapping_mul(2654435761).wrapping_add(attr as u64 * 40503);
+    let x = (row as u64)
+        .wrapping_mul(2654435761)
+        .wrapping_add(attr as u64 * 40503);
     (x & 0x7fff_ffff) as i32
 }
 
@@ -80,7 +82,9 @@ impl RelationBuilder {
                 let mut keys: Vec<u64> = if domain <= n {
                     (0..n).map(|i| i % domain).collect()
                 } else {
-                    (0..n).map(|i| (i as u128 * domain as u128 / n as u128) as u64).collect()
+                    (0..n)
+                        .map(|i| (i as u128 * domain as u128 / n as u128) as u64)
+                        .collect()
                 };
                 keys.shuffle(&mut rng);
                 keys
@@ -93,7 +97,9 @@ impl RelationBuilder {
         let keys = self.keys();
         let mut rel = DsmRelation::from_key(Column::from_vec(keys));
         for attr in 0..self.columns {
-            let col: Vec<i32> = (0..self.cardinality).map(|row| attr_value(row, attr)).collect();
+            let col: Vec<i32> = (0..self.cardinality)
+                .map(|row| attr_value(row, attr))
+                .collect();
             rel.push_attr(Column::from_vec(col));
         }
         rel
@@ -110,7 +116,10 @@ impl RelationBuilder {
         let mut rel = NsmRelation::with_capacity(1 + self.columns, self.cardinality);
         let mut tuple = vec![0i32; 1 + self.columns];
         for (row, &key) in keys.iter().enumerate() {
-            assert!(key <= i32::MAX as u64, "key {key} does not fit an NSM attribute");
+            assert!(
+                key <= i32::MAX as u64,
+                "key {key} does not fit an NSM attribute"
+            );
             tuple[0] = key as i32;
             for attr in 0..self.columns {
                 tuple[attr + 1] = attr_value(row, attr);

@@ -129,12 +129,7 @@ impl JoinWorkloadBuilder {
             .key()
             .as_slice()
             .iter()
-            .map(|&k| {
-                smaller_key_counts
-                    .get(k as usize)
-                    .copied()
-                    .unwrap_or(0) as usize
-            })
+            .map(|&k| smaller_key_counts.get(k as usize).copied().unwrap_or(0) as usize)
             .sum();
 
         JoinWorkload {
@@ -153,7 +148,9 @@ mod tests {
 
     #[test]
     fn hit_rate_one_yields_n_matches() {
-        let w = JoinWorkloadBuilder::equal(10_000, 2).hit_rate(HitRate(1.0)).build();
+        let w = JoinWorkloadBuilder::equal(10_000, 2)
+            .hit_rate(HitRate(1.0))
+            .build();
         assert_eq!(w.expected_matches, 10_000);
         assert_eq!(w.larger.cardinality(), 10_000);
         assert_eq!(w.smaller.cardinality(), 10_000);
@@ -162,7 +159,9 @@ mod tests {
 
     #[test]
     fn hit_rate_three_triples_matches() {
-        let w = JoinWorkloadBuilder::equal(9_000, 1).hit_rate(HitRate(3.0)).build();
+        let w = JoinWorkloadBuilder::equal(9_000, 1)
+            .hit_rate(HitRate(3.0))
+            .build();
         let expected = 3 * 9_000;
         let tolerance = expected / 100;
         assert!(

@@ -23,7 +23,9 @@ fn main() {
     let features = 64;
 
     println!("Feature-vector propagation: N = {cardinality}, {features}-dimensional vectors");
-    let workload = JoinWorkloadBuilder::equal(cardinality, features).seed(3).build();
+    let workload = JoinWorkloadBuilder::equal(cardinality, features)
+        .seed(3)
+        .build();
     let params = CacheParams::paper_pentium4();
     // Project nothing from the probing side, the whole vector from the other.
     let spec = QuerySpec {
@@ -31,11 +33,16 @@ fn main() {
         project_smaller: features,
     };
 
-    let unsorted = DsmPostProjection::with_codes(ProjectionCode::Unsorted, SecondSideCode::Unsorted)
-        .execute(&workload.larger, &workload.smaller, &spec, &params);
-    let declustered =
-        DsmPostProjection::with_codes(ProjectionCode::Unsorted, SecondSideCode::Decluster)
-            .execute(&workload.larger, &workload.smaller, &spec, &params);
+    let unsorted = DsmPostProjection::with_codes(
+        ProjectionCode::Unsorted,
+        SecondSideCode::Unsorted,
+    )
+    .execute(&workload.larger, &workload.smaller, &spec, &params);
+    let declustered = DsmPostProjection::with_codes(
+        ProjectionCode::Unsorted,
+        SecondSideCode::Decluster,
+    )
+    .execute(&workload.larger, &workload.smaller, &spec, &params);
 
     let u_ms = unsorted.timings.total_millis();
     let d_ms = declustered.timings.total_millis();
@@ -44,7 +51,10 @@ fn main() {
     println!("smaller-side code d (radix-decluster pipeline)  : {d_ms:>9.2} ms");
     println!(
         "projection share of total (code d): {:.0}%",
-        100.0 * (1.0 - declustered.timings.join.as_secs_f64() / declustered.timings.total().as_secs_f64())
+        100.0
+            * (1.0
+                - declustered.timings.join.as_secs_f64()
+                    / declustered.timings.total().as_secs_f64())
     );
     println!();
     if cardinality * 4 > params.cache_capacity() {
@@ -58,5 +68,8 @@ fn main() {
         println!("columns fit the cache: unsorted processing is expected to win at this size.");
     }
 
-    assert_eq!(unsorted.result.cardinality(), declustered.result.cardinality());
+    assert_eq!(
+        unsorted.result.cardinality(),
+        declustered.result.cardinality()
+    );
 }

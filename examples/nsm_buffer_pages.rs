@@ -50,11 +50,8 @@ fn main() {
     }
 
     let mut bm = BufferManager::new(page_size);
-    let window = radix_decluster::core::decluster::choose_window_bytes(
-        4,
-        clustered.num_clusters(),
-        &params,
-    );
+    let window =
+        radix_decluster::core::decluster::choose_window_bytes(4, clustered.num_clusters(), &params);
     let placed = radix_decluster_paged(
         &clust_values,
         clustered.payloads(),

@@ -26,7 +26,9 @@ fn main() {
     let pi = 2;
 
     println!("OLAP projection: N = {cardinality}, ω = {omega} stored columns, π = {pi} projected per side");
-    let workload = JoinWorkloadBuilder::equal(cardinality, omega).seed(11).build();
+    let workload = JoinWorkloadBuilder::equal(cardinality, omega)
+        .seed(11)
+        .build();
     let params = CacheParams::paper_pentium4();
     let spec = QuerySpec::symmetric(pi);
 
@@ -34,25 +36,53 @@ fn main() {
 
     let plan = DsmPostProjection::plan(&workload.larger, &workload.smaller, &params);
     let out = plan.execute(&workload.larger, &workload.smaller, &spec, &params);
-    rows.push((format!("DSM-post-decluster ({})", plan.label()), out.timings.total_millis(), out.result.cardinality()));
+    rows.push((
+        format!("DSM-post-decluster ({})", plan.label()),
+        out.timings.total_millis(),
+        out.result.cardinality(),
+    ));
 
     let out = dsm_pre_projection(&workload.larger, &workload.smaller, &spec, &params);
-    rows.push(("DSM-pre-phash".into(), out.timings.total_millis(), out.result.cardinality()));
+    rows.push((
+        "DSM-pre-phash".into(),
+        out.timings.total_millis(),
+        out.result.cardinality(),
+    ));
 
     let out = nsm_pre_projection_phash(&workload.larger_nsm, &workload.smaller_nsm, &spec, &params);
-    rows.push(("NSM-pre-phash".into(), out.timings.total_millis(), out.result.cardinality()));
+    rows.push((
+        "NSM-pre-phash".into(),
+        out.timings.total_millis(),
+        out.result.cardinality(),
+    ));
 
     let out = nsm_pre_projection_hash(&workload.larger_nsm, &workload.smaller_nsm, &spec);
-    rows.push(("NSM-pre-hash".into(), out.timings.total_millis(), out.result.cardinality()));
+    rows.push((
+        "NSM-pre-hash".into(),
+        out.timings.total_millis(),
+        out.result.cardinality(),
+    ));
 
-    let out = nsm_post_projection_decluster(&workload.larger_nsm, &workload.smaller_nsm, &spec, &params);
-    rows.push(("NSM-post-decluster".into(), out.timings.total_millis(), out.result.cardinality()));
+    let out =
+        nsm_post_projection_decluster(&workload.larger_nsm, &workload.smaller_nsm, &spec, &params);
+    rows.push((
+        "NSM-post-decluster".into(),
+        out.timings.total_millis(),
+        out.result.cardinality(),
+    ));
 
     let out = nsm_post_projection_jive(&workload.larger_nsm, &workload.smaller_nsm, &spec, &params);
-    rows.push(("NSM-post-jive".into(), out.timings.total_millis(), out.result.cardinality()));
+    rows.push((
+        "NSM-post-jive".into(),
+        out.timings.total_millis(),
+        out.result.cardinality(),
+    ));
 
     println!();
-    println!("{:<32} {:>12} {:>12}", "strategy", "total [ms]", "result rows");
+    println!(
+        "{:<32} {:>12} {:>12}",
+        "strategy", "total [ms]", "result rows"
+    );
     for (name, ms, n) in &rows {
         println!("{name:<32} {ms:>12.2} {n:>12}");
     }
@@ -62,6 +92,10 @@ fn main() {
     println!(
         "all strategies produced {} result tuples: {}",
         rows[0].2,
-        if all_equal { "agreed ✓" } else { "MISMATCH ✗" }
+        if all_equal {
+            "agreed ✓"
+        } else {
+            "MISMATCH ✗"
+        }
     );
 }

@@ -12,7 +12,9 @@ fn main() {
     let cardinality: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500_000);
     let pi: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
 
-    println!("Generating two relations of {cardinality} tuples with {pi} projection columns each …");
+    println!(
+        "Generating two relations of {cardinality} tuples with {pi} projection columns each …"
+    );
     let workload = JoinWorkloadBuilder::equal(cardinality, pi).seed(7).build();
 
     let params = CacheParams::paper_pentium4();
@@ -37,12 +39,30 @@ fn main() {
         workload.expected_matches
     );
     println!("phase breakdown:");
-    println!("  join index (partitioned hash-join) : {:>9.3} ms", t.join.as_secs_f64() * 1e3);
-    println!("  join-index reorder (radix-cluster)  : {:>9.3} ms", t.reorder.as_secs_f64() * 1e3);
-    println!("  projections, larger side            : {:>9.3} ms", t.project_larger.as_secs_f64() * 1e3);
-    println!("  projections, smaller side           : {:>9.3} ms", t.project_smaller.as_secs_f64() * 1e3);
-    println!("  radix-decluster, smaller side       : {:>9.3} ms", t.decluster.as_secs_f64() * 1e3);
-    println!("  total                               : {:>9.3} ms", t.total_millis());
+    println!(
+        "  join index (partitioned hash-join) : {:>9.3} ms",
+        t.join.as_secs_f64() * 1e3
+    );
+    println!(
+        "  join-index reorder (radix-cluster)  : {:>9.3} ms",
+        t.reorder.as_secs_f64() * 1e3
+    );
+    println!(
+        "  projections, larger side            : {:>9.3} ms",
+        t.project_larger.as_secs_f64() * 1e3
+    );
+    println!(
+        "  projections, smaller side           : {:>9.3} ms",
+        t.project_smaller.as_secs_f64() * 1e3
+    );
+    println!(
+        "  radix-decluster, smaller side       : {:>9.3} ms",
+        t.decluster.as_secs_f64() * 1e3
+    );
+    println!(
+        "  total                               : {:>9.3} ms",
+        t.total_millis()
+    );
 
     let projection_share = 1.0 - t.join.as_secs_f64() / t.total().as_secs_f64();
     println!();

@@ -18,6 +18,11 @@
 //! * [`core`] — the paper's algorithms: Radix-Cluster, Radix-Decluster,
 //!   Partitioned Hash-Join, positional joins, Jive-Join, and the end-to-end
 //!   projection strategies compared in §4.
+//! * [`exec`] — the morsel-driven parallel execution engine: work-stealing
+//!   morsel scheduling over scoped threads, parallel Radix-Cluster /
+//!   Radix-Decluster / Partitioned Hash-Join kernels, and parallel
+//!   end-to-end strategy executors, all byte-identical to their sequential
+//!   counterparts.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +44,7 @@ pub use rdx_cache as cache;
 pub use rdx_core as core;
 pub use rdx_cost as cost;
 pub use rdx_dsm as dsm;
+pub use rdx_exec as exec;
 pub use rdx_nsm as nsm;
 pub use rdx_workload as workload;
 
@@ -50,6 +56,10 @@ pub mod prelude {
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{DsmPostProjection, ProjectionCode, QuerySpec, SecondSideCode};
     pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
+    pub use rdx_exec::{
+        par_dsm_post_projection, par_nsm_post_projection_decluster, par_partitioned_hash_join,
+        par_radix_cluster, par_radix_cluster_oids, par_radix_decluster, ExecPolicy,
+    };
     pub use rdx_nsm::NsmRelation;
     pub use rdx_workload::{self as workload, JoinWorkloadBuilder, RelationBuilder};
 }

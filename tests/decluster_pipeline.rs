@@ -33,7 +33,11 @@ fn figure_3_and_4_pipeline_invariants() {
     // Fig. 3: partial Radix-Cluster of the join index on the larger oids.
     let spec = RadixClusterSpec::optimal_partial(n, 4, params.cache_capacity());
     let clustered_larger = radix_cluster_oids(ji.larger(), ji.smaller(), spec);
-    assert!(is_clustered(clustered_larger.keys(), spec.bits, spec.ignore));
+    assert!(is_clustered(
+        clustered_larger.keys(),
+        spec.bits,
+        spec.ignore
+    ));
     assert_eq!(
         radix_count(clustered_larger.keys(), spec.bits, spec.ignore),
         clustered_larger.bounds()
@@ -57,7 +61,10 @@ fn figure_3_and_4_pipeline_invariants() {
     let clust_smaller = radix_cluster_oids(smaller_in_result_order, &result_positions, spec2);
 
     // The two §3.2 properties Radix-Decluster relies on.
-    assert!(validate_inputs(clust_smaller.payloads(), clust_smaller.bounds()));
+    assert!(validate_inputs(
+        clust_smaller.payloads(),
+        clust_smaller.bounds()
+    ));
 
     // CLUST_VALUES via clustered positional join, then Radix-Decluster.
     let clust_values = positional_join(clust_smaller.keys(), workload.smaller.attr(0));
@@ -90,8 +97,11 @@ fn traced_decluster_reproduces_fig7a_knees() {
         smaller.swap(i, j);
     }
     let result_positions: Vec<Oid> = (0..n as Oid).collect();
-    let clustered =
-        radix_cluster_oids(&smaller, &result_positions, RadixClusterSpec::single_pass(bits));
+    let clustered = radix_cluster_oids(
+        &smaller,
+        &result_positions,
+        RadixClusterSpec::single_pass(bits),
+    );
     let values: Vec<i32> = clustered.keys().iter().map(|&o| o as i32).collect();
 
     let run = |window: usize| {
@@ -160,5 +170,8 @@ fn sparse_positional_join_costs_grow_with_lower_selectivity() {
     let ten_percent = misses_for(0.1);
     let one_percent = misses_for(0.01);
     assert!(ten_percent > full, "10% selection must miss more than 100%");
-    assert!(one_percent >= ten_percent, "1% selection must miss at least as much as 10%");
+    assert!(
+        one_percent >= ten_percent,
+        "1% selection must miss at least as much as 10%"
+    );
 }

@@ -16,7 +16,11 @@ fn cost_planner_switches_codes_with_cardinality() {
 
     let small = JoinWorkloadBuilder::equal(10_000, 4).seed(1).build();
     let small_plan = plan_by_cost(&small.larger, &small.smaller, &spec, &params);
-    assert_eq!(small_plan.label(), "u/u", "cache-resident columns should stay unsorted");
+    assert_eq!(
+        small_plan.label(),
+        "u/u",
+        "cache-resident columns should stay unsorted"
+    );
 
     let large = JoinWorkloadBuilder::equal(2_000_000, 4).seed(2).build();
     let large_plan = plan_by_cost(&large.larger, &large.smaller, &spec, &params);
@@ -46,9 +50,18 @@ fn planner_accepts_calibrated_host_parameters() {
     // host (the real measurement is exercised in rdx-cache's own tests; here
     // we check the downstream plumbing into the planner).
     let curve = vec![
-        CalibrationPoint { working_set: 16 * 1024, latency_ns: 1.2 },
-        CalibrationPoint { working_set: 512 * 1024, latency_ns: 6.0 },
-        CalibrationPoint { working_set: 8 * 1024 * 1024, latency_ns: 70.0 },
+        CalibrationPoint {
+            working_set: 16 * 1024,
+            latency_ns: 1.2,
+        },
+        CalibrationPoint {
+            working_set: 512 * 1024,
+            latency_ns: 6.0,
+        },
+        CalibrationPoint {
+            working_set: 8 * 1024 * 1024,
+            latency_ns: 70.0,
+        },
     ];
     let params = Calibrator::params_from_curve(&curve, 3.0e9);
     let w = JoinWorkloadBuilder::equal(50_000, 2).seed(4).build();

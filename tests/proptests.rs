@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use radix_decluster::core::cluster::{
-    is_clustered, radix_cluster, radix_cluster_oids, radix_count, radix_sort_oids,
-    RadixClusterSpec,
+    is_clustered, radix_cluster, radix_cluster_oids, radix_count, radix_sort_oids, RadixClusterSpec,
 };
 use radix_decluster::core::decluster::paged::radix_decluster_paged;
 use radix_decluster::core::decluster::radix_decluster;
@@ -38,6 +37,69 @@ proptest! {
         }
         // radix_count over the clustered keys reproduces the bounds.
         prop_assert_eq!(radix_count(clustered.keys(), bits, ignore), clustered.bounds().to_vec());
+    }
+
+    /// Parallel Radix-Cluster (rdx-exec) is byte-identical to the sequential
+    /// kernel — same stable permutation, same borders — for arbitrary
+    /// bit/pass/ignore splits and thread counts.
+    #[test]
+    fn parallel_radix_cluster_is_the_same_stable_permutation(
+        oids in proptest::collection::vec(0u32..50_000, 0..2_000),
+        bits in 0u32..10,
+        passes in 1u32..4,
+        ignore in 0u32..6,
+        threads in 1usize..9,
+    ) {
+        use radix_decluster::exec::par_radix_cluster_oids;
+        let payloads: Vec<u32> = (0..oids.len() as u32).collect();
+        let spec = RadixClusterSpec::partial(bits, passes, ignore);
+        let sequential = radix_cluster_oids(&oids, &payloads, spec);
+        let parallel = par_radix_cluster_oids(&oids, &payloads, spec, &ExecPolicy::with_threads(threads));
+
+        // Byte-identical to the sequential reference…
+        prop_assert_eq!(&parallel, &sequential);
+        // …and independently a stable permutation clustered on the field.
+        prop_assert_eq!(parallel.len(), oids.len());
+        prop_assert!(is_clustered(parallel.keys(), bits, ignore));
+        for (&k, &p) in parallel.keys().iter().zip(parallel.payloads()) {
+            prop_assert_eq!(oids[p as usize], k);
+        }
+        prop_assert_eq!(radix_count(parallel.keys(), bits, ignore), parallel.bounds().to_vec());
+    }
+
+    /// Parallel Radix-Decluster inverts the clustering permutation exactly
+    /// like the sequential kernel, for every window size and thread count.
+    #[test]
+    fn parallel_radix_decluster_inverts_clustering(
+        n in 1usize..3_000,
+        bits in 0u32..8,
+        window_bytes in 4usize..1_000_000,
+        threads in 1usize..9,
+        seed in 0u64..u64::MAX,
+    ) {
+        use radix_decluster::exec::par_radix_decluster;
+        let mut smaller: Vec<Oid> = (0..n as Oid).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            smaller.swap(i, j);
+        }
+        let result_positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(&smaller, &result_positions, RadixClusterSpec::single_pass(bits));
+        let values: Vec<i64> = clustered.keys().iter().map(|&o| o as i64 * 3 + 1).collect();
+
+        let sequential = radix_decluster(&values, clustered.payloads(), clustered.bounds(), window_bytes);
+        let parallel = par_radix_decluster(
+            &values,
+            clustered.payloads(),
+            clustered.bounds(),
+            window_bytes,
+            &ExecPolicy::with_threads(threads),
+        );
+        prop_assert_eq!(&parallel, &sequential);
+        let expected: Vec<i64> = smaller.iter().map(|&o| o as i64 * 3 + 1).collect();
+        prop_assert_eq!(parallel, expected);
     }
 
     /// Radix-Sort really sorts, for any oid multiset.

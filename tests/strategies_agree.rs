@@ -21,8 +21,12 @@ fn check_all_strategies(n: usize, omega: usize, pi: usize, hit_rate: f64, seed: 
     let params = CacheParams::tiny_for_tests();
     let expected = reference_rows(&workload.larger, &workload.smaller, &spec);
 
-    let planned = DsmPostProjection::plan(&workload.larger, &workload.smaller, &params)
-        .execute(&workload.larger, &workload.smaller, &spec, &params);
+    let planned = DsmPostProjection::plan(&workload.larger, &workload.smaller, &params).execute(
+        &workload.larger,
+        &workload.smaller,
+        &spec,
+        &params,
+    );
     assert_eq!(result_rows(&planned.result), expected, "DSM-post (planned)");
 
     for first in [
