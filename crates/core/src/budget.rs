@@ -1,0 +1,140 @@
+//! An explicit memory budget for the streaming projection pipeline.
+//!
+//! The paper's regime of interest is a *bounded cache*: Radix-Decluster's
+//! whole design confines random access to a window `‖W‖ ≤ C`.  This module
+//! lifts the same discipline one level up the hierarchy — from the cache to
+//! RAM: a [`MemoryBudget`] caps the bytes a projection pipeline may hold
+//! resident at once, and the pipeline (`rdx_exec::pipeline`) sizes its result
+//! *chunks* so the per-chunk working set stays inside the cap, the way
+//! run-time decomposition sizes data-parallel partitions to the cache
+//! hierarchy.  A budget does for RAM what [`rdx_cache::CacheParams`] /
+//! `per_core_share` do for the cache: it is a planning input, not an
+//! enforcement mechanism — but the pipeline reports its actual peak working
+//! set so tests can assert the bound held.
+
+/// A cap on the bytes of *value data* a streaming operator may keep resident
+/// at once.
+///
+/// The cap governs the per-chunk working set: staged clustered values,
+/// chunk-local result positions, and the chunk's output columns.  Fixed
+/// per-relation index structures (the join index, the clustered oid/position
+/// arrays) are priced separately by the planner — they scale with `8 N` bytes
+/// and are the streaming pipeline's irreducible floor, exactly like the
+/// `CLUST_SMALLER`/`CLUST_RESULT` arrays of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Budget in bytes; `usize::MAX` encodes "unbounded".
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// No cap: the pipeline runs as a single chunk (the materialising
+    /// executors' behaviour).
+    pub const fn unbounded() -> Self {
+        MemoryBudget { bytes: usize::MAX }
+    }
+
+    /// A cap of `bytes` bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes == 0`.
+    pub fn bytes(bytes: usize) -> Self {
+        assert!(bytes > 0, "a memory budget must allow at least one byte");
+        MemoryBudget { bytes }
+    }
+
+    /// A cap of `1/denominator` of `data_bytes` (never below one byte) — the
+    /// out-of-budget evaluation presets use denominators 4…64.
+    ///
+    /// # Panics
+    /// Panics if `denominator == 0`.
+    pub fn fraction_of(data_bytes: usize, denominator: usize) -> Self {
+        assert!(denominator > 0, "denominator must be positive");
+        Self::bytes((data_bytes / denominator).max(1))
+    }
+
+    /// `true` unless this is [`MemoryBudget::unbounded`].
+    pub fn is_bounded(&self) -> bool {
+        self.bytes != usize::MAX
+    }
+
+    /// The cap in bytes (`usize::MAX` when unbounded).
+    pub fn limit_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// How many result rows fit one chunk when each resident row costs
+    /// `bytes_per_row` bytes: at least 1 (progress must always be possible,
+    /// like the one-cache-line floor of `per_core_share`), at most
+    /// `total_rows`.
+    pub fn chunk_rows(&self, total_rows: usize, bytes_per_row: usize) -> usize {
+        if !self.is_bounded() {
+            return total_rows.max(1);
+        }
+        (self.bytes / bytes_per_row.max(1)).clamp(1, total_rows.max(1))
+    }
+
+    /// Number of chunks a `total_rows`-row result splits into under this
+    /// budget (1 for an unbounded budget, 1 for an empty result).
+    pub fn num_chunks(&self, total_rows: usize, bytes_per_row: usize) -> usize {
+        total_rows
+            .div_ceil(self.chunk_rows(total_rows, bytes_per_row))
+            .max(1)
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_is_one_chunk() {
+        let b = MemoryBudget::unbounded();
+        assert!(!b.is_bounded());
+        assert_eq!(b.chunk_rows(1_000_000, 64), 1_000_000);
+        assert_eq!(b.num_chunks(1_000_000, 64), 1);
+    }
+
+    #[test]
+    fn bounded_budget_splits_rows() {
+        let b = MemoryBudget::bytes(1024);
+        assert_eq!(b.chunk_rows(10_000, 16), 64);
+        assert_eq!(b.num_chunks(10_000, 16), 157);
+    }
+
+    #[test]
+    fn budget_floor_is_one_row() {
+        // Budgets below one row still make progress, one row at a time.
+        let b = MemoryBudget::bytes(3);
+        assert_eq!(b.chunk_rows(100, 16), 1);
+        assert_eq!(b.num_chunks(100, 16), 100);
+    }
+
+    #[test]
+    fn fraction_of_data_size() {
+        let b = MemoryBudget::fraction_of(1 << 20, 16);
+        assert_eq!(b.limit_bytes(), 1 << 16);
+        assert!(b.is_bounded());
+        // Tiny data never collapses to a zero budget.
+        assert_eq!(MemoryBudget::fraction_of(3, 64).limit_bytes(), 1);
+    }
+
+    #[test]
+    fn empty_result_is_one_empty_chunk() {
+        let b = MemoryBudget::bytes(1024);
+        assert_eq!(b.chunk_rows(0, 16), 1);
+        assert_eq!(b.num_chunks(0, 16), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_rejected() {
+        MemoryBudget::bytes(0);
+    }
+}

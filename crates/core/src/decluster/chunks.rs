@@ -1,0 +1,277 @@
+//! Chunk iteration over a clustered join index — the core of the streaming
+//! (memory-budgeted) projection pipeline.
+//!
+//! Radix-Decluster's input obeys the two §3.2 properties: result positions
+//! are a permutation of `0..N` and ascend *within* every cluster.  A direct
+//! consequence is that any prefix `[0, end)` of the result is produced by a
+//! *prefix of every cluster* — so the result can be emitted in contiguous
+//! chunks by keeping one cursor per cluster and advancing each cursor past
+//! the tuples whose destination falls inside the current chunk.  Each chunk
+//! is then a self-contained miniature Radix-Decluster problem: its per-cluster
+//! runs concatenate into a chunk-local clustered input whose rebased result
+//! positions are again a permutation (of `0..chunk_len`) that ascends within
+//! each run.  The standard kernels ([`super::radix_decluster`],
+//! `rdx_exec::par_radix_decluster`) therefore apply unchanged per chunk,
+//! and the peak working set shrinks from `O(N)` values to `O(chunk)` values.
+
+use rdx_dsm::Oid;
+use std::ops::Range;
+
+/// The per-cluster runs making up one contiguous chunk of the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRuns {
+    /// The result rows this chunk covers.
+    pub result_range: Range<usize>,
+    /// Non-empty ranges of clustered-tuple indices contributing to this
+    /// chunk, in cluster order.  Their total length equals
+    /// `result_range.len()`.
+    pub runs: Vec<Range<usize>>,
+}
+
+impl ChunkRuns {
+    /// Number of result rows (= clustered tuples) in this chunk.
+    pub fn len(&self) -> usize {
+        self.result_range.len()
+    }
+
+    /// `true` if the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.result_range.is_empty()
+    }
+
+    /// Chunk-local cluster borders: prefix sums of the run lengths
+    /// (`runs.len() + 1` offsets), in the shape [`super::radix_decluster`]
+    /// expects for `bounds`.
+    pub fn local_bounds(&self) -> Vec<usize> {
+        let mut bounds = Vec::with_capacity(self.runs.len() + 1);
+        let mut acc = 0;
+        bounds.push(0);
+        for r in &self.runs {
+            acc += r.len();
+            bounds.push(acc);
+        }
+        bounds
+    }
+
+    /// The chunk-local result positions: `positions` restricted to the runs
+    /// and rebased by `result_range.start`, a permutation of
+    /// `0..self.len()` ascending within every run.
+    pub fn rebased_positions(&self, positions: &[Oid]) -> Vec<Oid> {
+        let base = self.result_range.start as Oid;
+        let mut out = Vec::with_capacity(self.len());
+        for r in &self.runs {
+            out.extend(positions[r.clone()].iter().map(|&p| p - base));
+        }
+        out
+    }
+
+    /// Gathers `src` over the runs into a chunk-local contiguous vector
+    /// (e.g. the clustered smaller-side oids feeding a positional join).
+    pub fn gather<T: Copy>(&self, src: &[T]) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for r in &self.runs {
+            out.extend_from_slice(&src[r.clone()]);
+        }
+        out
+    }
+
+    /// Calls `f(clustered_index)` for every clustered tuple of the chunk, in
+    /// run order — the on-demand fetch loop of the streaming pipeline.
+    pub fn for_each_index(&self, mut f: impl FnMut(usize)) {
+        for r in &self.runs {
+            for i in r.clone() {
+                f(i);
+            }
+        }
+    }
+}
+
+/// Per-cluster cursors over a clustered `(…, result_position)` index,
+/// yielding [`ChunkRuns`] for successive contiguous chunks of the result.
+///
+/// Construction is `O(H)`; each [`ChunkCursors::next_chunk`] advances every
+/// live cluster's cursor by binary search (positions ascend within a
+/// cluster), so a full sweep costs `O(N + chunks · H · log N)` — the
+/// `chunks · H` term is the streaming overhead the cost model prices.
+#[derive(Debug)]
+pub struct ChunkCursors<'a> {
+    positions: &'a [Oid],
+    /// `(cursor, end)` per original cluster; drained clusters keep
+    /// `cursor == end` (order is preserved so chunk-local staging is
+    /// deterministic).
+    cursors: Vec<(usize, usize)>,
+    consumed: usize,
+}
+
+impl<'a> ChunkCursors<'a> {
+    /// Cursors over a clustered index with the given result `positions` and
+    /// cluster `bounds` (`H + 1` offsets, as produced by
+    /// [`crate::cluster::Clustered::bounds`]).
+    ///
+    /// # Panics
+    /// Panics if the bounds do not cover `positions`.
+    pub fn new(positions: &'a [Oid], bounds: &[usize]) -> Self {
+        assert_eq!(
+            *bounds.last().unwrap_or(&0),
+            positions.len(),
+            "cluster borders do not cover the positions"
+        );
+        let cursors = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        ChunkCursors {
+            positions,
+            cursors,
+            consumed: 0,
+        }
+    }
+
+    /// Number of result rows already handed out.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// `true` once every tuple has been handed out.
+    pub fn is_done(&self) -> bool {
+        self.consumed == self.positions.len()
+    }
+
+    /// Advances every cluster past the tuples destined for result rows
+    /// `< result_end` and returns their runs as one chunk.  `result_end` is
+    /// clamped to `N`; calls must use non-decreasing `result_end`.
+    pub fn next_chunk(&mut self, result_end: usize) -> ChunkRuns {
+        let result_end = result_end.min(self.positions.len());
+        let start = self.consumed;
+        let mut runs = Vec::new();
+        for c in &mut self.cursors {
+            let (cursor, end) = *c;
+            if cursor >= end {
+                continue;
+            }
+            let advance =
+                self.positions[cursor..end].partition_point(|&p| (p as usize) < result_end);
+            if advance > 0 {
+                runs.push(cursor..cursor + advance);
+                c.0 = cursor + advance;
+            }
+        }
+        let produced: usize = runs.iter().map(|r| r.len()).sum();
+        self.consumed += produced;
+        debug_assert_eq!(self.consumed, result_end.max(start));
+        ChunkRuns {
+            result_range: start..self.consumed,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
+    use crate::decluster::{radix_decluster, validate_inputs};
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn clustered_input(n: usize, bits: u32, seed: u64) -> (Vec<i64>, Vec<Oid>, Vec<usize>) {
+        let mut smaller: Vec<Oid> = (0..n as Oid).collect();
+        smaller.shuffle(&mut StdRng::seed_from_u64(seed));
+        let result_positions: Vec<Oid> = (0..n as Oid).collect();
+        let clustered = radix_cluster_oids(
+            &smaller,
+            &result_positions,
+            RadixClusterSpec::single_pass(bits),
+        );
+        let values: Vec<i64> = clustered.keys().iter().map(|&o| o as i64 * 7).collect();
+        (
+            values,
+            clustered.payloads().to_vec(),
+            clustered.bounds().to_vec(),
+        )
+    }
+
+    #[test]
+    fn chunks_partition_the_clustered_index() {
+        let (_, positions, bounds) = clustered_input(1_000, 4, 1);
+        let mut cursors = ChunkCursors::new(&positions, &bounds);
+        let mut covered = vec![false; 1_000];
+        let mut end = 0;
+        while !cursors.is_done() {
+            end += 170;
+            let chunk = cursors.next_chunk(end);
+            for r in &chunk.runs {
+                for i in r.clone() {
+                    assert!(!covered[i], "clustered tuple {i} in two chunks");
+                    covered[i] = true;
+                    let p = positions[i] as usize;
+                    assert!(chunk.result_range.contains(&p));
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn chunk_local_input_is_a_valid_decluster_problem() {
+        let (_, positions, bounds) = clustered_input(2_048, 5, 2);
+        let mut cursors = ChunkCursors::new(&positions, &bounds);
+        while !cursors.is_done() {
+            let chunk = cursors.next_chunk(cursors.consumed() + 300);
+            let local = chunk.rebased_positions(&positions);
+            assert!(validate_inputs(&local, &chunk.local_bounds()));
+        }
+    }
+
+    #[test]
+    fn chunked_decluster_equals_monolithic() {
+        for &(n, bits, chunk_rows) in &[(1usize, 0u32, 1usize), (37, 2, 5), (2_000, 4, 333)] {
+            let (values, positions, bounds) = clustered_input(n, bits, n as u64);
+            let expected = radix_decluster(&values, &positions, &bounds, 64);
+            let mut cursors = ChunkCursors::new(&positions, &bounds);
+            let mut out = Vec::with_capacity(n);
+            while !cursors.is_done() {
+                let chunk = cursors.next_chunk(cursors.consumed() + chunk_rows);
+                let local_values = chunk.gather(&values);
+                let local_positions = chunk.rebased_positions(&positions);
+                out.extend(radix_decluster(
+                    &local_values,
+                    &local_positions,
+                    &chunk.local_bounds(),
+                    64,
+                ));
+            }
+            assert_eq!(out, expected, "n={n} bits={bits} chunk={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn oversized_chunk_is_the_whole_input() {
+        let (_, positions, bounds) = clustered_input(100, 3, 9);
+        let mut cursors = ChunkCursors::new(&positions, &bounds);
+        let chunk = cursors.next_chunk(usize::MAX);
+        assert_eq!(chunk.result_range, 0..100);
+        assert_eq!(chunk.len(), 100);
+        assert!(cursors.is_done());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_chunks() {
+        let positions: Vec<Oid> = vec![];
+        let bounds = vec![0];
+        let mut cursors = ChunkCursors::new(&positions, &bounds);
+        assert!(cursors.is_done());
+        let chunk = cursors.next_chunk(10);
+        assert!(chunk.is_empty());
+        assert!(chunk.runs.is_empty());
+    }
+
+    #[test]
+    fn for_each_index_visits_runs_in_order() {
+        let chunk = ChunkRuns {
+            result_range: 0..5,
+            runs: vec![2..4, 7..10],
+        };
+        let mut seen = Vec::new();
+        chunk.for_each_index(|i| seen.push(i));
+        assert_eq!(seen, vec![2, 3, 7, 8, 9]);
+    }
+}

@@ -12,6 +12,7 @@
 //! access is confined to a cache-resident window — the best of merging
 //! (`O(N log H)` CPU) and direct scattering (uncacheable random writes).
 
+pub mod chunks;
 pub mod paged;
 pub mod traced;
 pub mod varsize;

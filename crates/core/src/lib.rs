@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cluster;
 pub mod decluster;
 pub mod hash;
@@ -35,7 +36,9 @@ pub mod positional;
 pub mod strategy;
 pub mod trace;
 
+pub use budget::MemoryBudget;
 pub use cluster::{radix_cluster, radix_count, radix_sort_oids, Clustered, RadixClusterSpec};
+pub use decluster::chunks::{ChunkCursors, ChunkRuns};
 pub use decluster::{choose_window_bytes, radix_decluster, radix_decluster_windows, window_elems};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

@@ -213,6 +213,45 @@ pub fn radix_decluster(
     cost
 }
 
+/// Cost of the *streaming* (chunked) Radix-Decluster used by the
+/// memory-budgeted pipeline: the result is produced in `chunks` contiguous
+/// chunks of ≈ `n / chunks` rows, each a self-contained decluster problem.
+///
+/// Two terms on top of the monolithic [`radix_decluster`] cost:
+///
+/// 1. the per-chunk kernel cost, scaled by the chunk count — slightly more
+///    than the monolithic run because every chunk pays its own window ramp-up;
+/// 2. a chunk-restart term: at every chunk boundary each of the `2^bits`
+///    cluster cursors is re-positioned with a binary search whose final probe
+///    is a random access into `CLUST_RESULT` — this is the price of shrinking
+///    the working set from `O(N)` to `O(N / chunks)` values, and it grows
+///    linearly in `chunks · 2^bits` (why the planner never chunks finer than
+///    the budget demands).
+pub fn streaming_radix_decluster(
+    n: usize,
+    value_width: usize,
+    bits: u32,
+    window_bytes: usize,
+    chunks: usize,
+    params: &CacheParams,
+) -> PatternCost {
+    if n == 0 {
+        return PatternCost::zero();
+    }
+    let chunks = chunks.clamp(1, n);
+    let chunk_rows = n.div_ceil(chunks);
+    let mut cost =
+        radix_decluster(chunk_rows, value_width, bits, window_bytes, params).scaled(chunks as f64);
+    let clusters = 1usize << bits;
+    let positions = DataRegion::new(n, 4);
+    cost.accumulate(&patterns::r_acc(
+        chunks.saturating_mul(clusters),
+        &positions,
+        params,
+    ));
+    cost
+}
+
 /// Cost of the first (Left) Jive-Join phase: merge the sorted join index with
 /// the left table sequentially, writing two cluster-partitioned outputs
 /// (access pattern analogous to single-pass Radix-Cluster).
@@ -326,6 +365,32 @@ mod tests {
         let low = radix_decluster(MB8, 4, 6, 256 << 10, &p).millis(&p);
         let high = radix_decluster(MB8, 4, 16, 256 << 10, &p).millis(&p);
         assert!(high > low);
+    }
+
+    #[test]
+    fn streaming_decluster_approaches_monolithic_as_chunks_shrink() {
+        let p = params();
+        let at =
+            |chunks: usize| streaming_radix_decluster(MB8, 4, 8, 256 << 10, chunks, &p).millis(&p);
+        let monolithic = radix_decluster(MB8, 4, 8, 256 << 10, &p).millis(&p);
+        // One chunk is the monolithic run plus a negligible restart term.
+        assert!(at(1) >= monolithic);
+        assert!(at(1) < monolithic * 1.05, "{} vs {monolithic}", at(1));
+        // Finer chunking costs strictly more (restart term grows with chunks).
+        assert!(at(16) < at(256));
+        assert!(at(256) < at(16_384));
+    }
+
+    #[test]
+    fn streaming_decluster_restart_term_scales_with_clusters() {
+        let p = params();
+        let few = streaming_radix_decluster(MB8, 4, 6, 256 << 10, 1_024, &p).millis(&p);
+        let many = streaming_radix_decluster(MB8, 4, 14, 256 << 10, 1_024, &p).millis(&p);
+        assert!(many > few);
+        assert_eq!(
+            streaming_radix_decluster(0, 4, 8, 1024, 7, &p),
+            PatternCost::zero()
+        );
     }
 
     #[test]

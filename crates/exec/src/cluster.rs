@@ -75,7 +75,7 @@ where
 {
     assert_eq!(keys.len(), payloads.len(), "keys/payloads length mismatch");
     let n = keys.len();
-    let threads = policy.threads;
+    let threads = policy.worker_threads();
     if threads == 1 || n == 0 || spec.bits == 0 {
         return cluster_shard(keys, payloads);
     }

@@ -47,7 +47,7 @@ pub fn par_radix_decluster<T: Copy + Default + Send + Sync>(
     }
     let elems = window_elems(window_bytes, std::mem::size_of::<T>());
     let windows = n.div_ceil(elems);
-    let threads = policy.threads.min(windows).max(1);
+    let threads = policy.worker_threads().min(windows).max(1);
     if threads == 1 {
         radix_decluster_windows(
             values,

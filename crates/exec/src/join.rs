@@ -23,7 +23,7 @@ pub fn par_partitioned_hash_join(
     spec: RadixClusterSpec,
     policy: &ExecPolicy,
 ) -> JoinIndex {
-    if spec.bits == 0 || policy.threads == 1 {
+    if spec.bits == 0 || policy.worker_threads() == 1 {
         return partitioned_hash_join(larger_keys, smaller_keys, spec);
     }
     let larger_oids: Vec<Oid> = (0..larger_keys.len() as Oid).collect();
@@ -34,7 +34,7 @@ pub fn par_partitioned_hash_join(
     // Workers claim partitions dynamically (join cost is highly skew
     // sensitive) and keep their pair buffers tagged by partition id.
     let queue = MorselQueue::new(spec.num_clusters(), 1);
-    let mut tagged: Vec<(usize, Vec<(Oid, Oid)>)> = run_workers(policy.threads, |_| {
+    let mut tagged: Vec<(usize, Vec<(Oid, Oid)>)> = run_workers(policy.worker_threads(), |_| {
         let mut mine = Vec::new();
         while let Some(range) = queue.claim() {
             for p in range {

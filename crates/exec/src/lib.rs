@@ -23,6 +23,11 @@
 //!   ranges per worker, cursors recovered by binary search.  Byte-identical
 //!   to the sequential kernel.
 //! * [`join`] — parallel Partitioned Hash-Join over independent partitions.
+//! * [`pipeline`] — the memory-budgeted **streaming** projection pipeline:
+//!   cluster → decluster → fetch in chunks sized by an explicit
+//!   [`rdx_core::budget::MemoryBudget`], emitting through a
+//!   [`rdx_core::strategy::RowChunkSink`] instead of materialising the
+//!   result; byte-identical to the materialising executors.
 //! * [`strategy`] — parallel end-to-end executors
 //!   ([`par_dsm_post_projection`], [`par_nsm_post_projection_decluster`])
 //!   that mirror the sequential phase structure and report the same
@@ -43,11 +48,13 @@
 pub mod cluster;
 pub mod decluster;
 pub mod join;
+pub mod pipeline;
 pub mod pool;
 pub mod strategy;
 
 pub use cluster::{par_radix_cluster, par_radix_cluster_oids, par_radix_sort_oids};
 pub use decluster::par_radix_decluster;
 pub use join::par_partitioned_hash_join;
+pub use pipeline::{PipelineStats, ProjectionPipeline};
 pub use pool::{ExecPolicy, MorselQueue};
 pub use strategy::{par_dsm_post_projection, par_nsm_post_projection_decluster};

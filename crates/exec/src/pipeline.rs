@@ -1,0 +1,534 @@
+//! The memory-budgeted **streaming projection pipeline** — cluster →
+//! decluster → fetch in chunks sized by an explicit [`MemoryBudget`].
+//!
+//! Every other executor in the workspace (sequential and parallel)
+//! materialises the full projected relation: `O(N · π)` value bytes live in
+//! RAM at once, plus a full `CLUST_VALUES` staging column per projected
+//! attribute.  That forfeits the paper's own regime of interest — bounded
+//! fast memory — one level up the hierarchy.  This pipeline instead streams
+//! the result through a [`RowChunkSink`] in contiguous chunks:
+//!
+//! 1. **join** and **reorder** run exactly as in
+//!    [`crate::strategy::par_dsm_post_projection`] (the join index and the
+//!    clustered oid/position arrays are the `8 N`-byte irreducible floor, the
+//!    Fig. 4 `CLUST_SMALLER`/`CLUST_RESULT` analogue);
+//! 2. the result rows are cut into chunks of
+//!    [`StreamingPlan::chunk_rows`] = `budget / bytes_per_row` rows;
+//! 3. per chunk, [`ChunkCursors`] advances one cursor per cluster
+//!    (§3.2's ascending-within-cluster property makes every result prefix a
+//!    prefix of every cluster), attribute values are fetched **on demand**
+//!    from the base relations into a chunk-local `CLUST_VALUES`, declustered
+//!    by the unchanged windowed kernel — morsel-parallel across insertion
+//!    windows — and emitted;
+//! 4. the sink decides what full-result memory (if any) to pay:
+//!    [`MaterializeSink`] rebuilds the materialising executors' output byte
+//!    for byte, [`rdx_core::strategy::PagedSink`] spools to buffer-manager
+//!    pages (§5).
+//!
+//! The output is **byte-identical** to [`DsmPostProjection::execute`] with
+//! the same codes for every budget, because chunking changes only *when* a
+//! result row is produced, never its value or position: each chunk is a
+//! self-contained Radix-Decluster problem over rebased positions
+//! (`rdx_core::decluster::chunks`).
+
+use crate::cluster::par_radix_cluster_oids;
+use crate::decluster::par_radix_decluster;
+use crate::join::par_partitioned_hash_join;
+use crate::pool::{for_each_output_morsel, ExecPolicy};
+use crate::strategy::{par_order_join_index, par_project_columns};
+use rdx_cache::CacheParams;
+use rdx_core::cluster::Clustered;
+use rdx_core::decluster::chunks::ChunkCursors;
+use rdx_core::join::join_cluster_spec;
+use rdx_core::strategy::planner::{plan_streaming, StreamingPlan};
+use rdx_core::strategy::sink::{MaterializeSink, RowChunkSink};
+use rdx_core::strategy::{
+    DsmPostProjection, PhaseTimings, QuerySpec, SecondSideCode, StrategyOutcome,
+};
+use rdx_dsm::{DsmRelation, Oid};
+use rdx_nsm::NsmRelation;
+use std::time::Instant;
+
+/// Width of the fixed-size attribute values (the paper's integer columns).
+const VALUE_WIDTH: usize = 4;
+
+/// A planned streaming projection: the `u/s/c × u/d` codes of the underlying
+/// DSM post-projection plus chunking derived from the policy's
+/// [`MemoryBudget`] at execution time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProjectionPipeline {
+    /// Projection codes, as for [`DsmPostProjection`].
+    pub plan: DsmPostProjection,
+}
+
+/// What one pipeline run did: the chunking it planned, what it actually
+/// emitted, and the measured peak chunk working set (value data only; the
+/// fixed `8 N`-byte index floor is excluded, matching what
+/// [`rdx_core::strategy::planner::streaming_bytes_per_row`] prices).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStats {
+    /// The chunking the planner derived from the budget.
+    pub streaming: StreamingPlan,
+    /// Chunks handed to the sink.
+    pub chunks_emitted: usize,
+    /// Total result rows handed to the sink.
+    pub rows_emitted: usize,
+    /// Largest per-chunk working set observed, in bytes.
+    pub peak_chunk_bytes: usize,
+    /// Phase wall-clock breakdown ([`PhaseTimings`] semantics; chunked
+    /// phases accumulate across chunks).
+    pub timings: PhaseTimings,
+}
+
+impl ProjectionPipeline {
+    /// A pipeline running the given projection codes.
+    pub fn new(plan: DsmPostProjection) -> Self {
+        ProjectionPipeline { plan }
+    }
+
+    /// A pipeline with the cost-model-planned codes for this workload and
+    /// thread count (`plan_by_cost_with_threads`).
+    pub fn planned(
+        larger: &DsmRelation,
+        smaller: &DsmRelation,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> Self {
+        Self::new(rdx_core::strategy::planner::plan_by_cost_with_threads(
+            larger,
+            smaller,
+            spec,
+            params,
+            policy.worker_threads(),
+        ))
+    }
+
+    /// Executes over DSM relations, streaming the result into `sink`.
+    ///
+    /// # Panics
+    /// Panics if the query asks for more projection columns than a relation
+    /// has.
+    pub fn execute(
+        &self,
+        larger: &DsmRelation,
+        smaller: &DsmRelation,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+        sink: &mut dyn RowChunkSink,
+    ) -> PipelineStats {
+        assert!(
+            spec.project_larger <= larger.width(),
+            "larger side has too few columns"
+        );
+        assert!(
+            spec.project_smaller <= smaller.width(),
+            "smaller side has too few columns"
+        );
+        self.execute_with(
+            larger.key().as_slice(),
+            smaller.key().as_slice(),
+            larger.cardinality(),
+            smaller.cardinality(),
+            VALUE_WIDTH,
+            |oid, a| larger.attr(a).value(oid as usize),
+            |oid, b| smaller.attr(b).value(oid as usize),
+            spec,
+            params,
+            policy,
+            sink,
+        )
+    }
+
+    /// Executes over NSM relations (attribute 0 is the join key), streaming
+    /// the result into `sink`.
+    ///
+    /// # Panics
+    /// Panics if the query asks for more projection columns than a relation
+    /// has beyond its key attribute.
+    pub fn execute_nsm(
+        &self,
+        larger: &NsmRelation,
+        smaller: &NsmRelation,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+        sink: &mut dyn RowChunkSink,
+    ) -> PipelineStats {
+        assert!(spec.project_larger < larger.width());
+        assert!(spec.project_smaller < smaller.width());
+        // The unavoidable NSM entry fee: scan the key attribute out of the
+        // wide records (morsel parallel, as in the materialising executor).
+        let scan = Instant::now();
+        let mut larger_keys = vec![0u64; larger.cardinality()];
+        for_each_output_morsel(&mut larger_keys, policy, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = larger.key(offset + i);
+            }
+        });
+        let mut smaller_keys = vec![0u64; smaller.cardinality()];
+        for_each_output_morsel(&mut smaller_keys, policy, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = smaller.key(offset + i);
+            }
+        });
+        let scan_time = scan.elapsed();
+        let mut stats = self.execute_with(
+            &larger_keys,
+            &smaller_keys,
+            larger.cardinality(),
+            smaller.cardinality(),
+            // A cache-line fetch from an NSM relation drags the full record
+            // in, so the clustering granularity must be sized to the record
+            // width (exactly as par_nsm_post_projection_decluster does).
+            smaller.tuple_bytes(),
+            |oid, a| larger.value(oid as usize, a + 1),
+            |oid, b| smaller.value(oid as usize, b + 1),
+            spec,
+            params,
+            policy,
+            sink,
+        );
+        stats.timings.join += scan_time;
+        stats
+    }
+
+    /// Convenience: streams into a [`MaterializeSink`] and returns the
+    /// materialised [`StrategyOutcome`] — the drop-in replacement for
+    /// [`DsmPostProjection::execute`] used by agreement tests.
+    pub fn execute_materialized(
+        &self,
+        larger: &DsmRelation,
+        smaller: &DsmRelation,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> (StrategyOutcome, PipelineStats) {
+        let mut sink = MaterializeSink::new();
+        let stats = self.execute(larger, smaller, spec, params, policy, &mut sink);
+        (
+            StrategyOutcome {
+                result: sink.into_result(),
+                timings: stats.timings,
+            },
+            stats,
+        )
+    }
+
+    /// The storage-model-generic pipeline body.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_with<FL, FS>(
+        &self,
+        larger_keys: &[u64],
+        smaller_keys: &[u64],
+        larger_cardinality: usize,
+        smaller_cardinality: usize,
+        smaller_value_width: usize,
+        fetch_larger: FL,
+        fetch_smaller: FS,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+        sink: &mut dyn RowChunkSink,
+    ) -> PipelineStats
+    where
+        FL: Fn(Oid, usize) -> i32 + Sync,
+        FS: Fn(Oid, usize) -> i32 + Sync,
+    {
+        let mut timings = PhaseTimings::default();
+        // Resolve an auto-detect (threads = 0) policy once, so the chunk
+        // loop never re-queries the host's parallelism per morsel fill.
+        let policy = &ExecPolicy {
+            threads: policy.worker_threads(),
+            ..*policy
+        };
+
+        // Phase 1: join index over the key columns only.
+        let t = Instant::now();
+        let join_spec = join_cluster_spec(smaller_cardinality, params.cache_capacity());
+        let join_index = par_partitioned_hash_join(larger_keys, smaller_keys, join_spec, policy);
+        timings.join = t.elapsed();
+
+        // Phase 2: reorder for the first side (determines the result order).
+        let t = Instant::now();
+        let (first_oids, second_oids) = par_order_join_index(
+            &join_index,
+            self.plan.first_side,
+            larger_cardinality,
+            VALUE_WIDTH,
+            params,
+            policy,
+        );
+        timings.reorder = t.elapsed();
+        drop(join_index);
+
+        let n = first_oids.len();
+        let streaming = plan_streaming(
+            n,
+            smaller_cardinality,
+            smaller_value_width,
+            spec,
+            params,
+            policy.budget,
+            policy.threads,
+        );
+
+        // Second-side partial clustering (the 8 N-byte CLUST_SMALLER /
+        // CLUST_RESULT floor the chunks stream over), run on exactly the
+        // clustering the plan priced (`StreamingPlan::cluster_spec` is the
+        // single source of truth).  Counted as decluster time, matching
+        // project_second_side_decluster.
+        let t = Instant::now();
+        let clustered: Option<Clustered<Oid, Oid>> = match self.plan.second_side {
+            SecondSideCode::Decluster => {
+                let result_positions: Vec<Oid> = (0..n as Oid).collect();
+                Some(par_radix_cluster_oids(
+                    &second_oids,
+                    &result_positions,
+                    streaming.cluster_spec,
+                    policy,
+                ))
+            }
+            SecondSideCode::Unsorted => None,
+        };
+        timings.decluster += t.elapsed();
+
+        let mut cursors = clustered
+            .as_ref()
+            .map(|c| ChunkCursors::new(c.payloads(), c.bounds()));
+
+        sink.begin(n, spec.total());
+        let mut emitted = 0usize;
+        let mut chunks_emitted = 0usize;
+        let mut peak_chunk_bytes = 0usize;
+        while emitted < n {
+            let chunk_end = (emitted + streaming.chunk_rows).min(n);
+            let rows = chunk_end - emitted;
+            let mut columns: Vec<Vec<i32>> = Vec::with_capacity(spec.total());
+            let mut chunk_bytes = rows * spec.total() * VALUE_WIDTH;
+
+            // First side: morsel-parallel gather straight into the chunk.
+            let t = Instant::now();
+            columns.extend(par_project_columns(
+                &first_oids[emitted..chunk_end],
+                spec.project_larger,
+                &fetch_larger,
+                policy,
+            ));
+            timings.project_larger += t.elapsed();
+
+            // Second side.
+            let t = Instant::now();
+            match (&clustered, &mut cursors) {
+                (Some(clustered), Some(cursors)) => {
+                    let chunk = cursors.next_chunk(chunk_end);
+                    debug_assert_eq!(chunk.result_range, emitted..chunk_end);
+                    // Chunk-local CLUST_SMALLER / CLUST_RESULT, shared by all
+                    // smaller-side columns of this chunk.
+                    let local_oids = chunk.gather(clustered.keys());
+                    let local_positions = chunk.rebased_positions(clustered.payloads());
+                    let local_bounds = chunk.local_bounds();
+                    chunk_bytes += (local_oids.len() + local_positions.len()) * VALUE_WIDTH;
+                    let mut staged = vec![0i32; rows];
+                    chunk_bytes += staged.len() * VALUE_WIDTH;
+                    for b in 0..spec.project_smaller {
+                        // On-demand clustered positional join: the chunk's
+                        // CLUST_VALUES, never the whole column.
+                        for_each_output_morsel(&mut staged, policy, |off, slots| {
+                            let oids = &local_oids[off..off + slots.len()];
+                            for (slot, &oid) in slots.iter_mut().zip(oids) {
+                                *slot = fetch_smaller(oid, b);
+                            }
+                        });
+                        columns.push(par_radix_decluster(
+                            &staged,
+                            &local_positions,
+                            &local_bounds,
+                            streaming.window_bytes,
+                            policy,
+                        ));
+                    }
+                    timings.decluster += t.elapsed();
+                }
+                _ => {
+                    columns.extend(par_project_columns(
+                        &second_oids[emitted..chunk_end],
+                        spec.project_smaller,
+                        &fetch_smaller,
+                        policy,
+                    ));
+                    timings.project_smaller += t.elapsed();
+                }
+            }
+
+            peak_chunk_bytes = peak_chunk_bytes.max(chunk_bytes);
+            sink.emit(emitted, &columns);
+            chunks_emitted += 1;
+            emitted = chunk_end;
+        }
+        sink.finish();
+
+        PipelineStats {
+            streaming,
+            chunks_emitted,
+            rows_emitted: emitted,
+            peak_chunk_bytes,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_core::budget::MemoryBudget;
+    use rdx_core::strategy::sink::CountingSink;
+    use rdx_core::strategy::ProjectionCode;
+    use rdx_workload::JoinWorkloadBuilder;
+
+    fn raw_columns(outcome: &StrategyOutcome) -> Vec<Vec<i32>> {
+        outcome
+            .result
+            .columns()
+            .iter()
+            .map(|c| c.as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_to_dsm_post_for_every_code_and_budget() {
+        let w = JoinWorkloadBuilder::equal(3_000, 2).seed(7).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let data_bytes = 2 * 3_000 * 2 * VALUE_WIDTH;
+        for first in [
+            ProjectionCode::Unsorted,
+            ProjectionCode::Sorted,
+            ProjectionCode::PartialCluster,
+        ] {
+            for second in [SecondSideCode::Unsorted, SecondSideCode::Decluster] {
+                let plan = DsmPostProjection::with_codes(first, second);
+                let expected = raw_columns(&plan.execute(&w.larger, &w.smaller, &spec, &params));
+                for denom in [1usize, 16, 64] {
+                    let policy = ExecPolicy::with_threads(2)
+                        .budget(MemoryBudget::fraction_of(data_bytes, denom));
+                    let (out, stats) = ProjectionPipeline::new(plan)
+                        .execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
+                    assert_eq!(
+                        raw_columns(&out),
+                        expected,
+                        "codes {} denom {denom}",
+                        plan.label()
+                    );
+                    assert_eq!(stats.rows_emitted, w.expected_matches);
+                    if denom > 1 {
+                        assert!(stats.chunks_emitted > 1, "denom {denom} did not chunk");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peak_working_set_respects_the_budget() {
+        let w = JoinWorkloadBuilder::equal(4_096, 1).seed(3).build();
+        let spec = QuerySpec::symmetric(1);
+        let params = CacheParams::tiny_for_tests();
+        let plan = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        );
+        for budget_bytes in [512usize, 4 * 1024, 64 * 1024] {
+            let policy = ExecPolicy::with_threads(2).budget(MemoryBudget::bytes(budget_bytes));
+            let mut sink = CountingSink::new(MaterializeSink::new());
+            let stats = ProjectionPipeline::new(plan)
+                .execute(&w.larger, &w.smaller, &spec, &params, &policy, &mut sink);
+            assert!(
+                stats.peak_chunk_bytes <= stats.streaming.max_working_set_bytes(),
+                "budget {budget_bytes}: peak {} exceeds planned bound {}",
+                stats.peak_chunk_bytes,
+                stats.streaming.max_working_set_bytes()
+            );
+            assert!(
+                stats.peak_chunk_bytes <= budget_bytes,
+                "budget {budget_bytes}: peak {}",
+                stats.peak_chunk_bytes
+            );
+            assert_eq!(sink.chunks, stats.chunks_emitted);
+            assert_eq!(
+                sink.max_chunk_rows,
+                stats.streaming.chunk_rows.min(sink.rows)
+            );
+        }
+    }
+
+    #[test]
+    fn nsm_streaming_matches_dsm_streaming() {
+        let w = JoinWorkloadBuilder::equal(1_500, 2).seed(19).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let plan = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        );
+        let policy = ExecPolicy::with_threads(2).budget(MemoryBudget::bytes(2048));
+        let pipeline = ProjectionPipeline::new(plan);
+        let (dsm_out, _) =
+            pipeline.execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
+        let mut sink = MaterializeSink::new();
+        pipeline.execute_nsm(
+            &w.larger_nsm,
+            &w.smaller_nsm,
+            &spec,
+            &params,
+            &policy,
+            &mut sink,
+        );
+        assert_eq!(raw_columns(&dsm_out), {
+            let nsm_result = sink.into_result();
+            nsm_result
+                .columns()
+                .iter()
+                .map(|c| c.as_slice().to_vec())
+                .collect::<Vec<_>>()
+        });
+    }
+
+    #[test]
+    fn empty_join_emits_no_chunks() {
+        use rdx_dsm::Column;
+        // Disjoint key domains by construction: the join is empty.
+        let rel = |base: u64| {
+            rdx_dsm::DsmRelation::new(
+                Column::from_vec((base..base + 64).collect()),
+                vec![Column::from_vec((0..64).collect())],
+            )
+        };
+        let (larger, smaller) = (rel(1_000), rel(0));
+        let spec = QuerySpec::symmetric(1);
+        let params = CacheParams::tiny_for_tests();
+        let policy = ExecPolicy::with_threads(2).budget(MemoryBudget::bytes(256));
+        let plan =
+            DsmPostProjection::with_codes(ProjectionCode::Unsorted, SecondSideCode::Decluster);
+        let (out, stats) = ProjectionPipeline::new(plan)
+            .execute_materialized(&larger, &smaller, &spec, &params, &policy);
+        assert_eq!(stats.chunks_emitted, 0);
+        assert_eq!(stats.rows_emitted, 0);
+        assert_eq!(out.result.cardinality(), 0);
+        assert_eq!(out.result.num_columns(), 2);
+    }
+
+    #[test]
+    fn planned_pipeline_matches_planned_executor() {
+        let w = JoinWorkloadBuilder::equal(2_000, 1).seed(23).build();
+        let spec = QuerySpec::symmetric(1);
+        let params = CacheParams::tiny_for_tests();
+        let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::bytes(1024));
+        let pipeline = ProjectionPipeline::planned(&w.larger, &w.smaller, &spec, &params, &policy);
+        let (out, _) =
+            pipeline.execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
+        let expected = pipeline.plan.execute(&w.larger, &w.smaller, &spec, &params);
+        assert_eq!(raw_columns(&out), raw_columns(&expected));
+    }
+}

@@ -9,6 +9,7 @@
 //! `std::thread::scope` plus `split_at_mut`-style slice partitioning, so the
 //! whole engine stays inside `#![forbid(unsafe_code)]`.
 
+use rdx_core::budget::MemoryBudget;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -21,22 +22,41 @@ pub const DEFAULT_MORSEL_TUPLES: usize = 16 * 1024;
 /// How a parallel kernel should run: worker count and morsel granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecPolicy {
-    /// Number of worker threads (`>= 1`; `1` means run inline, no spawning).
+    /// Number of worker threads; `1` means run inline (no spawning) and `0`
+    /// means auto-detect — resolve to the host's available parallelism at
+    /// kernel entry (see [`ExecPolicy::worker_threads`]).
     pub threads: usize,
     /// Morsel size in tuples for dynamically scheduled loops.
     pub morsel_tuples: usize,
+    /// Memory budget for streaming executors (`rdx_exec::pipeline`): caps the
+    /// per-chunk working set of value data.  Ignored by the materialising
+    /// kernels; defaults to unbounded.
+    pub budget: MemoryBudget,
 }
 
 impl ExecPolicy {
-    /// A policy running on exactly `threads` workers.
-    ///
-    /// # Panics
-    /// Panics if `threads == 0`.
+    /// A policy running on exactly `threads` workers; `0` requests
+    /// auto-detection (one worker per hardware thread, clamped to at least
+    /// one on hosts where parallelism cannot be queried).
     pub fn with_threads(threads: usize) -> Self {
-        assert!(threads >= 1, "at least one worker thread is required");
         ExecPolicy {
             threads,
             morsel_tuples: DEFAULT_MORSEL_TUPLES,
+            budget: MemoryBudget::unbounded(),
+        }
+    }
+
+    /// The worker count kernels must actually use: `threads`, with `0`
+    /// resolved to the host's available parallelism (never below one).
+    /// Every kernel in this crate reads the policy through this method, so a
+    /// zero-thread policy — built via [`ExecPolicy::with_threads`] or as a
+    /// plain struct literal — degrades to auto-detection instead of
+    /// panicking.
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            detected_parallelism()
+        } else {
+            self.threads
         }
     }
 
@@ -47,10 +67,7 @@ impl ExecPolicy {
 
     /// One worker per hardware thread the host exposes.
     pub fn available() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::with_threads(threads)
+        Self::with_threads(detected_parallelism())
     }
 
     /// Overrides the morsel granularity.
@@ -62,12 +79,26 @@ impl ExecPolicy {
         self.morsel_tuples = morsel_tuples;
         self
     }
+
+    /// Sets the streaming memory budget.
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
         Self::available()
     }
+}
+
+/// The host's available parallelism — one worker if it cannot be queried
+/// (the auto-detect resolution of `threads == 0`).
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// A lock-free work-stealing queue over the index range `0..len`: workers
@@ -141,7 +172,8 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let morsel = policy.morsel_tuples;
-    if policy.threads == 1 || out.len() <= morsel {
+    let threads = policy.worker_threads();
+    if threads == 1 || out.len() <= morsel {
         for (i, chunk) in out.chunks_mut(morsel).enumerate() {
             fill(i * morsel, chunk);
         }
@@ -151,7 +183,7 @@ where
     // the *iterator*, never the data, so workers hold the lock for one
     // `next()` call and compute unlocked.
     let queue = Mutex::new(out.chunks_mut(morsel).enumerate());
-    run_workers(policy.threads, |_| loop {
+    run_workers(threads, |_| loop {
         let claimed = queue.lock().expect("morsel queue poisoned").next();
         match claimed {
             Some((i, chunk)) => fill(i * morsel, chunk),
@@ -267,8 +299,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_threads_rejected() {
-        ExecPolicy::with_threads(0);
+    fn zero_threads_means_auto_detect() {
+        let policy = ExecPolicy::with_threads(0);
+        assert_eq!(policy.threads, 0);
+        assert!(policy.worker_threads() >= 1);
+        assert_eq!(policy.worker_threads(), detected_parallelism());
+        // Explicit counts pass through unchanged.
+        assert_eq!(ExecPolicy::with_threads(3).worker_threads(), 3);
+        // A zero-thread struct literal resolves the same way.
+        let literal = ExecPolicy {
+            threads: 0,
+            morsel_tuples: 8,
+            budget: MemoryBudget::unbounded(),
+        };
+        assert_eq!(literal.worker_threads(), detected_parallelism());
     }
 }

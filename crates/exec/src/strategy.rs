@@ -123,7 +123,7 @@ where
     let window = choose_window_bytes(
         value_width,
         clustered.num_clusters(),
-        &params.per_core_share(policy.threads),
+        &params.per_core_share(policy.worker_threads()),
     );
 
     let columns = (0..n_attrs)

@@ -18,7 +18,9 @@
 pub mod builder;
 pub mod join_pair;
 pub mod sparse;
+pub mod streaming;
 
 pub use builder::{attr_value, RelationBuilder};
 pub use join_pair::{HitRate, JoinWorkload, JoinWorkloadBuilder};
 pub use sparse::SparseWorkload;
+pub use streaming::BudgetedWorkload;

@@ -1,0 +1,107 @@
+//! Out-of-budget workload presets for the streaming projection pipeline.
+//!
+//! The paper's evaluation always fits both relations in RAM; the streaming
+//! pipeline's regime of interest is the opposite — an explicit memory budget
+//! *smaller* than the data.  This preset pairs a standard [`JoinWorkload`]
+//! with the sweep of budgets (expressed in bytes, `1/4 … 1/64` of the value
+//! data) the `streaming_budget` bench and the conformance grid run it under.
+//! Budgets are plain byte counts so this crate stays free of algorithm-crate
+//! dependencies; `rdx_core::budget::MemoryBudget::bytes` consumes them
+//! directly.
+
+use crate::join_pair::{HitRate, JoinWorkload, JoinWorkloadBuilder};
+
+/// The paper's largest evaluation cardinality (§4: `N ∈ {15K … 16M}`): the
+/// ceiling the out-of-budget presets are meant to be swept towards.
+pub const PAPER_MAX_TUPLES: usize = 16_000_000;
+
+/// The budget denominators of the out-of-budget experiment: the working set
+/// is capped at `1/4`, `1/16` and `1/64` of the value data.
+pub const BUDGET_DENOMINATORS: [usize; 3] = [4, 16, 64];
+
+/// A join workload annotated with its value-data size and the budget sweep
+/// to run it under.
+#[derive(Debug, Clone)]
+pub struct BudgetedWorkload {
+    /// The relations (standard equal-cardinality join pair).
+    pub workload: JoinWorkload,
+    /// Total bytes of attribute value data across both relations
+    /// (`2 · N · ω · 4`) — the "data size" budgets are a fraction of.
+    pub data_bytes: usize,
+}
+
+impl BudgetedWorkload {
+    /// An out-of-budget preset: two `n`-tuple relations with `columns`
+    /// attribute columns each, hit rate `h = 1`, deterministic seed.
+    ///
+    /// # Panics
+    /// Panics if `n > PAPER_MAX_TUPLES` (the preset mirrors the paper's
+    /// evaluation range) or `columns == 0`.
+    pub fn generate(n: usize, columns: usize, seed: u64) -> Self {
+        assert!(n <= PAPER_MAX_TUPLES, "N beyond the paper's 16M ceiling");
+        assert!(columns >= 1, "need at least one value column");
+        let workload = JoinWorkloadBuilder::equal(n, columns)
+            .hit_rate(HitRate(1.0))
+            .seed(seed)
+            .build();
+        BudgetedWorkload {
+            workload,
+            data_bytes: 2 * n * columns * 4,
+        }
+    }
+
+    /// The budget sweep in bytes: `data_bytes / d` for each
+    /// [`BUDGET_DENOMINATORS`] entry, never below one byte.
+    pub fn budgets(&self) -> Vec<usize> {
+        BUDGET_DENOMINATORS
+            .iter()
+            .map(|&d| (self.data_bytes / d).max(1))
+            .collect()
+    }
+
+    /// The budget for an arbitrary denominator (e.g. the grid's `1/256`
+    /// stress point), never below one byte.
+    pub fn budget_fraction(&self, denominator: usize) -> usize {
+        assert!(denominator > 0, "denominator must be positive");
+        (self.data_bytes / denominator).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_reports_data_size_and_budgets() {
+        let b = BudgetedWorkload::generate(10_000, 2, 7);
+        assert_eq!(b.data_bytes, 2 * 10_000 * 2 * 4);
+        assert_eq!(
+            b.budgets(),
+            vec![b.data_bytes / 4, b.data_bytes / 16, b.data_bytes / 64]
+        );
+        assert_eq!(b.budget_fraction(64), b.data_bytes / 64);
+        assert_eq!(b.workload.larger.cardinality(), 10_000);
+        assert_eq!(b.workload.larger.width(), 2);
+    }
+
+    #[test]
+    fn every_budget_is_genuinely_out_of_budget() {
+        let b = BudgetedWorkload::generate(4_096, 1, 3);
+        for budget in b.budgets() {
+            assert!(budget < b.data_bytes);
+            assert!(budget >= 1);
+        }
+    }
+
+    #[test]
+    fn tiny_workloads_floor_at_one_byte() {
+        let b = BudgetedWorkload::generate(4, 1, 1);
+        assert!(b.budgets().iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn beyond_paper_ceiling_rejected() {
+        BudgetedWorkload::generate(PAPER_MAX_TUPLES + 1, 1, 0);
+    }
+}

@@ -20,9 +20,11 @@
 //!   projection strategies compared in §4.
 //! * [`exec`] — the morsel-driven parallel execution engine: work-stealing
 //!   morsel scheduling over scoped threads, parallel Radix-Cluster /
-//!   Radix-Decluster / Partitioned Hash-Join kernels, and parallel
-//!   end-to-end strategy executors, all byte-identical to their sequential
-//!   counterparts.
+//!   Radix-Decluster / Partitioned Hash-Join kernels, parallel end-to-end
+//!   strategy executors (all byte-identical to their sequential
+//!   counterparts), and the memory-budgeted **streaming projection
+//!   pipeline** (`exec::pipeline`) that emits the result in chunks sized by
+//!   a `core::budget::MemoryBudget` through a `RowChunkSink`.
 //!
 //! ## Quickstart
 //!
@@ -51,14 +53,18 @@ pub use rdx_workload as workload;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use rdx_cache::{CacheParams, MemorySystem};
+    pub use rdx_core::budget::MemoryBudget;
     pub use rdx_core::cluster::{radix_cluster, RadixClusterSpec};
     pub use rdx_core::decluster::radix_decluster;
     pub use rdx_core::join::partitioned_hash_join;
-    pub use rdx_core::strategy::{DsmPostProjection, ProjectionCode, QuerySpec, SecondSideCode};
+    pub use rdx_core::strategy::{
+        DsmPostProjection, MaterializeSink, ProjectionCode, QuerySpec, RowChunkSink, SecondSideCode,
+    };
     pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
     pub use rdx_exec::{
         par_dsm_post_projection, par_nsm_post_projection_decluster, par_partitioned_hash_join,
         par_radix_cluster, par_radix_cluster_oids, par_radix_decluster, ExecPolicy,
+        ProjectionPipeline,
     };
     pub use rdx_nsm::NsmRelation;
     pub use rdx_workload::{self as workload, JoinWorkloadBuilder, RelationBuilder};
