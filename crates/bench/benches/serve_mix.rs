@@ -1,0 +1,185 @@
+//! Serving-layer throughput and latency: a zipfian multi-tenant query mix
+//! executed three ways — serial, interleaved (admission + fair chunk
+//! scheduling), and interleaved with the clustered-join-index cache warm —
+//! plus a machine-readable `BENCH_serve.json` (throughput, p50/p99) so the
+//! serving perf trajectory can be tracked across commits.
+//!
+//! Run with `cargo bench -p rdx-bench --bench serve_mix [queries]`
+//! (default 32).
+
+use rdx_cache::CacheParams;
+use rdx_core::budget::MemoryBudget;
+use rdx_core::strategy::QuerySpec;
+use rdx_serve::{BatchReport, FairnessPolicy, RdxServer, RelationId, ServeConfig, ServerRequest};
+use rdx_workload::{MixConfig, QueryMix};
+use std::time::Duration;
+
+struct ModeResult {
+    label: &'static str,
+    wall: Duration,
+    served: usize,
+    p50: Duration,
+    p99: Duration,
+    cache_hits: usize,
+    peak_concurrent_bytes: usize,
+}
+
+impl ModeResult {
+    fn throughput_qps(&self) -> f64 {
+        self.served as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn measure(label: &'static str, report: &BatchReport) -> ModeResult {
+    let mut latencies: Vec<Duration> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.outcome.as_ref().ok())
+        .map(|q| q.stats.wait + q.stats.service)
+        .collect();
+    latencies.sort();
+    ModeResult {
+        label,
+        wall: report.stats.wall,
+        served: latencies.len(),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        cache_hits: report
+            .outcomes
+            .iter()
+            .filter_map(|o| o.outcome.as_ref().ok())
+            .filter(|q| q.stats.cache_hit)
+            .count(),
+        peak_concurrent_bytes: report.stats.peak_concurrent_bytes,
+    }
+}
+
+fn requests_for(server: &mut RdxServer, mix: &QueryMix) -> Vec<ServerRequest> {
+    let ids: Vec<(RelationId, RelationId)> = mix
+        .tenants
+        .iter()
+        .map(|w| {
+            (
+                server.register(w.larger.clone()),
+                server.register(w.smaller.clone()),
+            )
+        })
+        .collect();
+    mix.queries
+        .iter()
+        .map(|q| {
+            let (larger, smaller) = ids[q.tenant];
+            ServerRequest::new(larger, smaller, QuerySpec::symmetric(q.project))
+        })
+        .collect()
+}
+
+fn main() {
+    let queries = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    let mix = QueryMix::generate(&MixConfig {
+        tenants: vec![(1_000_000, 2), (300_000, 4), (100_000, 1), (30_000, 2)],
+        queries,
+        zipf_exponent: 1.0,
+        seed: 11,
+    });
+    println!(
+        "serve_mix: {queries} queries over 4 tenants, popularity {:?}, repeat factor {:.1}x",
+        mix.popularity(),
+        mix.repeat_factor()
+    );
+
+    let budget = MemoryBudget::bytes(mix.tenant_data_bytes(0) / 4);
+    let base = ServeConfig {
+        params: CacheParams::paper_pentium4(),
+        global_budget: budget,
+        max_concurrent: 4,
+        threads_per_query: 1,
+        cache_bytes: 0,
+        fairness: FairnessPolicy::CostWeighted,
+        plan_shares: Some(4),
+    };
+
+    let mut results: Vec<ModeResult> = Vec::new();
+
+    let mut serial = RdxServer::new(ServeConfig {
+        max_concurrent: 1,
+        ..base.clone()
+    });
+    let reqs = requests_for(&mut serial, &mix);
+    results.push(measure("serial_cold", &serial.run_batch(&reqs)));
+
+    let mut interleaved = RdxServer::new(base.clone());
+    let reqs = requests_for(&mut interleaved, &mix);
+    results.push(measure("interleaved_cold", &interleaved.run_batch(&reqs)));
+
+    let mut cached = RdxServer::new(ServeConfig {
+        cache_bytes: 512 << 20,
+        ..base
+    });
+    let reqs = requests_for(&mut cached, &mix);
+    results.push(measure("cached_first_pass", &cached.run_batch(&reqs)));
+    results.push(measure("cached_warm", &cached.run_batch(&reqs)));
+
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>10} {:>6} {:>12}",
+        "mode", "wall ms", "thr q/s", "p50 ms", "p99 ms", "hits", "peak bytes"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>6} {:>12}",
+            r.label,
+            r.wall.as_secs_f64() * 1e3,
+            r.throughput_qps(),
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.cache_hits,
+            r.peak_concurrent_bytes,
+        );
+    }
+    let speedup = |a: &ModeResult, b: &ModeResult| a.wall.as_secs_f64() / b.wall.as_secs_f64();
+    let warm_vs_serial = speedup(&results[0], &results[3]);
+    let warm_vs_cold = speedup(&results[1], &results[3]);
+    println!("cache-hit mix speedup: {warm_vs_serial:.2}x vs serial, {warm_vs_cold:.2}x vs interleaved-cold");
+
+    // Machine-readable output for the perf trajectory.
+    let mut json = String::from("{\n  \"bench\": \"serve_mix\",\n");
+    json.push_str(&format!("  \"queries\": {queries},\n"));
+    json.push_str(&format!(
+        "  \"global_budget_bytes\": {},\n  \"modes\": {{\n",
+        budget.limit_bytes()
+    ));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"wall_ms\": {:.3}, \"throughput_qps\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"cache_hits\": {}, \"peak_concurrent_bytes\": {}}}{}\n",
+            r.label,
+            r.wall.as_secs_f64() * 1e3,
+            r.throughput_qps(),
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.cache_hits,
+            r.peak_concurrent_bytes,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  }},\n  \"speedup_warm_vs_serial\": {warm_vs_serial:.3},\n  \
+         \"speedup_warm_vs_interleaved_cold\": {warm_vs_cold:.3}\n}}\n"
+    ));
+    // Anchored to the workspace root (cargo runs benches from the package
+    // dir), so the perf trajectory file lands in a stable, discoverable spot.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

@@ -165,6 +165,17 @@ impl CacheParams {
         shared
     }
 
+    /// The hierarchy as seen by one of `queries` concurrently *admitted
+    /// queries*: the same shared-resource split as
+    /// [`CacheParams::per_core_share`], one level up — instead of threads of
+    /// one query competing for the outermost cache, whole queries do.  A
+    /// serving layer multiplies the two: `q` active queries of `t` worker
+    /// threads each leave every worker `C / (q · t)` of the shared cache.
+    /// Kept as its own name so call sites say which axis they divide along.
+    pub fn per_query_share(&self, queries: usize) -> CacheParams {
+        self.per_core_share(queries)
+    }
+
     /// Seconds per CPU cycle.
     pub fn cycle_seconds(&self) -> f64 {
         1.0 / self.cpu_hz

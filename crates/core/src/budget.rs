@@ -12,6 +12,42 @@
 //! enforcement mechanism — but the pipeline reports its actual peak working
 //! set so tests can assert the bound held.
 
+/// A degenerate budget request, reported instead of a deep panic so callers
+/// (the serving layer's admission controller in particular) can queue or
+/// reject the offending query with a diagnosis attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetError {
+    /// A cap of zero bytes was requested; no operator can make progress.
+    ZeroBytes,
+    /// The cap cannot hold even one resident result row, so any plan derived
+    /// from it would have to clamp (see [`MemoryBudget::chunk_rows`]) and
+    /// exceed the stated limit on its very first chunk.
+    BelowOneRow {
+        /// The requested cap in bytes.
+        budget_bytes: usize,
+        /// Resident bytes one result row costs under the rejected plan.
+        bytes_per_row: usize,
+    },
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::ZeroBytes => write!(f, "memory budget of zero bytes"),
+            BudgetError::BelowOneRow {
+                budget_bytes,
+                bytes_per_row,
+            } => write!(
+                f,
+                "memory budget of {budget_bytes} B cannot hold one result row \
+                 ({bytes_per_row} B resident per row)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
 /// A cap on the bytes of *value data* a streaming operator may keep resident
 /// at once.
 ///
@@ -43,6 +79,18 @@ impl MemoryBudget {
         MemoryBudget { bytes }
     }
 
+    /// The non-panicking form of [`MemoryBudget::bytes`]: a zero cap is
+    /// reported as [`BudgetError::ZeroBytes`] instead of asserting, so
+    /// untrusted budget requests (a serving layer's clients) surface a typed
+    /// error rather than a panic.
+    pub fn try_bytes(bytes: usize) -> Result<Self, BudgetError> {
+        if bytes == 0 {
+            Err(BudgetError::ZeroBytes)
+        } else {
+            Ok(MemoryBudget { bytes })
+        }
+    }
+
     /// A cap of `1/denominator` of `data_bytes` (never below one byte) — the
     /// out-of-budget evaluation presets use denominators 4…64.
     ///
@@ -53,6 +101,21 @@ impl MemoryBudget {
         Self::bytes((data_bytes / denominator).max(1))
     }
 
+    /// This budget as seen by one of `queries` concurrently admitted queries:
+    /// the cap divides evenly, never below one byte, and an unbounded budget
+    /// stays unbounded.  The RAM analogue of
+    /// [`rdx_cache::CacheParams::per_core_share`] dividing the shared cache —
+    /// the admission controller hands each admitted query this share so the
+    /// sum of per-query working sets can never exceed the global cap.
+    pub fn per_query_share(&self, queries: usize) -> MemoryBudget {
+        if !self.is_bounded() {
+            return *self;
+        }
+        MemoryBudget {
+            bytes: (self.bytes / queries.max(1)).max(1),
+        }
+    }
+
     /// `true` unless this is [`MemoryBudget::unbounded`].
     pub fn is_bounded(&self) -> bool {
         self.bytes != usize::MAX
@@ -61,6 +124,23 @@ impl MemoryBudget {
     /// The cap in bytes (`usize::MAX` when unbounded).
     pub fn limit_bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Checks that at least one result row of `bytes_per_row` resident bytes
+    /// fits under this cap — the plan-time guard behind
+    /// `plan_streaming_checked`.  A bounded budget below the one-row floor
+    /// yields [`BudgetError::BelowOneRow`]; the panicking/clamping paths
+    /// ([`MemoryBudget::chunk_rows`]) stay available for callers that prefer
+    /// the documented clamp.
+    pub fn check_one_row(&self, bytes_per_row: usize) -> Result<(), BudgetError> {
+        if self.is_bounded() && self.bytes < bytes_per_row {
+            Err(BudgetError::BelowOneRow {
+                budget_bytes: self.bytes,
+                bytes_per_row,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// How many result rows fit one chunk when each resident row costs
@@ -136,5 +216,41 @@ mod tests {
     #[should_panic]
     fn zero_budget_rejected() {
         MemoryBudget::bytes(0);
+    }
+
+    #[test]
+    fn try_bytes_reports_zero_as_typed_error() {
+        assert_eq!(MemoryBudget::try_bytes(0), Err(BudgetError::ZeroBytes));
+        assert_eq!(MemoryBudget::try_bytes(64), Ok(MemoryBudget::bytes(64)));
+        assert!(!BudgetError::ZeroBytes.to_string().is_empty());
+    }
+
+    #[test]
+    fn one_row_floor_check() {
+        let b = MemoryBudget::bytes(15);
+        assert_eq!(
+            b.check_one_row(16),
+            Err(BudgetError::BelowOneRow {
+                budget_bytes: 15,
+                bytes_per_row: 16
+            })
+        );
+        assert_eq!(b.check_one_row(15), Ok(()));
+        // Unbounded budgets always pass.
+        assert_eq!(MemoryBudget::unbounded().check_one_row(usize::MAX), Ok(()));
+        let msg = b.check_one_row(16).unwrap_err().to_string();
+        assert!(msg.contains("15") && msg.contains("16"), "{msg}");
+    }
+
+    #[test]
+    fn per_query_share_divides_evenly_with_floors() {
+        let b = MemoryBudget::bytes(1024);
+        assert_eq!(b.per_query_share(4).limit_bytes(), 256);
+        assert_eq!(b.per_query_share(1), b);
+        assert_eq!(b.per_query_share(0), b);
+        // Floor of one byte at absurd query counts.
+        assert_eq!(b.per_query_share(1_000_000).limit_bytes(), 1);
+        // Unbounded budgets stay unbounded.
+        assert!(!MemoryBudget::unbounded().per_query_share(8).is_bounded());
     }
 }

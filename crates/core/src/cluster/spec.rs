@@ -4,7 +4,10 @@ use crate::hash::significant_bits;
 
 /// A Radix-Cluster configuration: `B` radix bits split over `P` passes,
 /// ignoring the lowermost `I` bits (the *partial* Radix-Cluster of §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` is derived so a spec can key cross-query caches of clustered
+/// products (the serving layer's clustered-join-index cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RadixClusterSpec {
     /// Total radix bits `B`; the input is split into `2^B` clusters.
     pub bits: u32,

@@ -86,8 +86,79 @@ impl ChunkRuns {
     }
 }
 
+/// The *owned* cursor state of a chunked sweep: per-cluster `(cursor, end)`
+/// pairs plus the consumed-row count, with the `positions` slice supplied at
+/// every call instead of being borrowed at construction.
+///
+/// This is what a **resumable** pipeline stores between chunks: because the
+/// state does not borrow the clustered index, a paused query (the serving
+/// layer parks many of these while other queries run their chunk) is a plain
+/// struct with no self-referential lifetime — the positions live in a shared
+/// [`crate::cluster::Clustered`] (possibly behind an `Arc` in a cross-query
+/// cache) and are passed back in on resume.
+#[derive(Debug, Clone)]
+pub struct ChunkCursorState {
+    /// `(cursor, end)` per original cluster; drained clusters keep
+    /// `cursor == end` (order is preserved so chunk-local staging is
+    /// deterministic).
+    cursors: Vec<(usize, usize)>,
+    consumed: usize,
+}
+
+impl ChunkCursorState {
+    /// Fresh cursors for a clustered index with the given cluster `bounds`
+    /// (`H + 1` offsets, as produced by
+    /// [`crate::cluster::Clustered::bounds`]).
+    pub fn new(bounds: &[usize]) -> Self {
+        let cursors = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        ChunkCursorState {
+            cursors,
+            consumed: 0,
+        }
+    }
+
+    /// Number of result rows already handed out.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// `true` once all `total` tuples have been handed out.
+    pub fn is_done(&self, total: usize) -> bool {
+        self.consumed == total
+    }
+
+    /// Advances every cluster past the tuples destined for result rows
+    /// `< result_end` of `positions` and returns their runs as one chunk.
+    /// `result_end` is clamped to `N`; calls must use non-decreasing
+    /// `result_end` and the same `positions` slice throughout the sweep.
+    pub fn next_chunk(&mut self, positions: &[Oid], result_end: usize) -> ChunkRuns {
+        let result_end = result_end.min(positions.len());
+        let start = self.consumed;
+        let mut runs = Vec::new();
+        for c in &mut self.cursors {
+            let (cursor, end) = *c;
+            if cursor >= end {
+                continue;
+            }
+            let advance = positions[cursor..end].partition_point(|&p| (p as usize) < result_end);
+            if advance > 0 {
+                runs.push(cursor..cursor + advance);
+                c.0 = cursor + advance;
+            }
+        }
+        let produced: usize = runs.iter().map(|r| r.len()).sum();
+        self.consumed += produced;
+        debug_assert_eq!(self.consumed, result_end.max(start));
+        ChunkRuns {
+            result_range: start..self.consumed,
+            runs,
+        }
+    }
+}
+
 /// Per-cluster cursors over a clustered `(…, result_position)` index,
-/// yielding [`ChunkRuns`] for successive contiguous chunks of the result.
+/// yielding [`ChunkRuns`] for successive contiguous chunks of the result —
+/// the borrowing convenience wrapper around [`ChunkCursorState`].
 ///
 /// Construction is `O(H)`; each [`ChunkCursors::next_chunk`] advances every
 /// live cluster's cursor by binary search (positions ascend within a
@@ -96,11 +167,7 @@ impl ChunkRuns {
 #[derive(Debug)]
 pub struct ChunkCursors<'a> {
     positions: &'a [Oid],
-    /// `(cursor, end)` per original cluster; drained clusters keep
-    /// `cursor == end` (order is preserved so chunk-local staging is
-    /// deterministic).
-    cursors: Vec<(usize, usize)>,
-    consumed: usize,
+    state: ChunkCursorState,
 }
 
 impl<'a> ChunkCursors<'a> {
@@ -116,50 +183,27 @@ impl<'a> ChunkCursors<'a> {
             positions.len(),
             "cluster borders do not cover the positions"
         );
-        let cursors = bounds.windows(2).map(|w| (w[0], w[1])).collect();
         ChunkCursors {
             positions,
-            cursors,
-            consumed: 0,
+            state: ChunkCursorState::new(bounds),
         }
     }
 
     /// Number of result rows already handed out.
     pub fn consumed(&self) -> usize {
-        self.consumed
+        self.state.consumed()
     }
 
     /// `true` once every tuple has been handed out.
     pub fn is_done(&self) -> bool {
-        self.consumed == self.positions.len()
+        self.state.is_done(self.positions.len())
     }
 
     /// Advances every cluster past the tuples destined for result rows
     /// `< result_end` and returns their runs as one chunk.  `result_end` is
     /// clamped to `N`; calls must use non-decreasing `result_end`.
     pub fn next_chunk(&mut self, result_end: usize) -> ChunkRuns {
-        let result_end = result_end.min(self.positions.len());
-        let start = self.consumed;
-        let mut runs = Vec::new();
-        for c in &mut self.cursors {
-            let (cursor, end) = *c;
-            if cursor >= end {
-                continue;
-            }
-            let advance =
-                self.positions[cursor..end].partition_point(|&p| (p as usize) < result_end);
-            if advance > 0 {
-                runs.push(cursor..cursor + advance);
-                c.0 = cursor + advance;
-            }
-        }
-        let produced: usize = runs.iter().map(|r| r.len()).sum();
-        self.consumed += produced;
-        debug_assert_eq!(self.consumed, result_end.max(start));
-        ChunkRuns {
-            result_range: start..self.consumed,
-            runs,
-        }
+        self.state.next_chunk(self.positions, result_end)
     }
 }
 
@@ -262,6 +306,25 @@ mod tests {
         let chunk = cursors.next_chunk(10);
         assert!(chunk.is_empty());
         assert!(chunk.runs.is_empty());
+    }
+
+    #[test]
+    fn owned_cursor_state_matches_borrowing_wrapper() {
+        let (_, positions, bounds) = clustered_input(1_024, 4, 17);
+        let mut wrapper = ChunkCursors::new(&positions, &bounds);
+        let mut state = ChunkCursorState::new(&bounds);
+        let mut end = 0;
+        while !state.is_done(positions.len()) {
+            end += 111;
+            // The owned state can be parked and resumed (cloned here to model
+            // a pause) and still produces the wrapper's exact chunks.
+            let parked = state.clone();
+            drop(state);
+            state = parked;
+            assert_eq!(state.next_chunk(&positions, end), wrapper.next_chunk(end));
+            assert_eq!(state.consumed(), wrapper.consumed());
+        }
+        assert!(wrapper.is_done());
     }
 
     #[test]

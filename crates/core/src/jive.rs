@@ -1,4 +1,4 @@
-//! Jive-Join [LR99] — the NSM post-projection baseline of §4.2.
+//! Jive-Join \[LR99\] — the NSM post-projection baseline of §4.2.
 //!
 //! Jive-Join assumes a join index sorted on the RowIds of the left (larger)
 //! projection table.  The **Left** phase merges that index with the left table
@@ -31,7 +31,7 @@ pub struct JiveResult {
 /// Runs a full Jive-Join projection.
 ///
 /// * `join_index` — matching pairs in any order (it is sorted on the larger
-///   oids first, since [LR99] assumes a pre-sorted join index);
+///   oids first, since \[LR99\] assumes a pre-sorted join index);
 /// * `n_larger_attrs` / `fetch_larger` — how many columns to project from the
 ///   larger relation and how to fetch one value;
 /// * `n_smaller_attrs` / `fetch_smaller` — likewise for the smaller relation;

@@ -17,7 +17,7 @@
 //!   contribution, plus the §5 buffer-manager variant for variable-size
 //!   values (Fig. 12) and a traced variant that replays its access pattern
 //!   through the `rdx-cache` simulator (Fig. 7a).
-//! * [`jive`] — the Jive-Join baseline [LR99] (§4.2).
+//! * [`jive`] — the Jive-Join baseline \[LR99\] (§4.2).
 //! * [`strategy`] — the end-to-end projected-join strategies compared in §4:
 //!   DSM post-projection (u/s/c/d), DSM pre-projection, NSM pre-projection
 //!   (naive and partitioned hash join), and NSM post-projection
@@ -36,9 +36,9 @@ pub mod positional;
 pub mod strategy;
 pub mod trace;
 
-pub use budget::MemoryBudget;
+pub use budget::{BudgetError, MemoryBudget};
 pub use cluster::{radix_cluster, radix_count, radix_sort_oids, Clustered, RadixClusterSpec};
-pub use decluster::chunks::{ChunkCursors, ChunkRuns};
+pub use decluster::chunks::{ChunkCursorState, ChunkCursors, ChunkRuns};
 pub use decluster::{choose_window_bytes, radix_decluster, radix_decluster_windows, window_elems};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

@@ -13,7 +13,7 @@ use rdx_dsm::{JoinIndex, Oid};
 
 /// Projection code for the *first* (larger) side of a DSM/NSM post-projection,
 /// the one-letter codes of §4.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProjectionCode {
     /// `u` — process the join index as-is (random access into the column).
     Unsorted,
@@ -36,7 +36,7 @@ impl ProjectionCode {
 
 /// Projection code for the *second* (smaller) side: unsorted positional joins
 /// or the full Radix-Decluster pipeline of §3.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SecondSideCode {
     /// `u` — unsorted positional joins straight from the (reordered) index.
     Unsorted,

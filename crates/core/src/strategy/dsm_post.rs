@@ -21,7 +21,7 @@ use std::time::Instant;
 const VALUE_WIDTH: usize = 4;
 
 /// A planned DSM post-projection: which one-letter code to use on each side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DsmPostProjection {
     /// Code for the first (larger) projection side: `u`, `s` or `c`.
     pub first_side: ProjectionCode,

@@ -9,7 +9,7 @@
 //!   side), but every fetch reads from a wide NSM record, so each cache line
 //!   loaded carries mostly unneeded attributes — the `O(C²/T²)` scalability
 //!   penalty the paper derives.
-//! * `NSM-post-jive` uses Jive-Join [LR99] for the projection phase.
+//! * `NSM-post-jive` uses Jive-Join \[LR99\] for the projection phase.
 
 use crate::jive::{jive_bits, jive_join_projection};
 use crate::join::{join_cluster_spec, partitioned_hash_join};

@@ -3,7 +3,7 @@
 //! Fixed-width columns go through the plain Radix-Decluster; string columns
 //! (footnote 3 of §3: an offsets array into a separate heap) go through the
 //! three-phase variable-size decluster of §5, producing an ordinary
-//! [`VarColumn`] result.  This is the end-to-end path a MonetDB-style engine
+//! [`VarColumn`](rdx_dsm::VarColumn) result.  This is the end-to-end path a MonetDB-style engine
 //! would use for `SELECT larger.a…, smaller.name… FROM … WHERE key = key`.
 
 use crate::cluster::{radix_cluster_oids, RadixClusterSpec};

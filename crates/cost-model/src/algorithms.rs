@@ -252,6 +252,32 @@ pub fn streaming_radix_decluster(
     cost
 }
 
+/// Cost of one streaming Radix-Decluster run while `active_queries` streaming
+/// queries are admitted concurrently — the **concurrent-share** term the
+/// serving layer's admission controller prices queries with.
+///
+/// Concurrency changes nothing about the access pattern; what it changes is
+/// the *effective hierarchy*: the outermost cache and the sequential RAM
+/// bandwidth are shared, so each query sees a `1/active_queries` slice of
+/// both ([`CacheParams::per_query_share`]).  A window tuned to the full
+/// cache therefore starts missing once a co-runner evicts its lines — the
+/// model prices exactly that by re-evaluating the unchanged pattern against
+/// the shrunken share, the same move `per_core_share` makes for threads of a
+/// single query.  Monotone in `active_queries`; identical to
+/// [`streaming_radix_decluster`] at one query.
+pub fn concurrent_streaming_radix_decluster(
+    n: usize,
+    value_width: usize,
+    bits: u32,
+    window_bytes: usize,
+    chunks: usize,
+    active_queries: usize,
+    params: &CacheParams,
+) -> PatternCost {
+    let share = params.per_query_share(active_queries.max(1));
+    streaming_radix_decluster(n, value_width, bits, window_bytes, chunks, &share)
+}
+
 /// Cost of the first (Left) Jive-Join phase: merge the sorted join index with
 /// the left table sequentially, writing two cluster-partitioned outputs
 /// (access pattern analogous to single-pass Radix-Cluster).
@@ -391,6 +417,27 @@ mod tests {
             streaming_radix_decluster(0, 4, 8, 1024, 7, &p),
             PatternCost::zero()
         );
+    }
+
+    #[test]
+    fn concurrent_share_raises_predicted_cost_monotonically() {
+        let p = params();
+        // Window sized to the *whole* cache: any co-runner pushes it past the
+        // per-query share, which is exactly the thrash the term must price.
+        let window = p.cache_capacity();
+        let at = |q: usize| {
+            concurrent_streaming_radix_decluster(MB8, 4, 8, window, 16, q, &p).millis(&p)
+        };
+        // One active query is priced exactly as the solo streaming run, and
+        // a zero count degrades to one instead of dividing by zero.
+        let solo = streaming_radix_decluster(MB8, 4, 8, window, 16, &p).millis(&p);
+        assert_eq!(at(1), solo);
+        assert_eq!(at(0), solo);
+        // Each co-runner shrinks the effective cache share, so the predicted
+        // cost can only grow with the number of admitted queries.
+        assert!(at(2) > at(1), "{} vs {}", at(2), at(1));
+        assert!(at(4) > at(2));
+        assert!(at(16) > at(4));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::Oid;
 
-/// A join index [Val87]: the list of matching `(larger_oid, smaller_oid)`
+/// A join index \[Val87\]: the list of matching `(larger_oid, smaller_oid)`
 /// pairs produced by joining the key columns of two relations.
 ///
 /// All post-projection strategies of the paper start from this structure

@@ -1,5 +1,6 @@
 //! The memory-budgeted **streaming projection pipeline** — cluster →
-//! decluster → fetch in chunks sized by an explicit [`MemoryBudget`].
+//! decluster → fetch in chunks sized by an explicit
+//! [`MemoryBudget`](rdx_core::budget::MemoryBudget).
 //!
 //! Every other executor in the workspace (sequential and parallel)
 //! materialises the full projected relation: `O(N · π)` value bytes live in
@@ -11,10 +12,12 @@
 //! 1. **join** and **reorder** run exactly as in
 //!    [`crate::strategy::par_dsm_post_projection`] (the join index and the
 //!    clustered oid/position arrays are the `8 N`-byte irreducible floor, the
-//!    Fig. 4 `CLUST_SMALLER`/`CLUST_RESULT` analogue);
+//!    Fig. 4 `CLUST_SMALLER`/`CLUST_RESULT` analogue); this whole prefix is
+//!    factored out as [`PreparedProjection`] — a self-contained, *shareable*
+//!    product (the serving layer caches it across queries under an `Arc`);
 //! 2. the result rows are cut into chunks of
 //!    [`StreamingPlan::chunk_rows`] = `budget / bytes_per_row` rows;
-//! 3. per chunk, [`ChunkCursors`] advances one cursor per cluster
+//! 3. per chunk, a [`ChunkCursorState`] advances one cursor per cluster
 //!    (§3.2's ascending-within-cluster property makes every result prefix a
 //!    prefix of every cluster), attribute values are fetched **on demand**
 //!    from the base relations into a chunk-local `CLUST_VALUES`, declustered
@@ -25,11 +28,18 @@
 //!    for byte, [`rdx_core::strategy::PagedSink`] spools to buffer-manager
 //!    pages (§5).
 //!
+//! The chunk loop itself is a **resumable** [`PipelineRun`]: each
+//! [`PipelineRun::step`] emits exactly one chunk and returns, so a scheduler
+//! can interleave chunks from many concurrent queries — chunk boundaries are
+//! natural preemption points, which is what makes the multi-query serving
+//! layer (`rdx-serve`) possible.  [`ProjectionPipeline::execute`] is simply
+//! `prepare` + `step` until done.
+//!
 //! The output is **byte-identical** to [`DsmPostProjection::execute`] with
-//! the same codes for every budget, because chunking changes only *when* a
-//! result row is produced, never its value or position: each chunk is a
-//! self-contained Radix-Decluster problem over rebased positions
-//! (`rdx_core::decluster::chunks`).
+//! the same codes for every budget and any step interleaving, because
+//! chunking changes only *when* a result row is produced, never its value or
+//! position: each chunk is a self-contained Radix-Decluster problem over
+//! rebased positions (`rdx_core::decluster::chunks`).
 
 use crate::cluster::par_radix_cluster_oids;
 use crate::decluster::par_radix_decluster;
@@ -37,8 +47,8 @@ use crate::join::par_partitioned_hash_join;
 use crate::pool::{for_each_output_morsel, ExecPolicy};
 use crate::strategy::{par_order_join_index, par_project_columns};
 use rdx_cache::CacheParams;
-use rdx_core::cluster::Clustered;
-use rdx_core::decluster::chunks::ChunkCursors;
+use rdx_core::cluster::{Clustered, RadixClusterSpec};
+use rdx_core::decluster::chunks::ChunkCursorState;
 use rdx_core::join::join_cluster_spec;
 use rdx_core::strategy::planner::{plan_streaming, StreamingPlan};
 use rdx_core::strategy::sink::{MaterializeSink, RowChunkSink};
@@ -47,18 +57,109 @@ use rdx_core::strategy::{
 };
 use rdx_dsm::{DsmRelation, Oid};
 use rdx_nsm::NsmRelation;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Width of the fixed-size attribute values (the paper's integer columns).
 const VALUE_WIDTH: usize = 4;
 
+/// The second-side clustering spec the streaming pipeline uses for a
+/// smaller relation of `smaller_tuples` tuples whose cache-relevant value
+/// width is `smaller_value_width` (4 for DSM columns, the record width for
+/// NSM) — the §3.1 `optimal_partial` rule against the given cache.
+///
+/// Exposed so layers that must *name* the clustering without building it —
+/// the serving layer's clustered-index cache key — derive it from the same
+/// function [`ProjectionPipeline::prepare_keys`] uses, and cannot drift.
+pub fn cluster_spec_for(
+    smaller_tuples: usize,
+    smaller_value_width: usize,
+    params: &CacheParams,
+) -> RadixClusterSpec {
+    RadixClusterSpec::optimal_partial(
+        smaller_tuples,
+        smaller_value_width.max(1),
+        params.cache_capacity(),
+    )
+}
+
+/// [`cluster_spec_for`] with the DSM column width filled in.
+pub fn dsm_cluster_spec(smaller_tuples: usize, params: &CacheParams) -> RadixClusterSpec {
+    cluster_spec_for(smaller_tuples, VALUE_WIDTH, params)
+}
+
 /// A planned streaming projection: the `u/s/c × u/d` codes of the underlying
 /// DSM post-projection plus chunking derived from the policy's
 /// [`MemoryBudget`] at execution time.
+///
+/// [`MemoryBudget`]: rdx_core::budget::MemoryBudget
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProjectionPipeline {
     /// Projection codes, as for [`DsmPostProjection`].
     pub plan: DsmPostProjection,
+}
+
+/// The query-independent prefix of a streaming projection, ready to stream
+/// chunks from: the join index (already reordered for the first side) and
+/// the second-side partial clustering.
+///
+/// This is the expensive `O(N)` part — partitioned hash join, reorder,
+/// radix-cluster — and it depends only on the two relations, the projection
+/// codes and the clustering spec, **not** on the memory budget, the thread
+/// count or the sink.  It is therefore the unit of *cross-query reuse*: the
+/// serving layer keeps these in a byte-budgeted LRU keyed by
+/// `(relations, codes, cluster spec)` and starts every cache-hit query
+/// directly at the chunk loop.  Fig. 4's `CLUST_SMALLER`/`CLUST_RESULT`
+/// arrays, made a first-class shareable value.
+#[derive(Debug, Clone)]
+pub struct PreparedProjection {
+    plan: DsmPostProjection,
+    first_oids: Vec<Oid>,
+    second_oids: Vec<Oid>,
+    clustered: Option<Clustered<Oid, Oid>>,
+    smaller_cardinality: usize,
+    smaller_value_width: usize,
+    timings: PhaseTimings,
+}
+
+impl PreparedProjection {
+    /// The projection codes this prefix was built for.
+    pub fn plan(&self) -> DsmPostProjection {
+        self.plan
+    }
+
+    /// Result cardinality (join-index length).
+    pub fn result_rows(&self) -> usize {
+        self.first_oids.len()
+    }
+
+    /// Cardinality of the smaller relation the clustering was sized for.
+    pub fn smaller_cardinality(&self) -> usize {
+        self.smaller_cardinality
+    }
+
+    /// Value width the second-side clustering granularity was sized for
+    /// (4 for DSM columns, the record width for NSM).
+    pub fn smaller_value_width(&self) -> usize {
+        self.smaller_value_width
+    }
+
+    /// Wall-clock spent building this prefix (join + reorder + cluster).
+    pub fn timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
+    /// Resident heap bytes of this prefix — what a byte-budgeted cache
+    /// charges for keeping it: the two reordered oid arrays plus, when the
+    /// second side declusters, the clustered `(oid, position)` pairs and the
+    /// `H + 1` cluster borders.
+    pub fn resident_bytes(&self) -> usize {
+        let oids = (self.first_oids.len() + self.second_oids.len()) * std::mem::size_of::<Oid>();
+        let clustered = self.clustered.as_ref().map_or(0, |c| {
+            c.len() * 2 * std::mem::size_of::<Oid>() + std::mem::size_of_val(c.bounds())
+        });
+        oids + clustered
+    }
 }
 
 /// What one pipeline run did: the chunking it planned, what it actually
@@ -78,6 +179,280 @@ pub struct PipelineStats {
     /// Phase wall-clock breakdown ([`PhaseTimings`] semantics; chunked
     /// phases accumulate across chunks).
     pub timings: PhaseTimings,
+}
+
+/// A boxed attribute fetcher `(oid, attr) → value`, the type-erased form the
+/// serving layer uses so runs over different storage models are homogeneous.
+pub type BoxedFetch<'a> = Box<dyn Fn(Oid, usize) -> i32 + Sync + 'a>;
+
+/// A [`PipelineRun`] over boxed fetchers (what [`PipelineRun::over_dsm`]
+/// returns).
+pub type DsmPipelineRun<'a> = PipelineRun<BoxedFetch<'a>, BoxedFetch<'a>>;
+
+/// One in-flight streaming projection, resumable chunk by chunk.
+///
+/// A run owns its cursor state and chunk position but only *shares* the
+/// expensive [`PreparedProjection`] prefix (via `Arc`, so a cross-query
+/// cache can hand the same prefix to many concurrent runs).  Each call to
+/// [`PipelineRun::step`] emits exactly one chunk into the sink and returns;
+/// between calls the run is a plain parked value, which is what lets a fair
+/// scheduler interleave many queries at chunk granularity.  Stepping a run
+/// to completion produces output byte-identical to the one-shot
+/// [`ProjectionPipeline::execute`], independent of how steps interleave
+/// with other runs.
+pub struct PipelineRun<FL, FS> {
+    prepared: Arc<PreparedProjection>,
+    fetch_larger: FL,
+    fetch_smaller: FS,
+    spec: QuerySpec,
+    policy: ExecPolicy,
+    streaming: StreamingPlan,
+    cursors: Option<ChunkCursorState>,
+    emitted: usize,
+    chunks_emitted: usize,
+    peak_chunk_bytes: usize,
+    timings: PhaseTimings,
+    begun: bool,
+    finished: bool,
+}
+
+impl<FL, FS> PipelineRun<FL, FS>
+where
+    FL: Fn(Oid, usize) -> i32 + Sync,
+    FS: Fn(Oid, usize) -> i32 + Sync,
+{
+    /// A run over a prepared prefix, with the chunking planned from the
+    /// policy's budget.
+    ///
+    /// # Panics
+    /// Panics if the query asks for more projection columns than the fetch
+    /// closures can serve (checked by the callers that know the relations).
+    pub fn new(
+        prepared: Arc<PreparedProjection>,
+        fetch_larger: FL,
+        fetch_smaller: FS,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> Self {
+        // Resolve an auto-detect (threads = 0) policy once, so the chunk
+        // loop never re-queries the host's parallelism per morsel fill.
+        let policy = ExecPolicy {
+            threads: policy.worker_threads(),
+            ..*policy
+        };
+        let streaming = plan_streaming(
+            prepared.result_rows(),
+            prepared.smaller_cardinality,
+            prepared.smaller_value_width,
+            spec,
+            params,
+            policy.budget,
+            policy.threads,
+        );
+        if let Some(clustered) = &prepared.clustered {
+            debug_assert_eq!(
+                *clustered.spec(),
+                streaming.cluster_spec,
+                "prepared clustering drifted from the streaming plan"
+            );
+        }
+        let cursors = prepared
+            .clustered
+            .as_ref()
+            .map(|c| ChunkCursorState::new(c.bounds()));
+        PipelineRun {
+            prepared,
+            fetch_larger,
+            fetch_smaller,
+            spec: *spec,
+            policy,
+            streaming,
+            cursors,
+            emitted: 0,
+            chunks_emitted: 0,
+            peak_chunk_bytes: 0,
+            timings: PhaseTimings::default(),
+            begun: false,
+            finished: false,
+        }
+    }
+
+    /// The chunking this run streams under.
+    pub fn streaming(&self) -> &StreamingPlan {
+        &self.streaming
+    }
+
+    /// The shared prefix this run streams from.
+    pub fn prepared(&self) -> &PreparedProjection {
+        &self.prepared
+    }
+
+    /// Result rows emitted so far.
+    pub fn rows_emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Result rows still to emit.
+    pub fn remaining_rows(&self) -> usize {
+        self.prepared.result_rows() - self.emitted
+    }
+
+    /// `true` once the sink has been finished.
+    pub fn is_done(&self) -> bool {
+        self.finished
+    }
+
+    /// Emits the next chunk into `sink` and returns its row count, or
+    /// `None` once the run is complete (the first `None` finishes the sink;
+    /// further calls are no-ops).  The sink's `begin` is called on the first
+    /// step, so a run that joins to an empty result still performs the full
+    /// `begin`/`finish` protocol while emitting zero chunks.
+    pub fn step(&mut self, sink: &mut dyn RowChunkSink) -> Option<usize> {
+        if self.finished {
+            return None;
+        }
+        let n = self.prepared.result_rows();
+        if !self.begun {
+            sink.begin(n, self.spec.total());
+            self.begun = true;
+        }
+        if self.emitted >= n {
+            sink.finish();
+            self.finished = true;
+            return None;
+        }
+
+        let emitted = self.emitted;
+        let chunk_end = (emitted + self.streaming.chunk_rows).min(n);
+        let rows = chunk_end - emitted;
+        let mut columns: Vec<Vec<i32>> = Vec::with_capacity(self.spec.total());
+        let mut chunk_bytes = rows * self.spec.total() * VALUE_WIDTH;
+
+        // First side: morsel-parallel gather straight into the chunk.
+        let t = Instant::now();
+        columns.extend(par_project_columns(
+            &self.prepared.first_oids[emitted..chunk_end],
+            self.spec.project_larger,
+            &self.fetch_larger,
+            &self.policy,
+        ));
+        self.timings.project_larger += t.elapsed();
+
+        // Second side.
+        let t = Instant::now();
+        match (&self.prepared.clustered, &mut self.cursors) {
+            (Some(clustered), Some(cursors)) => {
+                let chunk = cursors.next_chunk(clustered.payloads(), chunk_end);
+                debug_assert_eq!(chunk.result_range, emitted..chunk_end);
+                // Chunk-local CLUST_SMALLER / CLUST_RESULT, shared by all
+                // smaller-side columns of this chunk.
+                let local_oids = chunk.gather(clustered.keys());
+                let local_positions = chunk.rebased_positions(clustered.payloads());
+                let local_bounds = chunk.local_bounds();
+                chunk_bytes += (local_oids.len() + local_positions.len()) * VALUE_WIDTH;
+                let mut staged = vec![0i32; rows];
+                chunk_bytes += staged.len() * VALUE_WIDTH;
+                for b in 0..self.spec.project_smaller {
+                    // On-demand clustered positional join: the chunk's
+                    // CLUST_VALUES, never the whole column.
+                    let fetch = &self.fetch_smaller;
+                    for_each_output_morsel(&mut staged, &self.policy, |off, slots| {
+                        let oids = &local_oids[off..off + slots.len()];
+                        for (slot, &oid) in slots.iter_mut().zip(oids) {
+                            *slot = fetch(oid, b);
+                        }
+                    });
+                    columns.push(par_radix_decluster(
+                        &staged,
+                        &local_positions,
+                        &local_bounds,
+                        self.streaming.window_bytes,
+                        &self.policy,
+                    ));
+                }
+                self.timings.decluster += t.elapsed();
+            }
+            _ => {
+                columns.extend(par_project_columns(
+                    &self.prepared.second_oids[emitted..chunk_end],
+                    self.spec.project_smaller,
+                    &self.fetch_smaller,
+                    &self.policy,
+                ));
+                self.timings.project_smaller += t.elapsed();
+            }
+        }
+
+        self.peak_chunk_bytes = self.peak_chunk_bytes.max(chunk_bytes);
+        sink.emit(emitted, &columns);
+        self.chunks_emitted += 1;
+        self.emitted = chunk_end;
+        Some(rows)
+    }
+
+    /// Steps the run to completion.
+    pub fn run_to_completion(&mut self, sink: &mut dyn RowChunkSink) {
+        while self.step(sink).is_some() {}
+    }
+
+    /// Statistics for this run alone: chunk-loop timings only, *excluding*
+    /// the shared prefix (whose build time a cache-hit run never paid — see
+    /// [`PreparedProjection::timings`] for that side).
+    pub fn run_stats(&self) -> PipelineStats {
+        PipelineStats {
+            streaming: self.streaming,
+            chunks_emitted: self.chunks_emitted,
+            rows_emitted: self.emitted,
+            peak_chunk_bytes: self.peak_chunk_bytes,
+            timings: self.timings,
+        }
+    }
+
+    /// Statistics with the prepare-phase timings folded in — what a cold
+    /// (cache-miss) end-to-end execution reports.
+    pub fn stats(&self) -> PipelineStats {
+        let mut stats = self.run_stats();
+        let prep = self.prepared.timings;
+        stats.timings.join += prep.join;
+        stats.timings.reorder += prep.reorder;
+        stats.timings.decluster += prep.decluster;
+        stats
+    }
+}
+
+impl<'a> DsmPipelineRun<'a> {
+    /// A run fetching attribute values from two DSM relations — the form
+    /// the serving layer parks in its scheduler.
+    ///
+    /// # Panics
+    /// Panics if the query asks for more projection columns than a relation
+    /// has.
+    pub fn over_dsm(
+        prepared: Arc<PreparedProjection>,
+        larger: &'a DsmRelation,
+        smaller: &'a DsmRelation,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> Self {
+        assert!(
+            spec.project_larger <= larger.width(),
+            "larger side has too few columns"
+        );
+        assert!(
+            spec.project_smaller <= smaller.width(),
+            "smaller side has too few columns"
+        );
+        PipelineRun::new(
+            prepared,
+            Box::new(move |oid, a| larger.attr(a).value(oid as usize)),
+            Box::new(move |oid, b| smaller.attr(b).value(oid as usize)),
+            spec,
+            params,
+            policy,
+        )
+    }
 }
 
 impl ProjectionPipeline {
@@ -104,6 +479,100 @@ impl ProjectionPipeline {
         ))
     }
 
+    /// Builds the shareable prefix for a projection over two DSM relations:
+    /// join, first-side reorder, second-side partial clustering.
+    pub fn prepare(
+        &self,
+        larger: &DsmRelation,
+        smaller: &DsmRelation,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> PreparedProjection {
+        self.prepare_keys(
+            larger.key().as_slice(),
+            smaller.key().as_slice(),
+            larger.cardinality(),
+            smaller.cardinality(),
+            VALUE_WIDTH,
+            params,
+            policy,
+        )
+    }
+
+    /// The storage-model-generic prepare: join over the key columns, reorder
+    /// for the first side, partial-cluster the second side on exactly the
+    /// clustering the streaming planner prices
+    /// (`StreamingPlan::cluster_spec` stays the single source of truth).
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare_keys(
+        &self,
+        larger_keys: &[u64],
+        smaller_keys: &[u64],
+        larger_cardinality: usize,
+        smaller_cardinality: usize,
+        smaller_value_width: usize,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> PreparedProjection {
+        let policy = &ExecPolicy {
+            threads: policy.worker_threads(),
+            ..*policy
+        };
+        let mut timings = PhaseTimings::default();
+
+        // Phase 1: join index over the key columns only.
+        let t = Instant::now();
+        let join_spec = join_cluster_spec(smaller_cardinality, params.cache_capacity());
+        let join_index = par_partitioned_hash_join(larger_keys, smaller_keys, join_spec, policy);
+        timings.join = t.elapsed();
+
+        // Phase 2: reorder for the first side (determines the result order).
+        let t = Instant::now();
+        let (first_oids, second_oids) = par_order_join_index(
+            &join_index,
+            self.plan.first_side,
+            larger_cardinality,
+            VALUE_WIDTH,
+            params,
+            policy,
+        );
+        timings.reorder = t.elapsed();
+        drop(join_index);
+
+        // Phase 3: second-side partial clustering (the 8 N-byte
+        // CLUST_SMALLER / CLUST_RESULT floor the chunks stream over), on the
+        // §3.1 spec `plan_streaming` also derives — the same
+        // `optimal_partial` rule, so prepared prefix and streaming plan can
+        // never drift apart.  Counted as decluster time, matching
+        // project_second_side_decluster.
+        let n = first_oids.len();
+        let cluster_spec = cluster_spec_for(smaller_cardinality, smaller_value_width, params);
+        let t = Instant::now();
+        let clustered: Option<Clustered<Oid, Oid>> = match self.plan.second_side {
+            SecondSideCode::Decluster => {
+                let result_positions: Vec<Oid> = (0..n as Oid).collect();
+                Some(par_radix_cluster_oids(
+                    &second_oids,
+                    &result_positions,
+                    cluster_spec,
+                    policy,
+                ))
+            }
+            SecondSideCode::Unsorted => None,
+        };
+        timings.decluster += t.elapsed();
+
+        PreparedProjection {
+            plan: self.plan,
+            first_oids,
+            second_oids,
+            clustered,
+            smaller_cardinality,
+            smaller_value_width,
+            timings,
+        }
+    }
+
     /// Executes over DSM relations, streaming the result into `sink`.
     ///
     /// # Panics
@@ -118,27 +587,10 @@ impl ProjectionPipeline {
         policy: &ExecPolicy,
         sink: &mut dyn RowChunkSink,
     ) -> PipelineStats {
-        assert!(
-            spec.project_larger <= larger.width(),
-            "larger side has too few columns"
-        );
-        assert!(
-            spec.project_smaller <= smaller.width(),
-            "smaller side has too few columns"
-        );
-        self.execute_with(
-            larger.key().as_slice(),
-            smaller.key().as_slice(),
-            larger.cardinality(),
-            smaller.cardinality(),
-            VALUE_WIDTH,
-            |oid, a| larger.attr(a).value(oid as usize),
-            |oid, b| smaller.attr(b).value(oid as usize),
-            spec,
-            params,
-            policy,
-            sink,
-        )
+        let prepared = Arc::new(self.prepare(larger, smaller, params, policy));
+        let mut run = DsmPipelineRun::over_dsm(prepared, larger, smaller, spec, params, policy);
+        run.run_to_completion(sink);
+        run.stats()
     }
 
     /// Executes over NSM relations (attribute 0 is the join key), streaming
@@ -174,7 +626,7 @@ impl ProjectionPipeline {
             }
         });
         let scan_time = scan.elapsed();
-        let mut stats = self.execute_with(
+        let prepared = Arc::new(self.prepare_keys(
             &larger_keys,
             &smaller_keys,
             larger.cardinality(),
@@ -183,13 +635,19 @@ impl ProjectionPipeline {
             // in, so the clustering granularity must be sized to the record
             // width (exactly as par_nsm_post_projection_decluster does).
             smaller.tuple_bytes(),
-            |oid, a| larger.value(oid as usize, a + 1),
-            |oid, b| smaller.value(oid as usize, b + 1),
+            params,
+            policy,
+        ));
+        let mut run = PipelineRun::new(
+            prepared,
+            |oid: Oid, a: usize| larger.value(oid as usize, a + 1),
+            |oid: Oid, b: usize| smaller.value(oid as usize, b + 1),
             spec,
             params,
             policy,
-            sink,
         );
+        run.run_to_completion(sink);
+        let mut stats = run.stats();
         stats.timings.join += scan_time;
         stats
     }
@@ -214,168 +672,6 @@ impl ProjectionPipeline {
             },
             stats,
         )
-    }
-
-    /// The storage-model-generic pipeline body.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_with<FL, FS>(
-        &self,
-        larger_keys: &[u64],
-        smaller_keys: &[u64],
-        larger_cardinality: usize,
-        smaller_cardinality: usize,
-        smaller_value_width: usize,
-        fetch_larger: FL,
-        fetch_smaller: FS,
-        spec: &QuerySpec,
-        params: &CacheParams,
-        policy: &ExecPolicy,
-        sink: &mut dyn RowChunkSink,
-    ) -> PipelineStats
-    where
-        FL: Fn(Oid, usize) -> i32 + Sync,
-        FS: Fn(Oid, usize) -> i32 + Sync,
-    {
-        let mut timings = PhaseTimings::default();
-        // Resolve an auto-detect (threads = 0) policy once, so the chunk
-        // loop never re-queries the host's parallelism per morsel fill.
-        let policy = &ExecPolicy {
-            threads: policy.worker_threads(),
-            ..*policy
-        };
-
-        // Phase 1: join index over the key columns only.
-        let t = Instant::now();
-        let join_spec = join_cluster_spec(smaller_cardinality, params.cache_capacity());
-        let join_index = par_partitioned_hash_join(larger_keys, smaller_keys, join_spec, policy);
-        timings.join = t.elapsed();
-
-        // Phase 2: reorder for the first side (determines the result order).
-        let t = Instant::now();
-        let (first_oids, second_oids) = par_order_join_index(
-            &join_index,
-            self.plan.first_side,
-            larger_cardinality,
-            VALUE_WIDTH,
-            params,
-            policy,
-        );
-        timings.reorder = t.elapsed();
-        drop(join_index);
-
-        let n = first_oids.len();
-        let streaming = plan_streaming(
-            n,
-            smaller_cardinality,
-            smaller_value_width,
-            spec,
-            params,
-            policy.budget,
-            policy.threads,
-        );
-
-        // Second-side partial clustering (the 8 N-byte CLUST_SMALLER /
-        // CLUST_RESULT floor the chunks stream over), run on exactly the
-        // clustering the plan priced (`StreamingPlan::cluster_spec` is the
-        // single source of truth).  Counted as decluster time, matching
-        // project_second_side_decluster.
-        let t = Instant::now();
-        let clustered: Option<Clustered<Oid, Oid>> = match self.plan.second_side {
-            SecondSideCode::Decluster => {
-                let result_positions: Vec<Oid> = (0..n as Oid).collect();
-                Some(par_radix_cluster_oids(
-                    &second_oids,
-                    &result_positions,
-                    streaming.cluster_spec,
-                    policy,
-                ))
-            }
-            SecondSideCode::Unsorted => None,
-        };
-        timings.decluster += t.elapsed();
-
-        let mut cursors = clustered
-            .as_ref()
-            .map(|c| ChunkCursors::new(c.payloads(), c.bounds()));
-
-        sink.begin(n, spec.total());
-        let mut emitted = 0usize;
-        let mut chunks_emitted = 0usize;
-        let mut peak_chunk_bytes = 0usize;
-        while emitted < n {
-            let chunk_end = (emitted + streaming.chunk_rows).min(n);
-            let rows = chunk_end - emitted;
-            let mut columns: Vec<Vec<i32>> = Vec::with_capacity(spec.total());
-            let mut chunk_bytes = rows * spec.total() * VALUE_WIDTH;
-
-            // First side: morsel-parallel gather straight into the chunk.
-            let t = Instant::now();
-            columns.extend(par_project_columns(
-                &first_oids[emitted..chunk_end],
-                spec.project_larger,
-                &fetch_larger,
-                policy,
-            ));
-            timings.project_larger += t.elapsed();
-
-            // Second side.
-            let t = Instant::now();
-            match (&clustered, &mut cursors) {
-                (Some(clustered), Some(cursors)) => {
-                    let chunk = cursors.next_chunk(chunk_end);
-                    debug_assert_eq!(chunk.result_range, emitted..chunk_end);
-                    // Chunk-local CLUST_SMALLER / CLUST_RESULT, shared by all
-                    // smaller-side columns of this chunk.
-                    let local_oids = chunk.gather(clustered.keys());
-                    let local_positions = chunk.rebased_positions(clustered.payloads());
-                    let local_bounds = chunk.local_bounds();
-                    chunk_bytes += (local_oids.len() + local_positions.len()) * VALUE_WIDTH;
-                    let mut staged = vec![0i32; rows];
-                    chunk_bytes += staged.len() * VALUE_WIDTH;
-                    for b in 0..spec.project_smaller {
-                        // On-demand clustered positional join: the chunk's
-                        // CLUST_VALUES, never the whole column.
-                        for_each_output_morsel(&mut staged, policy, |off, slots| {
-                            let oids = &local_oids[off..off + slots.len()];
-                            for (slot, &oid) in slots.iter_mut().zip(oids) {
-                                *slot = fetch_smaller(oid, b);
-                            }
-                        });
-                        columns.push(par_radix_decluster(
-                            &staged,
-                            &local_positions,
-                            &local_bounds,
-                            streaming.window_bytes,
-                            policy,
-                        ));
-                    }
-                    timings.decluster += t.elapsed();
-                }
-                _ => {
-                    columns.extend(par_project_columns(
-                        &second_oids[emitted..chunk_end],
-                        spec.project_smaller,
-                        &fetch_smaller,
-                        policy,
-                    ));
-                    timings.project_smaller += t.elapsed();
-                }
-            }
-
-            peak_chunk_bytes = peak_chunk_bytes.max(chunk_bytes);
-            sink.emit(emitted, &columns);
-            chunks_emitted += 1;
-            emitted = chunk_end;
-        }
-        sink.finish();
-
-        PipelineStats {
-            streaming,
-            chunks_emitted,
-            rows_emitted: emitted,
-            peak_chunk_bytes,
-            timings,
-        }
     }
 }
 
@@ -530,5 +826,93 @@ mod tests {
             pipeline.execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
         let expected = pipeline.plan.execute(&w.larger, &w.smaller, &spec, &params);
         assert_eq!(raw_columns(&out), raw_columns(&expected));
+    }
+
+    #[test]
+    fn interleaved_steps_of_shared_prefix_runs_stay_byte_identical() {
+        // Two runs over the SAME Arc-shared prepared prefix, stepped in an
+        // uneven interleaving (2 chunks of A per chunk of B) — the serving
+        // scheduler's access pattern — must both reproduce the one-shot
+        // execution byte for byte.
+        let w = JoinWorkloadBuilder::equal(2_500, 2).seed(41).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let plan = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        );
+        let policy = ExecPolicy::with_threads(2).budget(MemoryBudget::bytes(1024));
+        let pipeline = ProjectionPipeline::new(plan);
+        let (expected, _) =
+            pipeline.execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
+        let expected = raw_columns(&expected);
+
+        let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+        assert!(prepared.resident_bytes() > 0);
+        let mut run_a = DsmPipelineRun::over_dsm(
+            prepared.clone(),
+            &w.larger,
+            &w.smaller,
+            &spec,
+            &params,
+            &policy,
+        );
+        let mut run_b = DsmPipelineRun::over_dsm(
+            prepared.clone(),
+            &w.larger,
+            &w.smaller,
+            &spec,
+            &params,
+            &policy,
+        );
+        let mut sink_a = MaterializeSink::new();
+        let mut sink_b = MaterializeSink::new();
+        while !(run_a.is_done() && run_b.is_done()) {
+            run_a.step(&mut sink_a);
+            run_a.step(&mut sink_a);
+            run_b.step(&mut sink_b);
+        }
+        for (label, sink, run) in [("a", sink_a, run_a), ("b", sink_b, run_b)] {
+            let result = sink.into_result();
+            let cols: Vec<Vec<i32>> = result
+                .columns()
+                .iter()
+                .map(|c| c.as_slice().to_vec())
+                .collect();
+            assert_eq!(cols, expected, "run {label}");
+            assert_eq!(run.rows_emitted(), w.expected_matches);
+            assert_eq!(run.remaining_rows(), 0);
+            // Per-run stats exclude the shared prefix; folded stats add it.
+            assert_eq!(run.run_stats().rows_emitted, w.expected_matches);
+            assert!(run.stats().timings.total() >= run.run_stats().timings.total());
+        }
+    }
+
+    #[test]
+    fn step_protocol_begins_and_finishes_once() {
+        let w = JoinWorkloadBuilder::equal(512, 1).seed(5).build();
+        let spec = QuerySpec::symmetric(1);
+        let params = CacheParams::tiny_for_tests();
+        let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::bytes(256));
+        let pipeline = ProjectionPipeline::new(DsmPostProjection::with_codes(
+            ProjectionCode::Unsorted,
+            SecondSideCode::Decluster,
+        ));
+        let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+        let mut run =
+            DsmPipelineRun::over_dsm(prepared, &w.larger, &w.smaller, &spec, &params, &policy);
+        let mut sink = CountingSink::new(MaterializeSink::new());
+        let mut steps = 0;
+        while let Some(rows) = run.step(&mut sink) {
+            assert!(rows > 0);
+            steps += 1;
+        }
+        assert!(run.is_done());
+        assert_eq!(steps, run.run_stats().chunks_emitted);
+        assert_eq!(sink.chunks, steps);
+        // Stepping a finished run is a harmless no-op.
+        assert_eq!(run.step(&mut sink), None);
+        assert_eq!(sink.chunks, steps);
+        assert_eq!(sink.rows, w.expected_matches);
     }
 }

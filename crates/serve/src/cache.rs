@@ -1,0 +1,248 @@
+//! The **clustered-join-index cache**: cross-query reuse of the expensive
+//! prepared prefix (join + reorder + second-side radix-cluster).
+//!
+//! The paper's whole projection phase streams over Fig. 4's
+//! `CLUST_SMALLER`/`CLUST_RESULT` arrays; building them costs `O(N)` kernel
+//! work per query.  In a serving setting the same join over the same
+//! relations arrives again and again (zipfian relation popularity), so this
+//! cache keeps the [`PreparedProjection`] products in a byte-budgeted LRU
+//! keyed by `(relation ids, projection codes, cluster spec)`.  Entries are
+//! `Arc`-shared: a hit hands the running query the same immutable prefix any
+//! number of concurrent runs may stream from, and eviction only drops the
+//! cache's reference — in-flight runs keep theirs alive.
+
+use crate::registry::RelationId;
+use rdx_core::cluster::RadixClusterSpec;
+use rdx_core::strategy::DsmPostProjection;
+use rdx_exec::PreparedProjection;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: *what data* (relation ids), *which order* (projection codes —
+/// the first-side code fixes the result order the prefix encodes) and
+/// *which clustering* ([`RadixClusterSpec`] — the granularity the second
+/// side was radix-clustered to).  Requests agreeing on all three can share
+/// one prepared prefix byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterKey {
+    /// The larger (probing) relation.
+    pub larger: RelationId,
+    /// The smaller (build) relation.
+    pub smaller: RelationId,
+    /// The projection codes the prefix was prepared for.
+    pub plan: DsmPostProjection,
+    /// The second-side clustering configuration.
+    pub cluster: RadixClusterSpec,
+}
+
+#[derive(Debug)]
+struct Slot {
+    prepared: Arc<PreparedProjection>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Hit/miss/eviction counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the prefix.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+}
+
+/// A byte-budgeted LRU over prepared projection prefixes.
+#[derive(Debug)]
+pub struct ClusterCache {
+    capacity_bytes: usize,
+    slots: HashMap<ClusterKey, Slot>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ClusterCache {
+    /// A cache holding at most `capacity_bytes` of prepared prefixes.
+    /// Zero disables caching entirely (every lookup is a miss and nothing
+    /// is retained) — the serving layer's "cold" mode.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ClusterCache {
+            capacity_bytes,
+            slots: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns the prefix for `key`, building it with `build` on a miss.
+    /// The boolean is `true` on a hit.
+    ///
+    /// A freshly built prefix is admitted only if it fits the byte budget
+    /// (evicting least-recently-used entries as needed); an oversized prefix
+    /// is returned to the caller but never retained, so one giant join
+    /// cannot wipe the whole cache for nothing.
+    pub fn get_or_prepare(
+        &mut self,
+        key: ClusterKey,
+        build: impl FnOnce() -> PreparedProjection,
+    ) -> (Arc<PreparedProjection>, bool) {
+        self.tick += 1;
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.last_used = self.tick;
+            self.stats.hits += 1;
+            return (Arc::clone(&slot.prepared), true);
+        }
+        self.stats.misses += 1;
+        let prepared = Arc::new(build());
+        let bytes = prepared.resident_bytes();
+        if bytes <= self.capacity_bytes {
+            self.evict_until_fits(bytes);
+            self.stats.resident_bytes += bytes;
+            self.slots.insert(
+                key,
+                Slot {
+                    prepared: Arc::clone(&prepared),
+                    bytes,
+                    last_used: self.tick,
+                },
+            );
+        }
+        (prepared, false)
+    }
+
+    /// Drops entries, least recently used first, until `incoming` more bytes
+    /// fit the budget.
+    fn evict_until_fits(&mut self, incoming: usize) {
+        while self.stats.resident_bytes + incoming > self.capacity_bytes {
+            let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, s)| s.last_used) else {
+                break;
+            };
+            let slot = self.slots.remove(&victim).expect("victim vanished");
+            self.stats.resident_bytes -= slot.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_cache::CacheParams;
+    use rdx_core::strategy::{ProjectionCode, SecondSideCode};
+    use rdx_exec::{ExecPolicy, ProjectionPipeline};
+    use rdx_workload::JoinWorkloadBuilder;
+
+    fn prepared_for(n: usize, seed: u64) -> PreparedProjection {
+        let w = JoinWorkloadBuilder::equal(n, 1).seed(seed).build();
+        let pipeline = ProjectionPipeline::new(DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        ));
+        pipeline.prepare(
+            &w.larger,
+            &w.smaller,
+            &CacheParams::tiny_for_tests(),
+            &ExecPolicy::sequential(),
+        )
+    }
+
+    fn key(a: u32, b: u32) -> ClusterKey {
+        ClusterKey {
+            larger: RelationId(a),
+            smaller: RelationId(b),
+            plan: DsmPostProjection::with_codes(
+                ProjectionCode::PartialCluster,
+                SecondSideCode::Decluster,
+            ),
+            cluster: RadixClusterSpec::single_pass(3),
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_same_prefix() {
+        let mut cache = ClusterCache::new(1 << 20);
+        let (first, hit) = cache.get_or_prepare(key(0, 1), || prepared_for(256, 1));
+        assert!(!hit);
+        let (second, hit) = cache.get_or_prepare(key(0, 1), || panic!("must not rebuild"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.resident_bytes, first.resident_bytes());
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        // Budget sized for roughly two of the three prefixes.
+        let one = prepared_for(512, 2).resident_bytes();
+        let mut cache = ClusterCache::new(2 * one + one / 2);
+        cache.get_or_prepare(key(0, 1), || prepared_for(512, 2));
+        cache.get_or_prepare(key(2, 3), || prepared_for(512, 3));
+        // Touch the first so the second becomes the LRU victim.
+        cache.get_or_prepare(key(0, 1), || panic!("hit expected"));
+        cache.get_or_prepare(key(4, 5), || prepared_for(512, 4));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().resident_bytes <= cache.capacity_bytes());
+        // The touched entry survived; the untouched one was evicted.
+        cache.get_or_prepare(key(0, 1), || panic!("lru victim was wrong"));
+        let (_, hit) = cache.get_or_prepare(key(2, 3), || prepared_for(512, 3));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn oversized_entries_are_served_but_never_retained() {
+        let mut cache = ClusterCache::new(8);
+        let (prepared, hit) = cache.get_or_prepare(key(0, 1), || prepared_for(512, 5));
+        assert!(!hit);
+        assert!(prepared.resident_bytes() > 8);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().resident_bytes, 0);
+        // Zero capacity = caching disabled.
+        let mut off = ClusterCache::new(0);
+        off.get_or_prepare(key(0, 1), || prepared_for(256, 6));
+        let (_, hit) = off.get_or_prepare(key(0, 1), || prepared_for(256, 6));
+        assert!(!hit);
+        assert_eq!(off.stats().misses, 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let mut cache = ClusterCache::new(1 << 20);
+        cache.get_or_prepare(key(0, 1), || prepared_for(128, 7));
+        // Same relations, different codes → different prefix.
+        let other = ClusterKey {
+            plan: DsmPostProjection::with_codes(
+                ProjectionCode::Unsorted,
+                SecondSideCode::Decluster,
+            ),
+            ..key(0, 1)
+        };
+        let (_, hit) = cache.get_or_prepare(other, || prepared_for(128, 7));
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! # rdx-serve — cache-aware multi-query serving layer
+//!
+//! Every executor below this crate answers **one** projection query.  This
+//! layer makes *concurrency, fairness and cross-query reuse* first-class:
+//! many projection queries over a catalog of registered relations run at
+//! once, arbitrated by exactly the quantities the paper models — cache
+//! shares, memory budgets and predicted cost.
+//!
+//! Four pieces, one per module:
+//!
+//! * [`registry`] — the relation [`Catalog`]: queries name data by
+//!   [`RelationId`], which is what makes cached intermediates safely
+//!   shareable.
+//! * [`admission`] — the [`AdmissionController`] splits a global
+//!   [`rdx_core::budget::MemoryBudget`] into per-query grants
+//!   (`per_query_share`, the RAM analogue of the paper's per-core cache
+//!   share), queueing queries that do not fit, re-planning queries to
+//!   tighter chunks when only a sliver is free, and rejecting — with a
+//!   typed error — queries that could never run.  `Σ grants ≤ global`
+//!   holds at every instant, so over-commit is impossible by construction.
+//! * [`scheduler`] — the [`ChunkScheduler`] interleaves budget-sized
+//!   pipeline chunks from the active queries by stride scheduling
+//!   (round-robin, or weighted by the Appendix-A predicted per-chunk cost
+//!   at each query's cache share), using PR 2's chunk boundaries as
+//!   preemption points so a big scan cannot starve small lookups.
+//! * [`cache`] — the [`ClusterCache`], a byte-budgeted LRU over
+//!   [`rdx_exec::PreparedProjection`] prefixes keyed by
+//!   `(relation ids, codes, cluster spec)`: repeated queries over the same
+//!   join reuse the radix-clustered product instead of re-clustering.
+//!
+//! [`RdxServer::run_batch`] ties them together.  The load-bearing
+//! guarantee, exercised by the workspace conformance grid: **any**
+//! interleaving of **any** admitted mix produces, per query, output
+//! byte-identical to running that query alone — scheduling changes *when*
+//! chunks run, never what they contain.
+//!
+//! [`Catalog`]: registry::Catalog
+//! [`RelationId`]: registry::RelationId
+//! [`AdmissionController`]: admission::AdmissionController
+//! [`ChunkScheduler`]: scheduler::ChunkScheduler
+//! [`ClusterCache`]: cache::ClusterCache
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use admission::{AdmissionController, AdmissionDecision};
+pub use cache::{CacheStats, ClusterCache, ClusterKey};
+pub use registry::{Catalog, RelationId};
+pub use scheduler::{ChunkScheduler, FairnessPolicy};
+pub use server::{
+    BatchReport, BatchStats, QueryOutcome, QueryResult, QueryStats, RdxServer, ServeConfig,
+    ServeError, ServerRequest,
+};

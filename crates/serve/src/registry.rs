@@ -1,0 +1,92 @@
+//! The relation catalog: queries name relations by [`RelationId`], never by
+//! reference, so the serving layer owns the data and every request is a
+//! plain value.
+
+use rdx_dsm::DsmRelation;
+
+/// Opaque handle to a registered relation.
+///
+/// Together with a [`rdx_core::cluster::RadixClusterSpec`] (and the
+/// projection codes) this keys the cross-query clustered-join-index cache —
+/// two requests naming the same ids are *the same data* by construction,
+/// which is what makes cached prepared prefixes safe to share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub(crate) u32);
+
+impl std::fmt::Display for RelationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// The server's registry of queryable relations.
+///
+/// Registration is append-only: ids stay valid for the catalog's lifetime,
+/// so cached prepared prefixes keyed by id can never dangle or alias a
+/// replaced relation.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: Vec<DsmRelation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relation, returning its id.
+    pub fn register(&mut self, relation: DsmRelation) -> RelationId {
+        let id = RelationId(u32::try_from(self.relations.len()).expect("catalog overflow"));
+        self.relations.push(relation);
+        id
+    }
+
+    /// The relation behind `id`, if registered.
+    pub fn get(&self, id: RelationId) -> Option<&DsmRelation> {
+        self.relations.get(id.0 as usize)
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// All registered ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.relations.len()).map(|i| RelationId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_dsm::Column;
+
+    fn relation(n: u64) -> DsmRelation {
+        DsmRelation::new(
+            Column::from_vec((0..n).collect()),
+            vec![Column::from_vec((0..n as i32).collect())],
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut catalog = Catalog::new();
+        assert!(catalog.is_empty());
+        let a = catalog.register(relation(8));
+        let b = catalog.register(relation(16));
+        assert_ne!(a, b);
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.get(a).unwrap().cardinality(), 8);
+        assert_eq!(catalog.get(b).unwrap().cardinality(), 16);
+        assert!(catalog.get(RelationId(99)).is_none());
+        assert_eq!(catalog.ids().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(a.to_string(), "rel#0");
+    }
+}

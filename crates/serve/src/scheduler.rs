@@ -1,0 +1,236 @@
+//! The **fair chunk scheduler**: interleaves budget-sized pipeline chunks
+//! from the active queries so a big scan cannot starve small lookups.
+//!
+//! PR 2's chunk boundaries are natural preemption points — a
+//! [`rdx_exec::PipelineRun`] parks between chunks as a plain value — so
+//! fairness needs no threads and no signals: the serving loop just decides
+//! *whose* chunk runs next.  The decision rule is **stride scheduling**:
+//! every query carries a `pass` value; the scheduler always runs the query
+//! with the smallest pass (ties broken by arrival order, keeping the whole
+//! loop deterministic), then advances that query's pass by its `stride`.
+//!
+//! * [`FairnessPolicy::RoundRobin`] gives every query stride 1: strict
+//!   alternation, one chunk each.
+//! * [`FairnessPolicy::CostWeighted`] uses the *predicted per-chunk cost*
+//!   (Appendix-A models at the query's cache share) as the stride: passes
+//!   then advance in predicted milliseconds, so each query receives an
+//!   equal share of predicted machine time — a query with 10× cheaper
+//!   chunks runs 10× as many of them, and short lookups drain quickly while
+//!   a scan's expensive chunks space out.
+
+/// How the scheduler weighs queries against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessPolicy {
+    /// One chunk per query per round, in arrival order.
+    RoundRobin,
+    /// Equal shares of *predicted* time: stride = predicted per-chunk cost.
+    #[default]
+    CostWeighted,
+}
+
+/// Floor on a cost-weighted stride: small enough that any genuinely cheap
+/// query still runs orders of magnitude more often than an expensive one,
+/// large enough that `pass += stride` always moves the pass for any
+/// realistic pass magnitude (f64 has ~16 significant digits; passes stay in
+/// predicted-milliseconds scale).  A sub-ulp stride — e.g. the naive
+/// `f64::MIN_POSITIVE` — would be absorbed by rounding and let one query
+/// monopolise the loop forever.
+const MIN_STRIDE: f64 = 1e-6;
+
+/// Ceiling on a stride, so an infinite/overflowing cost prediction parks a
+/// query at the back of the service order instead of pushing its pass to
+/// infinity and starving it outright.
+const MAX_STRIDE: f64 = 1e12;
+
+#[derive(Debug)]
+struct Entry {
+    id: usize,
+    pass: f64,
+    stride: f64,
+    arrival: u64,
+}
+
+/// Deterministic stride scheduler over opaque query ids.
+#[derive(Debug)]
+pub struct ChunkScheduler {
+    policy: FairnessPolicy,
+    entries: Vec<Entry>,
+    arrivals: u64,
+    dispatches: u64,
+}
+
+impl ChunkScheduler {
+    /// An empty scheduler.
+    pub fn new(policy: FairnessPolicy) -> Self {
+        ChunkScheduler {
+            policy,
+            entries: Vec::new(),
+            arrivals: 0,
+            dispatches: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> FairnessPolicy {
+        self.policy
+    }
+
+    /// Number of queries currently scheduled.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no query is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total dispatch decisions over this scheduler's lifetime.  One more
+    /// per query than the chunks it ran: the serving loop discovers
+    /// completion by dispatching a finished run once.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Adds a query.  `chunk_cost` is its predicted per-chunk cost (any
+    /// consistent unit; ignored under round-robin).  A newcomer starts at
+    /// the current minimum pass, so it neither starves nor gets to replay
+    /// the service it missed.
+    ///
+    /// # Panics
+    /// Panics if `id` is already scheduled.
+    pub fn add(&mut self, id: usize, chunk_cost: f64) {
+        assert!(
+            self.entries.iter().all(|e| e.id != id),
+            "query {id} scheduled twice"
+        );
+        let stride = match self.policy {
+            FairnessPolicy::RoundRobin => 1.0,
+            // Guard against degenerate predictions: every stride must be
+            // large enough to actually advance the pass (see [`MIN_STRIDE`])
+            // and small enough not to starve its query ([`MAX_STRIDE`]);
+            // a NaN prediction falls back to the neutral round-robin weight.
+            FairnessPolicy::CostWeighted => {
+                let cost = if chunk_cost.is_nan() { 1.0 } else { chunk_cost };
+                cost.clamp(MIN_STRIDE, MAX_STRIDE)
+            }
+        };
+        let pass = self
+            .entries
+            .iter()
+            .map(|e| e.pass)
+            .fold(f64::INFINITY, f64::min);
+        let pass = if pass.is_finite() { pass } else { 0.0 };
+        self.entries.push(Entry {
+            id,
+            pass,
+            stride,
+            arrival: self.arrivals,
+        });
+        self.arrivals += 1;
+    }
+
+    /// Picks the query whose chunk runs next (smallest pass, ties by
+    /// arrival) and charges it one stride.  `None` when idle.
+    pub fn dispatch(&mut self) -> Option<usize> {
+        let next = self.entries.iter_mut().min_by(|a, b| {
+            a.pass
+                .partial_cmp(&b.pass)
+                .expect("pass is never NaN")
+                .then(a.arrival.cmp(&b.arrival))
+        })?;
+        next.pass += next.stride;
+        self.dispatches += 1;
+        Some(next.id)
+    }
+
+    /// Removes a completed (or cancelled) query.
+    pub fn remove(&mut self, id: usize) {
+        self.entries.retain(|e| e.id != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_alternates_in_arrival_order() {
+        let mut s = ChunkScheduler::new(FairnessPolicy::RoundRobin);
+        s.add(10, 99.0);
+        s.add(20, 0.001);
+        s.add(30, 5.0);
+        let order: Vec<_> = (0..6).map(|_| s.dispatch().unwrap()).collect();
+        assert_eq!(order, vec![10, 20, 30, 10, 20, 30]);
+        assert_eq!(s.dispatches(), 6);
+    }
+
+    #[test]
+    fn cost_weighted_gives_cheap_chunks_more_turns() {
+        let mut s = ChunkScheduler::new(FairnessPolicy::CostWeighted);
+        s.add(1, 10.0); // expensive scan
+        s.add(2, 1.0); // cheap lookup
+        let mut counts = [0usize; 2];
+        for _ in 0..110 {
+            match s.dispatch().unwrap() {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                _ => unreachable!(),
+            }
+        }
+        // Equal predicted-time shares: ~10 cheap chunks per expensive one.
+        assert_eq!(counts[0], 10);
+        assert_eq!(counts[1], 100);
+    }
+
+    #[test]
+    fn completion_and_late_arrival() {
+        let mut s = ChunkScheduler::new(FairnessPolicy::CostWeighted);
+        s.add(1, 1.0);
+        s.add(2, 1.0);
+        for _ in 0..10 {
+            s.dispatch();
+        }
+        s.remove(1);
+        assert_eq!(s.len(), 1);
+        // A latecomer starts at the current minimum pass: it gets service
+        // immediately but cannot monopolise to "catch up".
+        s.add(3, 1.0);
+        let order: Vec<_> = (0..4).map(|_| s.dispatch().unwrap()).collect();
+        assert_eq!(order.iter().filter(|&&id| id == 3).count(), 2);
+        assert_eq!(order.iter().filter(|&&id| id == 2).count(), 2);
+    }
+
+    #[test]
+    fn degenerate_costs_never_stall_or_monopolise() {
+        // A zero predicted cost floors to a stride that still *advances the
+        // pass*: a co-runner three floors wide must keep getting turns.  (A
+        // sub-ulp fallback stride would be absorbed by fp rounding and hand
+        // the zero-cost query the loop forever.)
+        let mut s = ChunkScheduler::new(FairnessPolicy::CostWeighted);
+        s.add(1, 0.0);
+        s.add(2, 3.0 * MIN_STRIDE);
+        let mut counts = [0usize; 2];
+        for _ in 0..400 {
+            match s.dispatch().unwrap() {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                _ => unreachable!(),
+            }
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] >= 90, "co-runner starved: {counts:?}");
+        // NaN and infinity clamp to sane strides and keep the loop sound.
+        s.add(3, f64::NAN);
+        s.add(4, f64::INFINITY);
+        for _ in 0..30 {
+            assert!(s.dispatch().is_some());
+        }
+        assert_eq!(s.len(), 4);
+        for id in 1..=4 {
+            s.remove(id);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.dispatch(), None);
+    }
+}

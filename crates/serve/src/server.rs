@@ -1,0 +1,653 @@
+//! The serving front: [`RdxServer`] accepts batches of [`ServerRequest`]s
+//! over registered relations and runs them **concurrently** — admission
+//! control splits the global memory budget, the stride scheduler interleaves
+//! pipeline chunks, and the clustered-join-index cache short-circuits the
+//! expensive prepared prefix for repeated joins.
+//!
+//! Concurrency here is *chunk interleaving*, not threads-per-query: each
+//! query is a parked [`rdx_exec::PipelineRun`] (a `QuerySession`) and the
+//! serving loop steps one chunk of one query at a time (each chunk is
+//! itself morsel-parallel across the configured worker threads).  That
+//! keeps the whole layer deterministic — the conformance guarantee is that
+//! any interleaving produces results byte-identical to running every query
+//! alone — while still bounding memory (admission) and tail latency
+//! (fair scheduling).
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::cache::{CacheStats, ClusterCache, ClusterKey};
+use crate::registry::{Catalog, RelationId};
+use crate::scheduler::{ChunkScheduler, FairnessPolicy};
+use rdx_cache::CacheParams;
+use rdx_core::budget::{BudgetError, MemoryBudget};
+use rdx_core::strategy::planner::{
+    plan_by_cost_with_threads, predict_streaming_cost, streaming_bytes_per_row,
+};
+use rdx_core::strategy::{DsmPostProjection, MaterializeSink, QuerySpec};
+use rdx_dsm::{DsmRelation, ResultRelation};
+use rdx_exec::{DsmPipelineRun, ExecPolicy, ProjectionPipeline};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The modeled memory hierarchy (planning input).
+    pub params: CacheParams,
+    /// Global memory budget split across admitted queries.
+    pub global_budget: MemoryBudget,
+    /// Maximum concurrently admitted queries.
+    pub max_concurrent: usize,
+    /// Worker threads each chunk runs on (`0` = auto-detect).
+    pub threads_per_query: usize,
+    /// Byte budget of the clustered-join-index cache (`0` disables it).
+    pub cache_bytes: usize,
+    /// How the chunk scheduler weighs queries.
+    pub fairness: FairnessPolicy,
+    /// How many ways the shared cache is assumed split when *planning*
+    /// (codes, cluster specs, predicted costs).  `None` — the default —
+    /// uses `max_concurrent`.  Pinning it explicitly keeps plans, cluster
+    /// specs and hence cache keys identical across servers with different
+    /// concurrency settings, which is also what lets the conformance grid
+    /// compare a serial and a concurrent server byte for byte.
+    pub plan_shares: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            params: CacheParams::paper_pentium4(),
+            global_budget: MemoryBudget::unbounded(),
+            max_concurrent: 4,
+            threads_per_query: 1,
+            cache_bytes: 64 << 20,
+            fairness: FairnessPolicy::CostWeighted,
+            plan_shares: None,
+        }
+    }
+}
+
+/// One projection query over registered relations: the serving-layer form
+/// of the paper's `SELECT a₁.. b₁.. FROM larger, smaller WHERE key = key`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerRequest {
+    /// The larger (probing) relation.
+    pub larger: RelationId,
+    /// The smaller (build) relation.
+    pub smaller: RelationId,
+    /// Columns projected from each side.
+    pub spec: QuerySpec,
+    /// Optional per-query cap, applied on top of the admission grant.
+    pub budget_hint: Option<MemoryBudget>,
+}
+
+impl ServerRequest {
+    /// A request projecting `spec` from the pair `(larger, smaller)`.
+    pub fn new(larger: RelationId, smaller: RelationId, spec: QuerySpec) -> Self {
+        ServerRequest {
+            larger,
+            smaller,
+            spec,
+            budget_hint: None,
+        }
+    }
+
+    /// Caps this query's share at `budget` even if admission offers more.
+    pub fn with_budget_hint(mut self, budget: MemoryBudget) -> Self {
+        self.budget_hint = Some(budget);
+        self
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// A named relation is not registered.
+    UnknownRelation(RelationId),
+    /// The spec projects more columns than a relation has.
+    TooManyColumns {
+        /// The offending relation.
+        relation: RelationId,
+        /// Columns requested.
+        requested: usize,
+        /// Columns available.
+        available: usize,
+    },
+    /// The global budget (or the request's own hint) cannot hold one
+    /// resident result row.
+    Budget(BudgetError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownRelation(id) => write!(f, "unknown relation {id}"),
+            ServeError::TooManyColumns {
+                relation,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{relation} has {available} columns, {requested} requested"
+            ),
+            ServeError::Budget(e) => write!(f, "inadmissible budget: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Per-query execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryStats {
+    /// The projection codes the planner chose.
+    pub plan: DsmPostProjection,
+    /// Whether the prepared prefix came from the clustered-index cache.
+    pub cache_hit: bool,
+    /// The admitted budget share (`usize::MAX` when unbounded).
+    pub share_bytes: usize,
+    /// Whether admission granted less than the fair share (tighter chunks).
+    pub replanned: bool,
+    /// Chunks the scheduler ran for this query.
+    pub chunks: usize,
+    /// Result rows produced.
+    pub rows: usize,
+    /// Largest observed per-chunk working set, bytes.
+    pub peak_chunk_bytes: usize,
+    /// Predicted *per-chunk* second-side streaming cost at this query's
+    /// cache share, in modeled milliseconds (the total streaming prediction
+    /// divided by the planned chunk count) — the stride the cost-weighted
+    /// scheduler charges per dispatched chunk.
+    pub predicted_chunk_cost_ms: f64,
+    /// Time from batch start to admission.
+    pub wait: Duration,
+    /// Time from admission to completion (interleaved wall clock).
+    pub service: Duration,
+}
+
+/// A completed request: the materialised result plus its statistics.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The projected result relation.
+    pub result: ResultRelation,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// The outcome of one request in a batch.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The request as submitted.
+    pub request: ServerRequest,
+    /// The result, or why it was refused.
+    pub outcome: Result<QueryResult, ServeError>,
+}
+
+/// Batch-level statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Peak over time of `Σ` active queries' planned working-set bounds —
+    /// the number the "admission never over-commits" guarantee is asserted
+    /// against (`≤ global_budget` whenever the budget is bounded).
+    pub peak_concurrent_bytes: usize,
+    /// Most queries in flight at once.
+    pub peak_concurrency: usize,
+    /// Total chunks dispatched.
+    pub chunks_dispatched: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Clustered-index cache counters after the batch.
+    pub cache: CacheStats,
+}
+
+/// A served batch: per-request outcomes (in request order) plus batch stats.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One outcome per submitted request, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Batch-level statistics.
+    pub stats: BatchStats,
+}
+
+/// One admitted, in-flight query: a parked resumable pipeline run plus its
+/// sink and accounting — the session state the scheduler interleaves.
+struct QuerySession<'a> {
+    request_index: usize,
+    request: ServerRequest,
+    run: DsmPipelineRun<'a>,
+    sink: MaterializeSink,
+    share: MemoryBudget,
+    stats: QueryStats,
+    admitted_at: Instant,
+}
+
+/// The multi-query serving layer.
+///
+/// ```
+/// use rdx_serve::{RdxServer, ServeConfig, ServerRequest};
+/// use rdx_core::strategy::QuerySpec;
+/// use rdx_workload::JoinWorkloadBuilder;
+///
+/// let mut server = RdxServer::new(ServeConfig::default());
+/// let w = JoinWorkloadBuilder::equal(2_000, 1).build();
+/// let larger = server.register(w.larger.clone());
+/// let smaller = server.register(w.smaller.clone());
+/// let report = server.run_batch(&[ServerRequest::new(larger, smaller, QuerySpec::symmetric(1))]);
+/// let result = report.outcomes[0].outcome.as_ref().unwrap();
+/// assert_eq!(result.result.cardinality(), w.expected_matches);
+/// ```
+pub struct RdxServer {
+    config: ServeConfig,
+    catalog: Catalog,
+    cache: ClusterCache,
+    shared_params: CacheParams,
+}
+
+impl RdxServer {
+    /// A server with an empty catalog and a cold cache.
+    ///
+    /// # Panics
+    /// Panics if `config.max_concurrent == 0`.
+    pub fn new(config: ServeConfig) -> Self {
+        assert!(config.max_concurrent >= 1, "must serve at least one query");
+        // Every per-query plan is priced and clustered against a 1/k share
+        // of the cache — conservative when fewer queries are active, but it
+        // keeps cluster specs (and so cache keys) stable across admission
+        // states.
+        let shares = config.plan_shares.unwrap_or(config.max_concurrent).max(1);
+        let shared_params = config.params.per_query_share(shares);
+        RdxServer {
+            shared_params,
+            catalog: Catalog::new(),
+            cache: ClusterCache::new(config.cache_bytes),
+            config,
+        }
+    }
+
+    /// Registers a relation for querying.
+    pub fn register(&mut self, relation: DsmRelation) -> RelationId {
+        self.catalog.register(relation)
+    }
+
+    /// The catalog of registered relations.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The configuration this server runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Clustered-index cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The per-query cache share plans are priced against.
+    pub fn shared_params(&self) -> &CacheParams {
+        &self.shared_params
+    }
+
+    /// Serves a batch of concurrent requests to completion.
+    ///
+    /// Requests are admitted in submission order (FIFO — admission never
+    /// skips the queue head, so arrival order bounds waiting); admitted
+    /// queries progress one chunk at a time under the fairness policy.  The
+    /// report carries one outcome per request, in submission order.
+    pub fn run_batch(&mut self, requests: &[ServerRequest]) -> BatchReport {
+        let started = Instant::now();
+        let config = &self.config;
+        let shared_params = &self.shared_params;
+        let catalog = &self.catalog;
+        let cache = &mut self.cache;
+
+        let mut admission = AdmissionController::new(config.global_budget, config.max_concurrent);
+        let mut scheduler = ChunkScheduler::new(config.fairness);
+        let mut outcomes: Vec<Option<QueryOutcome>> = Vec::new();
+        outcomes.resize_with(requests.len(), || None);
+        let mut stats = BatchStats::default();
+
+        // Validate up front: invalid requests fail fast and never occupy a
+        // queue slot.
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (i, request) in requests.iter().enumerate() {
+            match validate(catalog, request) {
+                Ok(()) => queue.push_back(i),
+                Err(e) => {
+                    outcomes[i] = Some(QueryOutcome {
+                        request: *request,
+                        outcome: Err(e),
+                    })
+                }
+            }
+        }
+
+        let mut sessions: Vec<QuerySession<'_>> = Vec::new();
+        loop {
+            // Admit from the queue head while budget and slots allow.
+            while let Some(&next) = queue.front() {
+                let request = requests[next];
+                let effective_row_bytes = streaming_bytes_per_row(&request.spec);
+                // A hint below the one-row floor can never run; reject before
+                // it holds up the queue.
+                if let Some(hint) = request.budget_hint {
+                    if let Err(e) = hint.check_one_row(effective_row_bytes) {
+                        queue.pop_front();
+                        outcomes[next] = Some(QueryOutcome {
+                            request,
+                            outcome: Err(ServeError::Budget(e)),
+                        });
+                        continue;
+                    }
+                }
+                match admission.try_admit(effective_row_bytes) {
+                    AdmissionDecision::Queue => break,
+                    AdmissionDecision::Reject(e) => {
+                        queue.pop_front();
+                        outcomes[next] = Some(QueryOutcome {
+                            request,
+                            outcome: Err(ServeError::Budget(e)),
+                        });
+                    }
+                    AdmissionDecision::Admit { share, replanned } => {
+                        queue.pop_front();
+                        let session = admit(
+                            next,
+                            request,
+                            share,
+                            replanned,
+                            catalog,
+                            cache,
+                            shared_params,
+                            config,
+                            started,
+                        );
+                        scheduler.add(next, session.stats.predicted_chunk_cost_ms);
+                        sessions.push(session);
+                    }
+                }
+            }
+
+            stats.peak_concurrency = stats.peak_concurrency.max(sessions.len());
+            let concurrent_bytes: usize = sessions
+                .iter()
+                .map(|s| s.run.streaming().max_working_set_bytes())
+                .sum();
+            stats.peak_concurrent_bytes = stats.peak_concurrent_bytes.max(concurrent_bytes);
+            if config.global_budget.is_bounded() {
+                debug_assert!(concurrent_bytes <= config.global_budget.limit_bytes());
+            }
+
+            // One chunk of one query, per the fairness policy.
+            let Some(id) = scheduler.dispatch() else {
+                debug_assert!(queue.is_empty(), "queued work with nothing admitted");
+                break;
+            };
+            let pos = sessions
+                .iter()
+                .position(|s| s.request_index == id)
+                .expect("scheduled session vanished");
+            let session = &mut sessions[pos];
+            if session.run.step(&mut session.sink).is_some() {
+                stats.chunks_dispatched += 1;
+            } else {
+                // Completed: account, release the grant, free the slot.
+                scheduler.remove(id);
+                admission.release(session.share);
+                let mut session = sessions.swap_remove(pos);
+                let run_stats = session.run.run_stats();
+                session.stats.chunks = run_stats.chunks_emitted;
+                session.stats.rows = run_stats.rows_emitted;
+                session.stats.peak_chunk_bytes = run_stats.peak_chunk_bytes;
+                session.stats.service = session.admitted_at.elapsed();
+                outcomes[session.request_index] = Some(QueryOutcome {
+                    request: session.request,
+                    outcome: Ok(QueryResult {
+                        result: session.sink.into_result(),
+                        stats: session.stats,
+                    }),
+                });
+            }
+        }
+
+        stats.wall = started.elapsed();
+        stats.cache = cache.stats();
+        BatchReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("request left unresolved"))
+                .collect(),
+            stats,
+        }
+    }
+}
+
+/// Request validation against the catalog.
+fn validate(catalog: &Catalog, request: &ServerRequest) -> Result<(), ServeError> {
+    let larger = catalog
+        .get(request.larger)
+        .ok_or(ServeError::UnknownRelation(request.larger))?;
+    let smaller = catalog
+        .get(request.smaller)
+        .ok_or(ServeError::UnknownRelation(request.smaller))?;
+    if request.spec.project_larger > larger.width() {
+        return Err(ServeError::TooManyColumns {
+            relation: request.larger,
+            requested: request.spec.project_larger,
+            available: larger.width(),
+        });
+    }
+    if request.spec.project_smaller > smaller.width() {
+        return Err(ServeError::TooManyColumns {
+            relation: request.smaller,
+            requested: request.spec.project_smaller,
+            available: smaller.width(),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the in-flight session for an admitted request: plan codes, cache
+/// lookup (or prepare), streaming run under the granted share.
+#[allow(clippy::too_many_arguments)]
+fn admit<'a>(
+    request_index: usize,
+    request: ServerRequest,
+    share: MemoryBudget,
+    replanned: bool,
+    catalog: &'a Catalog,
+    cache: &mut ClusterCache,
+    shared_params: &CacheParams,
+    config: &ServeConfig,
+    batch_started: Instant,
+) -> QuerySession<'a> {
+    let larger = catalog.get(request.larger).expect("validated");
+    let smaller = catalog.get(request.smaller).expect("validated");
+    // The effective budget: the admission grant, tightened by the request's
+    // own hint if any (a hint can only shrink the share, never grow it).
+    let effective = match request.budget_hint {
+        Some(hint) if hint.limit_bytes() < share.limit_bytes() => hint,
+        _ => share,
+    };
+    let policy = ExecPolicy::with_threads(config.threads_per_query).budget(effective);
+    let plan = plan_by_cost_with_threads(
+        larger,
+        smaller,
+        &request.spec,
+        shared_params,
+        policy.worker_threads(),
+    );
+    // Derived by the same function the prepared prefix itself uses, so the
+    // cache key can never drift from what it names.
+    let cluster = rdx_exec::dsm_cluster_spec(smaller.cardinality(), shared_params);
+    let key = ClusterKey {
+        larger: request.larger,
+        smaller: request.smaller,
+        plan,
+        cluster,
+    };
+    let pipeline = ProjectionPipeline::new(plan);
+    let (prepared, cache_hit) = cache.get_or_prepare(key, || {
+        pipeline.prepare(larger, smaller, shared_params, &policy)
+    });
+    let run = DsmPipelineRun::over_dsm(
+        prepared,
+        larger,
+        smaller,
+        &request.spec,
+        shared_params,
+        &policy,
+    );
+    let predicted_chunk_cost_ms = predict_streaming_cost(
+        run.streaming(),
+        smaller.cardinality(),
+        run.prepared().result_rows(),
+        &request.spec,
+        shared_params,
+    ) / run.streaming().num_chunks.max(1) as f64;
+    let admitted_at = Instant::now();
+    QuerySession {
+        request_index,
+        request,
+        stats: QueryStats {
+            plan,
+            cache_hit,
+            share_bytes: effective.limit_bytes(),
+            replanned,
+            chunks: 0,
+            rows: 0,
+            peak_chunk_bytes: 0,
+            predicted_chunk_cost_ms,
+            wait: admitted_at.duration_since(batch_started),
+            service: Duration::ZERO,
+        },
+        run,
+        sink: MaterializeSink::new(),
+        share,
+        admitted_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_workload::JoinWorkloadBuilder;
+
+    fn test_config(budget: MemoryBudget) -> ServeConfig {
+        ServeConfig {
+            params: CacheParams::tiny_for_tests(),
+            global_budget: budget,
+            max_concurrent: 3,
+            threads_per_query: 1,
+            cache_bytes: 1 << 20,
+            fairness: FairnessPolicy::CostWeighted,
+            plan_shares: None,
+        }
+    }
+
+    fn columns(result: &ResultRelation) -> Vec<Vec<i32>> {
+        result
+            .columns()
+            .iter()
+            .map(|c| c.as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_the_solo_executor() {
+        let w = JoinWorkloadBuilder::equal(1_500, 2).seed(31).build();
+        let mut server = RdxServer::new(test_config(MemoryBudget::bytes(8 * 1024)));
+        let larger = server.register(w.larger.clone());
+        let smaller = server.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(2);
+        let requests = vec![ServerRequest::new(larger, smaller, spec); 5];
+        let report = server.run_batch(&requests);
+        assert_eq!(report.outcomes.len(), 5);
+        assert!(report.stats.peak_concurrency >= 2);
+        assert!(report.stats.peak_concurrent_bytes <= 8 * 1024);
+        for outcome in &report.outcomes {
+            let q = outcome.outcome.as_ref().expect("query served");
+            // Byte-identical to running the server-chosen plan alone.
+            let solo = q
+                .stats
+                .plan
+                .execute(&w.larger, &w.smaller, &spec, server.shared_params());
+            assert_eq!(columns(&q.result), columns(&solo.result));
+            assert_eq!(q.stats.rows, w.expected_matches);
+            assert!(q.stats.chunks >= 1);
+            assert!(q.stats.share_bytes <= 8 * 1024);
+        }
+        // Five identical requests: one miss builds the prefix, four hits.
+        assert_eq!(report.stats.cache.misses, 1);
+        assert_eq!(report.stats.cache.hits, 4);
+        assert!(!report.outcomes[0].outcome.as_ref().unwrap().stats.cache_hit);
+        assert!(report.outcomes[4].outcome.as_ref().unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let w = JoinWorkloadBuilder::equal(1_000, 1).seed(13).build();
+        let mut server = RdxServer::new(test_config(MemoryBudget::unbounded()));
+        let larger = server.register(w.larger.clone());
+        let smaller = server.register(w.smaller.clone());
+        let request = ServerRequest::new(larger, smaller, QuerySpec::symmetric(1));
+        let cold = server.run_batch(&[request]);
+        assert!(!cold.outcomes[0].outcome.as_ref().unwrap().stats.cache_hit);
+        let warm = server.run_batch(&[request]);
+        assert!(warm.outcomes[0].outcome.as_ref().unwrap().stats.cache_hit);
+        assert_eq!(
+            columns(&cold.outcomes[0].outcome.as_ref().unwrap().result),
+            columns(&warm.outcomes[0].outcome.as_ref().unwrap().result),
+        );
+        assert_eq!(server.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn invalid_requests_fail_typed_without_blocking_valid_ones() {
+        let w = JoinWorkloadBuilder::equal(600, 1).seed(3).build();
+        let mut server = RdxServer::new(test_config(MemoryBudget::bytes(4096)));
+        let larger = server.register(w.larger.clone());
+        let smaller = server.register(w.smaller.clone());
+        let ghost = RelationId(77);
+        let spec = QuerySpec::symmetric(1);
+        let report = server.run_batch(&[
+            ServerRequest::new(ghost, smaller, spec),
+            ServerRequest::new(larger, smaller, QuerySpec::symmetric(9)),
+            // Hint below one resident row: typed budget error.
+            ServerRequest::new(larger, smaller, spec).with_budget_hint(MemoryBudget::bytes(1)),
+            ServerRequest::new(larger, smaller, spec),
+        ]);
+        assert_eq!(
+            report.outcomes[0].outcome.as_ref().unwrap_err(),
+            &ServeError::UnknownRelation(ghost)
+        );
+        assert!(matches!(
+            report.outcomes[1].outcome.as_ref().unwrap_err(),
+            ServeError::TooManyColumns { .. }
+        ));
+        assert!(matches!(
+            report.outcomes[2].outcome.as_ref().unwrap_err(),
+            ServeError::Budget(BudgetError::BelowOneRow { .. })
+        ));
+        let ok = report.outcomes[3].outcome.as_ref().unwrap();
+        assert_eq!(ok.stats.rows, w.expected_matches);
+        // Errors display something readable.
+        assert!(!ServeError::UnknownRelation(ghost).to_string().is_empty());
+    }
+
+    #[test]
+    fn global_budget_too_small_for_one_row_rejects() {
+        let w = JoinWorkloadBuilder::equal(400, 1).seed(9).build();
+        let mut config = test_config(MemoryBudget::bytes(4));
+        config.max_concurrent = 2;
+        let mut server = RdxServer::new(config);
+        let larger = server.register(w.larger.clone());
+        let smaller = server.register(w.smaller.clone());
+        let report =
+            server.run_batch(&[ServerRequest::new(larger, smaller, QuerySpec::symmetric(1))]);
+        assert!(matches!(
+            report.outcomes[0].outcome.as_ref().unwrap_err(),
+            ServeError::Budget(BudgetError::BelowOneRow { .. })
+        ));
+    }
+}

@@ -17,10 +17,12 @@
 
 pub mod builder;
 pub mod join_pair;
+pub mod mix;
 pub mod sparse;
 pub mod streaming;
 
 pub use builder::{attr_value, RelationBuilder};
 pub use join_pair::{HitRate, JoinWorkload, JoinWorkloadBuilder};
+pub use mix::{MixConfig, MixQuery, QueryMix, Zipf};
 pub use sparse::SparseWorkload;
 pub use streaming::BudgetedWorkload;

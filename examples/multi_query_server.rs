@@ -1,0 +1,126 @@
+//! A multi-tenant serving session: zipfian query mix through `rdx-serve`,
+//! comparing serial execution, fair chunk interleaving, and interleaving
+//! with the clustered-join-index cache warm.
+//!
+//! Run with `cargo run --release --example multi_query_server [queries]`
+//! (default 24).
+
+use radix_decluster::prelude::*;
+use radix_decluster::serve::BatchReport;
+use std::time::Duration;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn summarize(label: &str, report: &BatchReport) {
+    let mut latencies: Vec<Duration> = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.outcome.as_ref().ok())
+        .map(|q| q.stats.wait + q.stats.service)
+        .collect();
+    latencies.sort();
+    let served = latencies.len();
+    let hits = report
+        .outcomes
+        .iter()
+        .filter_map(|o| o.outcome.as_ref().ok())
+        .filter(|q| q.stats.cache_hit)
+        .count();
+    let wall = report.stats.wall.as_secs_f64();
+    println!(
+        "{label:<28} wall {:>7.1} ms  thr {:>6.1} q/s  p50 {:>7.1} ms  p99 {:>7.1} ms  \
+         peak-conc {}  peak-bytes {:>9}  cache-hits {hits}",
+        wall * 1e3,
+        served as f64 / wall.max(1e-9),
+        percentile(&latencies, 0.50).as_secs_f64() * 1e3,
+        percentile(&latencies, 0.99).as_secs_f64() * 1e3,
+        report.stats.peak_concurrency,
+        report.stats.peak_concurrent_bytes,
+    );
+}
+
+fn main() {
+    let queries = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(24);
+
+    println!("generating the multi-tenant mix ({queries} queries, zipfian tenants)…");
+    let mix = QueryMix::generate(&MixConfig {
+        tenants: vec![(400_000, 2), (120_000, 4), (40_000, 1), (12_000, 2)],
+        queries,
+        zipf_exponent: 1.0,
+        seed: 7,
+    });
+    println!(
+        "tenant popularity: {:?}  (repeat factor {:.1}×)",
+        mix.popularity(),
+        mix.repeat_factor()
+    );
+
+    // Global budget: a quarter of the hottest tenant's data, split across
+    // up to four admitted queries.
+    let budget = MemoryBudget::bytes(mix.tenant_data_bytes(0) / 4);
+    let base = ServeConfig {
+        params: CacheParams::paper_pentium4(),
+        global_budget: budget,
+        max_concurrent: 4,
+        threads_per_query: 1,
+        cache_bytes: 0,
+        fairness: FairnessPolicy::CostWeighted,
+        plan_shares: Some(4),
+    };
+
+    let build_requests = |server: &mut RdxServer| -> Vec<ServerRequest> {
+        let ids: Vec<(RelationId, RelationId)> = mix
+            .tenants
+            .iter()
+            .map(|w| {
+                (
+                    server.register(w.larger.clone()),
+                    server.register(w.smaller.clone()),
+                )
+            })
+            .collect();
+        mix.queries
+            .iter()
+            .map(|q| {
+                let (larger, smaller) = ids[q.tenant];
+                ServerRequest::new(larger, smaller, QuerySpec::symmetric(q.project))
+            })
+            .collect()
+    };
+
+    // 1. Serial: one query at a time, no reuse.
+    let mut serial = RdxServer::new(ServeConfig {
+        max_concurrent: 1,
+        ..base.clone()
+    });
+    let requests = build_requests(&mut serial);
+    summarize("serial (no cache)", &serial.run_batch(&requests));
+
+    // 2. Interleaved: admission + fair chunk scheduling, still cold.
+    let mut interleaved = RdxServer::new(base.clone());
+    let requests = build_requests(&mut interleaved);
+    summarize("interleaved (no cache)", &interleaved.run_batch(&requests));
+
+    // 3. Interleaved + clustered-index cache, cold then warm pass.
+    let mut cached = RdxServer::new(ServeConfig {
+        cache_bytes: 256 << 20,
+        ..base
+    });
+    let requests = build_requests(&mut cached);
+    summarize("interleaved + cache (cold)", &cached.run_batch(&requests));
+    summarize("interleaved + cache (warm)", &cached.run_batch(&requests));
+    let stats = cached.cache_stats();
+    println!(
+        "cache after both passes: {} hits / {} misses / {} evictions, {} B resident",
+        stats.hits, stats.misses, stats.evictions, stats.resident_bytes
+    );
+}

@@ -24,7 +24,13 @@
 //!   strategy executors (all byte-identical to their sequential
 //!   counterparts), and the memory-budgeted **streaming projection
 //!   pipeline** (`exec::pipeline`) that emits the result in chunks sized by
-//!   a `core::budget::MemoryBudget` through a `RowChunkSink`.
+//!   a `core::budget::MemoryBudget` through a `RowChunkSink` — resumable
+//!   chunk by chunk (`exec::PipelineRun`).
+//! * [`serve`] — the cache-aware **multi-query serving layer**: a relation
+//!   catalog, an admission controller splitting one global memory budget
+//!   into per-query shares, a fair (stride) chunk scheduler interleaving
+//!   concurrent queries at chunk boundaries, and a byte-budgeted LRU cache
+//!   of clustered join indexes for cross-query reuse.
 //!
 //! ## Quickstart
 //!
@@ -48,24 +54,32 @@ pub use rdx_cost as cost;
 pub use rdx_dsm as dsm;
 pub use rdx_exec as exec;
 pub use rdx_nsm as nsm;
+pub use rdx_serve as serve;
 pub use rdx_workload as workload;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use rdx_cache::{CacheParams, MemorySystem};
-    pub use rdx_core::budget::MemoryBudget;
+    pub use rdx_core::budget::{BudgetError, MemoryBudget};
     pub use rdx_core::cluster::{radix_cluster, RadixClusterSpec};
     pub use rdx_core::decluster::radix_decluster;
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{
-        DsmPostProjection, MaterializeSink, ProjectionCode, QuerySpec, RowChunkSink, SecondSideCode,
+        plan_streaming, plan_streaming_checked, CountingSink, DsmPostProjection, MaterializeSink,
+        PagedSink, ProjectionCode, QuerySpec, RowChunkSink, SecondSideCode, StreamingPlan,
     };
     pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
     pub use rdx_exec::{
         par_dsm_post_projection, par_nsm_post_projection_decluster, par_partitioned_hash_join,
-        par_radix_cluster, par_radix_cluster_oids, par_radix_decluster, ExecPolicy,
-        ProjectionPipeline,
+        par_radix_cluster, par_radix_cluster_oids, par_radix_decluster, DsmPipelineRun, ExecPolicy,
+        PipelineRun, PreparedProjection, ProjectionPipeline,
     };
     pub use rdx_nsm::NsmRelation;
-    pub use rdx_workload::{self as workload, JoinWorkloadBuilder, RelationBuilder};
+    pub use rdx_serve::{
+        FairnessPolicy, RdxServer, RelationId, ServeConfig, ServeError, ServerRequest,
+    };
+    pub use rdx_workload::{
+        self as workload, BudgetedWorkload, JoinWorkloadBuilder, MixConfig, QueryMix,
+        RelationBuilder,
+    };
 }
