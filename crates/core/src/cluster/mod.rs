@@ -10,11 +10,18 @@
 //! Keys from dense oid domains are clustered without hashing; arbitrary join
 //! keys are hashed first (see [`crate::hash`]).
 
+mod scratch;
 mod spec;
 
+pub use scratch::{
+    buffered_cursor_budget, plan_cluster_passes, plan_partial_cluster, scatter_cursor_budget,
+    ClusterScratch, ScatterMode, ScratchClustered, DEFAULT_SCATTER_CURSOR_BUDGET, OID_PAIR_BYTES,
+    SWWC_SLOT_ELEMS,
+};
 pub use spec::RadixClusterSpec;
 
 use crate::hash::{hash_key, radix_field, significant_bits};
+use rdx_cache::CacheParams;
 use rdx_dsm::Oid;
 
 /// The result of radix-clustering a `(key, payload)` sequence: both arrays
@@ -114,114 +121,69 @@ impl<K, P> Clustered<K, P> {
     }
 }
 
-/// Multi-pass counting-sort clustering shared by the hashed and oid variants.
-///
-/// `bucket_of` maps a key to its full radix value; the spec's `bits`/`ignore`
-/// select which field of that value drives the clustering, and `passes`
-/// determines how many left-to-right refinement passes are used.
-fn cluster_impl<K: Copy, P: Copy>(
-    keys: &[K],
-    payloads: &[P],
-    spec: RadixClusterSpec,
-    bucket_of: impl Fn(&K) -> u64,
-) -> Clustered<K, P> {
-    assert_eq!(keys.len(), payloads.len(), "keys/payloads length mismatch");
-    let n = keys.len();
-    let total_clusters = spec.num_clusters();
-
-    if spec.bits == 0 || n == 0 {
-        // Degenerate cases still uphold the `bounds.len() == H + 1` invariant:
-        // zero bits means one cluster holding everything; an empty input means
-        // `H` empty clusters.
-        let mut bounds = vec![0usize; total_clusters];
-        bounds.push(n);
-        return Clustered {
-            keys: keys.to_vec(),
-            payloads: payloads.to_vec(),
-            bounds,
-            spec,
-        };
-    }
-
-    let mut cur_keys = keys.to_vec();
-    let mut cur_pay = payloads.to_vec();
-    let mut out_keys = cur_keys.clone();
-    let mut out_pay = cur_pay.clone();
-    let mut segments: Vec<usize> = vec![0, n];
-
-    // Bits used by each pass, leftmost (most significant of the B-bit field)
-    // first, exactly as §2.2 describes.
-    let pass_bits = spec.pass_bits();
-    let mut bits_remaining = spec.bits;
-
-    for bp in pass_bits {
-        bits_remaining -= bp;
-        let shift = spec.ignore + bits_remaining;
-        let hp = 1usize << bp;
-        let mask = (hp - 1) as u64;
-
-        let mut new_segments = Vec::with_capacity((segments.len() - 1) * hp + 1);
-        let mut counts = vec![0usize; hp];
-
-        for seg in segments.windows(2) {
-            let (s, e) = (seg[0], seg[1]);
-            counts.iter_mut().for_each(|c| *c = 0);
-            for k in &cur_keys[s..e] {
-                let b = ((bucket_of(k) >> shift) & mask) as usize;
-                counts[b] += 1;
-            }
-            // Exclusive prefix sums become both the scatter cursors and the
-            // new segment boundaries.
-            let mut cursor = s;
-            let mut offsets = vec![0usize; hp];
-            for b in 0..hp {
-                offsets[b] = cursor;
-                new_segments.push(cursor);
-                cursor += counts[b];
-            }
-            debug_assert_eq!(cursor, e);
-            for i in s..e {
-                let b = ((bucket_of(&cur_keys[i]) >> shift) & mask) as usize;
-                let dst = offsets[b];
-                offsets[b] += 1;
-                out_keys[dst] = cur_keys[i];
-                out_pay[dst] = cur_pay[i];
-            }
-        }
-        new_segments.push(n);
-        segments = new_segments;
-        std::mem::swap(&mut cur_keys, &mut out_keys);
-        std::mem::swap(&mut cur_pay, &mut out_pay);
-    }
-
-    debug_assert_eq!(segments.len(), total_clusters + 1);
-    Clustered {
-        keys: cur_keys,
-        payloads: cur_pay,
-        bounds: segments,
-        spec,
-    }
-}
-
 /// Radix-clusters `(key, payload)` pairs on the hashed key (the join-input
 /// case): `radix_cluster(B, P)` of §2.2.
+///
+/// Allocates a one-shot [`ClusterScratch`]; callers on a hot path should
+/// hold their own and use [`radix_cluster_with_scratch`] instead.
 pub fn radix_cluster<P: Copy>(
     keys: &[u64],
     payloads: &[P],
     spec: RadixClusterSpec,
 ) -> Clustered<u64, P> {
-    cluster_impl(keys, payloads, spec, |&k| hash_key(k))
+    radix_cluster_with_scratch(
+        keys,
+        payloads,
+        spec,
+        ScatterMode::Auto,
+        &mut ClusterScratch::new(),
+    )
+}
+
+/// [`radix_cluster`] with caller-provided working memory and an explicit
+/// scatter mode: the returned [`Clustered`] is the only per-call allocation
+/// once the scratch has warmed up, and each key is hashed exactly once per
+/// pass.  Output is byte-identical to [`radix_cluster`] for every mode.
+pub fn radix_cluster_with_scratch<P: Copy>(
+    keys: &[u64],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    mode: ScatterMode,
+    scratch: &mut ClusterScratch<u64, P>,
+) -> Clustered<u64, P> {
+    scratch.cluster_by(keys, payloads, spec, mode, |&k| hash_key(k))
 }
 
 /// Radix-clusters `(oid, payload)` pairs on the *unhashed* oid value (the
 /// join-index case of §3.1): oids come from a dense domain, so the radix bits
 /// of the value itself are already uniform and order-preserving.
+///
+/// Allocates a one-shot [`ClusterScratch`]; callers on a hot path should
+/// hold their own and use [`radix_cluster_oids_with_scratch`] instead.
 pub fn radix_cluster_oids<P: Copy>(
     oids: &[Oid],
     payloads: &[P],
     spec: RadixClusterSpec,
 ) -> Clustered<Oid, P> {
-    cluster_impl(oids, payloads, spec, |&o| o as u64)
+    radix_cluster_oids_with_scratch(
+        oids,
+        payloads,
+        spec,
+        ScatterMode::Auto,
+        &mut ClusterScratch::new(),
+    )
+}
+
+/// [`radix_cluster_oids`] with caller-provided working memory and an
+/// explicit scatter mode (see [`radix_cluster_with_scratch`]).
+pub fn radix_cluster_oids_with_scratch<P: Copy>(
+    oids: &[Oid],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    mode: ScatterMode,
+    scratch: &mut ClusterScratch<Oid, P>,
+) -> Clustered<Oid, P> {
+    scratch.cluster_by(oids, payloads, spec, mode, |&o| o as u64)
 }
 
 /// Radix-Sort of an oid column: a Radix-Cluster on *all* significant bits with
@@ -233,13 +195,45 @@ pub fn radix_sort_oids<P: Copy>(oids: &[Oid], payloads: &[P], domain: usize) -> 
 }
 
 /// The clustering configuration [`radix_sort_oids`] uses for a dense oid
-/// `domain`: all significant bits, no ignore bits, two passes once a single
-/// pass would need more than 2048 output cursors.  Shared with the parallel
-/// sort in `rdx-exec` so the two can never drift apart.
+/// `domain`: all significant bits, no ignore bits, and a pass count that
+/// keeps every pass's cursor set within the
+/// [`DEFAULT_SCATTER_CURSOR_BUDGET`] of 2048 — the documented fallback for
+/// when no measured [`CacheParams`] is at hand (it reproduces the seed
+/// kernel's `bits > 11 → 2 passes` rule exactly).  Shared with the parallel
+/// sort in `rdx-exec` so the two can never drift apart; callers that *do*
+/// know their hardware should use [`radix_sort_spec_for`].
 pub fn radix_sort_spec(domain: usize) -> RadixClusterSpec {
     let bits = significant_bits(domain);
-    let passes = if bits > 11 { 2 } else { 1 };
-    RadixClusterSpec::partial(bits, passes, 0)
+    RadixClusterSpec::partial(
+        bits,
+        passes_for_budget(bits, DEFAULT_SCATTER_CURSOR_BUDGET),
+        0,
+    )
+}
+
+/// [`radix_sort_spec`] with the pass threshold derived from the hardware
+/// model instead of the 2048-cursor default: a pass never creates more
+/// cursors than [`scatter_cursor_budget`] allows, so the pass rule and the
+/// cost-model planner can never disagree about where single-pass clustering
+/// stops scaling.  (For [`CacheParams::paper_pentium4`] the derived budget
+/// *is* 2048, so the two functions agree there.)
+pub fn radix_sort_spec_for(domain: usize, params: &CacheParams) -> RadixClusterSpec {
+    let bits = significant_bits(domain);
+    RadixClusterSpec::partial(
+        bits,
+        passes_for_budget(bits, scatter_cursor_budget(params)),
+        0,
+    )
+}
+
+/// Smallest pass count splitting `bits` so no pass exceeds `cursor_budget`
+/// output cursors.
+pub fn passes_for_budget(bits: u32, cursor_budget: usize) -> u32 {
+    if bits == 0 {
+        return 1;
+    }
+    let bits_per_pass = (usize::BITS - 1 - cursor_budget.max(2).leading_zeros()).max(1);
+    bits.div_ceil(bits_per_pass).max(1)
 }
 
 /// `radix_count`: recomputes the cluster sizes (as boundary offsets) of an
@@ -420,5 +414,60 @@ mod tests {
     #[should_panic]
     fn mismatched_lengths_panic() {
         radix_cluster(&[1u64], &[1u32, 2], RadixClusterSpec::single_pass(1));
+    }
+
+    #[test]
+    fn with_scratch_single_pass_and_zero_bits_match_the_wrapper() {
+        // The degenerate (`bits == 0`) and 1-pass paths are where the seed
+        // kernel wasted its flip-buffer copies; the arena paths must agree
+        // with the wrappers bit for bit on both, across scratch reuse.
+        let oids = shuffled_oids(2_000, 11);
+        let payloads: Vec<u32> = (0..2_000).collect();
+        let mut scratch = ClusterScratch::new();
+        for spec in [
+            RadixClusterSpec::single_pass(0),
+            RadixClusterSpec::single_pass(5),
+            RadixClusterSpec::partial(6, 1, 3),
+        ] {
+            let expected = radix_cluster_oids(&oids, &payloads, spec);
+            for mode in [ScatterMode::Plain, ScatterMode::Buffered, ScatterMode::Auto] {
+                let got =
+                    radix_cluster_oids_with_scratch(&oids, &payloads, spec, mode, &mut scratch);
+                assert_eq!(got, expected, "spec {spec:?} mode {mode:?}");
+            }
+        }
+        // Hashed-key variant too, 1-pass.
+        let keys: Vec<u64> = (0..1_000).collect();
+        let pay = vec![(); 1_000];
+        let spec = RadixClusterSpec::single_pass(4);
+        let mut hscratch = ClusterScratch::new();
+        assert_eq!(
+            radix_cluster_with_scratch(&keys, &pay, spec, ScatterMode::Buffered, &mut hscratch),
+            radix_cluster(&keys, &pay, spec),
+        );
+    }
+
+    #[test]
+    fn radix_sort_spec_for_derives_the_documented_default_on_the_paper_platform() {
+        let p = CacheParams::paper_pentium4();
+        // The derived budget is exactly 2048, so the two rules agree for
+        // every domain the 2048-fallback handles with ≤ 2 passes.
+        for domain in [100usize, 2_048, 10_000, 1 << 20, 1 << 22] {
+            assert_eq!(radix_sort_spec_for(domain, &p), radix_sort_spec(domain));
+        }
+        assert_eq!(radix_sort_spec(10_000).passes, 2);
+        assert_eq!(radix_sort_spec(2_048).passes, 1);
+        // A smaller cache tightens the threshold: the tiny hierarchy's
+        // budget is 64 cursors, so 10 bits already need two passes.
+        let tiny = CacheParams::tiny_for_tests();
+        assert_eq!(scatter_cursor_budget(&tiny), 64);
+        assert_eq!(radix_sort_spec_for(1 << 10, &tiny).passes, 2);
+        assert_eq!(radix_sort_spec_for(1 << 5, &tiny).passes, 1);
+        // The helper floors sanely.
+        assert_eq!(passes_for_budget(0, 2048), 1);
+        assert_eq!(passes_for_budget(11, 2048), 1);
+        assert_eq!(passes_for_budget(12, 2048), 2);
+        assert_eq!(passes_for_budget(33, 2048), 3);
+        assert_eq!(passes_for_budget(4, 1), 4);
     }
 }

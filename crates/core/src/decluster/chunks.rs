@@ -28,7 +28,22 @@ pub struct ChunkRuns {
     pub runs: Vec<Range<usize>>,
 }
 
+impl Default for ChunkRuns {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl ChunkRuns {
+    /// An empty chunk, for use as the reusable target of
+    /// [`ChunkCursorState::next_chunk_into`].
+    pub fn empty() -> Self {
+        ChunkRuns {
+            result_range: 0..0,
+            runs: Vec::new(),
+        }
+    }
+
     /// Number of result rows (= clustered tuples) in this chunk.
     pub fn len(&self) -> usize {
         self.result_range.len()
@@ -43,36 +58,60 @@ impl ChunkRuns {
     /// (`runs.len() + 1` offsets), in the shape [`super::radix_decluster`]
     /// expects for `bounds`.
     pub fn local_bounds(&self) -> Vec<usize> {
-        let mut bounds = Vec::with_capacity(self.runs.len() + 1);
+        let mut bounds = Vec::new();
+        self.local_bounds_into(&mut bounds);
+        bounds
+    }
+
+    /// [`ChunkRuns::local_bounds`] into a reused buffer (cleared first):
+    /// allocation-free once the buffer has grown to the run count.
+    pub fn local_bounds_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(self.runs.len() + 1);
         let mut acc = 0;
-        bounds.push(0);
+        out.push(0);
         for r in &self.runs {
             acc += r.len();
-            bounds.push(acc);
+            out.push(acc);
         }
-        bounds
     }
 
     /// The chunk-local result positions: `positions` restricted to the runs
     /// and rebased by `result_range.start`, a permutation of
     /// `0..self.len()` ascending within every run.
     pub fn rebased_positions(&self, positions: &[Oid]) -> Vec<Oid> {
+        let mut out = Vec::new();
+        self.rebased_positions_into(positions, &mut out);
+        out
+    }
+
+    /// [`ChunkRuns::rebased_positions`] into a reused buffer (cleared
+    /// first): allocation-free once the buffer has grown to the chunk size.
+    pub fn rebased_positions_into(&self, positions: &[Oid], out: &mut Vec<Oid>) {
         let base = self.result_range.start as Oid;
-        let mut out = Vec::with_capacity(self.len());
+        out.clear();
+        out.reserve(self.len());
         for r in &self.runs {
             out.extend(positions[r.clone()].iter().map(|&p| p - base));
         }
-        out
     }
 
     /// Gathers `src` over the runs into a chunk-local contiguous vector
     /// (e.g. the clustered smaller-side oids feeding a positional join).
     pub fn gather<T: Copy>(&self, src: &[T]) -> Vec<T> {
-        let mut out = Vec::with_capacity(self.len());
+        let mut out = Vec::new();
+        self.gather_into(src, &mut out);
+        out
+    }
+
+    /// [`ChunkRuns::gather`] into a reused buffer (cleared first):
+    /// allocation-free once the buffer has grown to the chunk size.
+    pub fn gather_into<T: Copy>(&self, src: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(self.len());
         for r in &self.runs {
             out.extend_from_slice(&src[r.clone()]);
         }
-        out
     }
 
     /// Calls `f(clustered_index)` for every clustered tuple of the chunk, in
@@ -132,9 +171,20 @@ impl ChunkCursorState {
     /// `result_end` is clamped to `N`; calls must use non-decreasing
     /// `result_end` and the same `positions` slice throughout the sweep.
     pub fn next_chunk(&mut self, positions: &[Oid], result_end: usize) -> ChunkRuns {
+        let mut chunk = ChunkRuns::empty();
+        self.next_chunk_into(positions, result_end, &mut chunk);
+        chunk
+    }
+
+    /// [`ChunkCursorState::next_chunk`] into a reused [`ChunkRuns`] (its run
+    /// list is cleared first): allocation-free once the run list has grown
+    /// to the live-cluster count — what the streaming pipeline's
+    /// zero-allocation steady state uses.
+    pub fn next_chunk_into(&mut self, positions: &[Oid], result_end: usize, chunk: &mut ChunkRuns) {
         let result_end = result_end.min(positions.len());
         let start = self.consumed;
-        let mut runs = Vec::new();
+        let runs = &mut chunk.runs;
+        runs.clear();
         for c in &mut self.cursors {
             let (cursor, end) = *c;
             if cursor >= end {
@@ -149,10 +199,7 @@ impl ChunkCursorState {
         let produced: usize = runs.iter().map(|r| r.len()).sum();
         self.consumed += produced;
         debug_assert_eq!(self.consumed, result_end.max(start));
-        ChunkRuns {
-            result_range: start..self.consumed,
-            runs,
-        }
+        chunk.result_range = start..self.consumed;
     }
 }
 
@@ -325,6 +372,29 @@ mod tests {
             assert_eq!(state.consumed(), wrapper.consumed());
         }
         assert!(wrapper.is_done());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones_across_reuse() {
+        let (values, positions, bounds) = clustered_input(2_048, 5, 23);
+        let mut state = ChunkCursorState::new(&bounds);
+        let mut reused = ChunkRuns::empty();
+        let mut reused_state = ChunkCursorState::new(&bounds);
+        let (mut oids_buf, mut pos_buf, mut bounds_buf) = (Vec::new(), Vec::new(), Vec::new());
+        let mut end = 0;
+        while !state.is_done(positions.len()) {
+            end += 300;
+            let fresh = state.next_chunk(&positions, end);
+            reused_state.next_chunk_into(&positions, end, &mut reused);
+            assert_eq!(reused, fresh);
+            fresh.gather_into(&values, &mut oids_buf);
+            assert_eq!(oids_buf, fresh.gather(&values));
+            fresh.rebased_positions_into(&positions, &mut pos_buf);
+            assert_eq!(pos_buf, fresh.rebased_positions(&positions));
+            fresh.local_bounds_into(&mut bounds_buf);
+            assert_eq!(bounds_buf, fresh.local_bounds());
+        }
+        assert!(ChunkRuns::empty().is_empty());
     }
 
     #[test]

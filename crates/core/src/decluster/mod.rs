@@ -65,34 +65,85 @@ pub fn radix_decluster<T: Copy + Default>(
     bounds: &[usize],
     window_bytes: usize,
 ) -> Vec<T> {
+    debug_assert!(validate_inputs(result_positions, bounds));
+    let mut result = vec![T::default(); values.len()];
+    radix_decluster_into(
+        values,
+        result_positions,
+        bounds,
+        window_bytes,
+        &mut DeclusterScratch::new(),
+        &mut result,
+    );
+    result
+}
+
+/// The reusable working memory of a Radix-Decluster sweep: the live-cluster
+/// cursor array.  One scratch serves any number of
+/// [`radix_decluster_into`] / [`radix_decluster_windows_with_scratch`] calls
+/// of any size, so a caller declustering per chunk or per query allocates
+/// nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct DeclusterScratch {
+    clusters: Vec<(usize, usize)>,
+}
+
+impl DeclusterScratch {
+    /// An empty scratch; the cursor array grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Radix-Decluster into a caller-provided output slice: no allocation, no
+/// zero-fill.  `out` must hold exactly `values.len()` elements; every slot
+/// is overwritten (the result positions are a permutation), so its prior
+/// contents are irrelevant — which is exactly why the per-call
+/// `vec![T::default(); n]` of [`radix_decluster`] is pure waste for callers
+/// that hold a reusable buffer.
+///
+/// Unlike the allocating wrapper, this hot-path entry point does **not**
+/// re-validate the two §3.2 ordering properties per call (beyond the length
+/// assertions); they are established by the clustering that produced the
+/// input and checked by the allocating wrappers' debug assertions.
+///
+/// # Panics
+/// Panics if the slices disagree in length, `out` has the wrong length, or
+/// the borders do not cover the input.
+pub fn radix_decluster_into<T: Copy>(
+    values: &[T],
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_bytes: usize,
+    scratch: &mut DeclusterScratch,
+    out: &mut [T],
+) {
     let n = values.len();
     assert_eq!(
         result_positions.len(),
         n,
         "values/positions length mismatch"
     );
+    assert_eq!(out.len(), n, "output length mismatch");
     assert_eq!(
         *bounds.last().unwrap_or(&0),
         n,
         "cluster borders do not cover the input"
     );
-    debug_assert!(validate_inputs(result_positions, bounds));
-
-    let mut result = vec![T::default(); n];
     if n == 0 {
-        return result;
+        return;
     }
     let elems = window_elems(window_bytes, std::mem::size_of::<T>());
     let windows = n.div_ceil(elems);
-    radix_decluster_windows(
+    radix_decluster_windows_with_scratch(
         values,
         result_positions,
         bounds,
         elems,
         0..windows,
-        &mut result,
+        scratch,
+        out,
     );
-    result
 }
 
 /// Number of tuples one insertion window of `window_bytes` holds for values of
@@ -127,26 +178,49 @@ pub fn radix_decluster_windows<T: Copy>(
     window_range: std::ops::Range<usize>,
     out: &mut [T],
 ) {
+    radix_decluster_windows_with_scratch(
+        values,
+        result_positions,
+        bounds,
+        window_elems,
+        window_range,
+        &mut DeclusterScratch::new(),
+        out,
+    );
+}
+
+/// [`radix_decluster_windows`] with a caller-provided [`DeclusterScratch`]
+/// holding the live-cluster cursor array, so repeated sweeps (per chunk, per
+/// query) allocate nothing.  Same contract and byte-identical output.
+#[inline]
+pub fn radix_decluster_windows_with_scratch<T: Copy>(
+    values: &[T],
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_elems: usize,
+    window_range: std::ops::Range<usize>,
+    scratch: &mut DeclusterScratch,
+    out: &mut [T],
+) {
     let base = window_range.start * window_elems;
 
     // Live clusters as (cursor, end) pairs: cursors pre-advanced (binary
     // search — positions are ascending within a cluster) past every tuple
     // that belongs to an earlier window range; drained clusters are dropped.
-    let mut clusters: Vec<(usize, usize)> = bounds
-        .windows(2)
-        .filter_map(|w| {
-            let (s, e) = (w[0], w[1]);
-            if s >= e {
-                return None;
-            }
-            let skip = result_positions[s..e].partition_point(|&p| (p as usize) < base);
-            if s + skip >= e {
-                None
-            } else {
-                Some((s + skip, e))
-            }
-        })
-        .collect();
+    let clusters = &mut scratch.clusters;
+    clusters.clear();
+    clusters.extend(bounds.windows(2).filter_map(|w| {
+        let (s, e) = (w[0], w[1]);
+        if s >= e {
+            return None;
+        }
+        let skip = result_positions[s..e].partition_point(|&p| (p as usize) < base);
+        if s + skip >= e {
+            None
+        } else {
+            Some((s + skip, e))
+        }
+    }));
     let mut nclusters = clusters.len();
 
     let mut window_limit = base + window_elems;
@@ -185,6 +259,10 @@ pub fn radix_decluster_windows<T: Copy>(
 /// Checks the two §3.2 properties Radix-Decluster relies on:
 /// (1) `result_positions` is a permutation of `0..N`;
 /// (2) positions are ascending within every cluster.
+///
+/// Malformed `bounds` (non-ascending, or not covering the positions) are
+/// reported as `false` rather than panicking, so callers can use this in
+/// assertions that fire with their own message.
 pub fn validate_inputs(result_positions: &[Oid], bounds: &[usize]) -> bool {
     let n = result_positions.len();
     let mut seen = vec![false; n];
@@ -196,6 +274,9 @@ pub fn validate_inputs(result_positions: &[Oid], bounds: &[usize]) -> bool {
         seen[p] = true;
     }
     for w in bounds.windows(2) {
+        if w[0] > w[1] || w[1] > n {
+            return false;
+        }
         let cluster = &result_positions[w[0]..w[1]];
         if !cluster.windows(2).all(|x| x[0] < x[1]) {
             return false;
@@ -300,6 +381,9 @@ mod tests {
         assert!(!validate_inputs(&[1, 0, 2, 3], &[0, 2, 4]));
         // A valid clustered permutation.
         assert!(validate_inputs(&[1, 3, 0, 2], &[0, 2, 4]));
+        // Malformed borders are reported, not panicked on.
+        assert!(!validate_inputs(&[0, 1], &[0, 5]));
+        assert!(!validate_inputs(&[0, 1], &[2, 1, 2]));
     }
 
     #[test]
@@ -321,6 +405,44 @@ mod tests {
         // up to half a billion tuples" (§6), for 4-byte values.
         let limit = scalability_limit(4, &params);
         assert!(limit > 400_000_000 && limit < 600_000_000, "limit {limit}");
+    }
+
+    #[test]
+    fn decluster_into_reuses_scratch_and_needs_no_default() {
+        // A Copy type without Default: `_into` never zero-fills, so the
+        // bound is genuinely weaker than the allocating wrapper's.
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        struct NoDefault(i64);
+
+        let mut scratch = DeclusterScratch::new();
+        for &n in &[1usize, 17, 1_000, 4096] {
+            let (values, positions, bounds) = clustered_input(n, 4, n as u64);
+            let wrapped: Vec<NoDefault> = values.iter().map(|&v| NoDefault(v)).collect();
+            let expected = radix_decluster(&values, &positions, &bounds, 256);
+            // Deliberately garbage-initialised output: every slot must be
+            // overwritten.
+            let mut out = vec![NoDefault(i64::MIN); n];
+            radix_decluster_into(&wrapped, &positions, &bounds, 256, &mut scratch, &mut out);
+            let got: Vec<i64> = out.iter().map(|v| v.0).collect();
+            assert_eq!(got, expected, "n={n}");
+        }
+        // Empty input is a no-op.
+        let mut out: [i32; 0] = [];
+        radix_decluster_into(&[], &[], &[0], 64, &mut scratch, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn decluster_into_rejects_wrong_output_length() {
+        let mut out = vec![0i32; 3];
+        radix_decluster_into(
+            &[1, 2],
+            &[0, 1],
+            &[0, 2],
+            64,
+            &mut DeclusterScratch::new(),
+            &mut out,
+        );
     }
 
     #[test]

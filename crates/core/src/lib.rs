@@ -37,8 +37,15 @@ pub mod strategy;
 pub mod trace;
 
 pub use budget::{BudgetError, MemoryBudget};
-pub use cluster::{radix_cluster, radix_count, radix_sort_oids, Clustered, RadixClusterSpec};
+pub use cluster::{
+    plan_cluster_passes, radix_cluster, radix_cluster_oids_with_scratch,
+    radix_cluster_with_scratch, radix_count, radix_sort_oids, scatter_cursor_budget,
+    ClusterScratch, Clustered, RadixClusterSpec, ScatterMode,
+};
 pub use decluster::chunks::{ChunkCursorState, ChunkCursors, ChunkRuns};
-pub use decluster::{choose_window_bytes, radix_decluster, radix_decluster_windows, window_elems};
+pub use decluster::{
+    choose_window_bytes, radix_decluster, radix_decluster_into, radix_decluster_windows,
+    radix_decluster_windows_with_scratch, window_elems, DeclusterScratch,
+};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

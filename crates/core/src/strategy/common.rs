@@ -6,8 +6,12 @@
 //! single projected value is fetched.  The helpers here are therefore generic
 //! over a `fetch(oid, attr) -> i32` closure.
 
-use crate::cluster::{radix_cluster_oids, radix_sort_oids, RadixClusterSpec};
+use crate::cluster::{
+    plan_cluster_passes, plan_partial_cluster, radix_cluster_oids_with_scratch, ClusterScratch,
+    RadixClusterSpec, OID_PAIR_BYTES,
+};
 use crate::decluster::{choose_window_bytes, radix_decluster};
+use crate::hash::significant_bits;
 use rdx_cache::CacheParams;
 use rdx_dsm::{JoinIndex, Oid};
 
@@ -68,17 +72,30 @@ pub fn order_join_index(
     match code {
         ProjectionCode::Unsorted => (join_index.larger().to_vec(), join_index.smaller().to_vec()),
         ProjectionCode::Sorted => {
-            let sorted =
-                radix_sort_oids(join_index.larger(), join_index.smaller(), first_cardinality);
+            // Radix-Sort on all significant bits, with passes and scatter
+            // mode from the same `plan_cluster_passes` rule the cost
+            // planner prices — priced and executed pass structures match.
+            let bits = significant_bits(first_cardinality);
+            let (passes, mode) = plan_cluster_passes(bits, OID_PAIR_BYTES, params);
+            let sorted = radix_cluster_oids_with_scratch(
+                join_index.larger(),
+                join_index.smaller(),
+                RadixClusterSpec::partial(bits, passes, 0),
+                mode,
+                &mut ClusterScratch::new(),
+            );
             (sorted.keys().to_vec(), sorted.payloads().to_vec())
         }
         ProjectionCode::PartialCluster => {
-            let spec = RadixClusterSpec::optimal_partial(
-                first_cardinality,
-                value_width,
-                params.cache_capacity(),
+            let (spec, mode) =
+                plan_partial_cluster(first_cardinality, value_width, OID_PAIR_BYTES, params);
+            let clustered = radix_cluster_oids_with_scratch(
+                join_index.larger(),
+                join_index.smaller(),
+                spec,
+                mode,
+                &mut ClusterScratch::new(),
             );
-            let clustered = radix_cluster_oids(join_index.larger(), join_index.smaller(), spec);
             (clustered.keys().to_vec(), clustered.payloads().to_vec())
         }
     }
@@ -125,10 +142,16 @@ pub fn project_second_side_decluster(
     params: &CacheParams,
 ) -> (Vec<Vec<i32>>, usize) {
     let n = second_oids_in_result_order.len();
-    let spec =
-        RadixClusterSpec::optimal_partial(second_cardinality, value_width, params.cache_capacity());
+    let (spec, mode) =
+        plan_partial_cluster(second_cardinality, value_width, OID_PAIR_BYTES, params);
     let result_positions: Vec<Oid> = (0..n as Oid).collect();
-    let clustered = radix_cluster_oids(second_oids_in_result_order, &result_positions, spec);
+    let clustered = radix_cluster_oids_with_scratch(
+        second_oids_in_result_order,
+        &result_positions,
+        spec,
+        mode,
+        &mut ClusterScratch::new(),
+    );
     let window = choose_window_bytes(value_width, clustered.num_clusters(), params);
 
     let columns = (0..n_attrs)

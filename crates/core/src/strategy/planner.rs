@@ -11,7 +11,9 @@
 //! fits-in-cache rule of [`DsmPostProjection::plan`].
 
 use crate::budget::{BudgetError, MemoryBudget};
-use crate::cluster::RadixClusterSpec;
+use crate::cluster::{
+    plan_cluster_passes, plan_partial_cluster, RadixClusterSpec, ScatterMode, OID_PAIR_BYTES,
+};
 use crate::decluster::choose_window_bytes;
 use crate::hash::significant_bits;
 use crate::strategy::common::{ProjectionCode, SecondSideCode};
@@ -23,6 +25,24 @@ use rdx_dsm::DsmRelation;
 
 /// Value width of the paper's integer attribute columns.
 const VALUE_WIDTH: usize = 4;
+
+/// Predicted cost of radix-clustering `region` into `2^bits` clusters, with
+/// the pass count and plain/buffered scatter chosen by
+/// [`plan_cluster_passes`] — so the planner prices exactly the pass
+/// structure the kernels will run, including the "one buffered pass instead
+/// of two plain ones" move.
+fn cluster_cost_millis(region: DataRegion, bits: u32, params: &CacheParams) -> f64 {
+    let (passes, mode) = plan_cluster_passes(bits, OID_PAIR_BYTES, params);
+    match mode {
+        ScatterMode::Plain | ScatterMode::Auto => {
+            cost::radix_cluster(region, bits, passes, params).millis(params)
+        }
+        ScatterMode::Buffered => {
+            cost::radix_cluster_buffered(region, bits, passes, OID_PAIR_BYTES, params)
+                .millis(params)
+        }
+    }
+}
 
 /// Predicted cost (milliseconds on the modeled platform) of the *projection
 /// phase* of a DSM post-projection with the given codes.
@@ -53,14 +73,13 @@ pub fn predict_projection_cost(
         }
         ProjectionCode::Sorted => {
             let sort_bits = significant_bits(larger_tuples);
-            cost::radix_cluster(join_index, sort_bits, 2, params).millis(params)
+            cluster_cost_millis(join_index, sort_bits, params)
                 + spec.project_larger as f64
                     * cost::positional_join_sorted(result_tuples, larger_col, VALUE_WIDTH, params)
                         .millis(params)
         }
         ProjectionCode::PartialCluster => {
-            cost::radix_cluster(join_index, first_bits, passes_for(first_bits), params)
-                .millis(params)
+            cluster_cost_millis(join_index, first_bits, params)
                 + spec.project_larger as f64
                     * cost::positional_join_clustered(
                         result_tuples,
@@ -83,8 +102,7 @@ pub fn predict_projection_cost(
                     .millis(params)
         }
         SecondSideCode::Decluster => {
-            cost::radix_cluster(join_index, second_bits, passes_for(second_bits), params)
-                .millis(params)
+            cluster_cost_millis(join_index, second_bits, params)
                 + spec.project_smaller as f64
                     * (cost::positional_join_clustered(
                         result_tuples,
@@ -197,6 +215,12 @@ pub struct StreamingPlan {
     /// [`predict_streaming_cost`] (which prices it), so the two can never
     /// drift apart.
     pub cluster_spec: RadixClusterSpec,
+    /// How that clustering scatters: plain cursors, or software
+    /// write-combining once the fan-out exceeds the plain cursor budget
+    /// (see [`plan_cluster_passes`]).  Chosen together with
+    /// `cluster_spec.passes` by [`crate::cluster::plan_partial_cluster`];
+    /// has no effect on the produced bytes, only on how fast they appear.
+    pub scatter: ScatterMode,
 }
 
 impl StreamingPlan {
@@ -241,10 +265,11 @@ pub fn plan_streaming(
     let bytes_per_row = streaming_bytes_per_row(spec);
     let chunk_rows = budget.chunk_rows(result_rows, bytes_per_row);
     let num_chunks = budget.num_chunks(result_rows, bytes_per_row);
-    let cluster_spec = RadixClusterSpec::optimal_partial(
+    let (cluster_spec, scatter) = plan_partial_cluster(
         smaller_tuples,
         smaller_value_width.max(1),
-        params.cache_capacity(),
+        OID_PAIR_BYTES,
+        params,
     );
     let window = choose_window_bytes(
         VALUE_WIDTH,
@@ -258,6 +283,7 @@ pub fn plan_streaming(
         window_bytes,
         bytes_per_row,
         cluster_spec,
+        scatter,
     }
 }
 
@@ -305,7 +331,20 @@ pub fn predict_streaming_cost(
     let smaller_col = DataRegion::new(smaller_tuples, VALUE_WIDTH);
     let join_index = DataRegion::new(result_tuples, 8);
     let bits = plan.cluster_spec.bits;
-    cost::radix_cluster(join_index, bits, plan.cluster_spec.passes, params).millis(params)
+    let cluster_millis = match plan.scatter {
+        ScatterMode::Plain | ScatterMode::Auto => {
+            cost::radix_cluster(join_index, bits, plan.cluster_spec.passes, params).millis(params)
+        }
+        ScatterMode::Buffered => cost::radix_cluster_buffered(
+            join_index,
+            bits,
+            plan.cluster_spec.passes,
+            OID_PAIR_BYTES,
+            params,
+        )
+        .millis(params),
+    };
+    cluster_millis
         + spec.project_smaller as f64
             * (cost::positional_join_clustered(
                 result_tuples,
@@ -334,14 +373,6 @@ fn optimal_bits(column_tuples: usize, cache_bytes: usize) -> u32 {
         bits += 1;
     }
     bits
-}
-
-fn passes_for(bits: u32) -> u32 {
-    if bits > 11 {
-        2
-    } else {
-        1
-    }
 }
 
 #[cfg(test)]
@@ -544,6 +575,54 @@ mod tests {
             1
         )
         .is_ok());
+    }
+
+    #[test]
+    fn streaming_plan_switches_to_one_buffered_pass_beyond_the_cursor_budget() {
+        let params = CacheParams::paper_pentium4();
+        let spec = QuerySpec::symmetric(1);
+        // Small smaller relation: few clusters, plain scatter, one pass.
+        let plain = plan_streaming(
+            1_000_000,
+            1_000_000,
+            4,
+            &spec,
+            &params,
+            MemoryBudget::unbounded(),
+            1,
+        );
+        assert_eq!(plain.scatter, ScatterMode::Plain);
+        assert_eq!(plain.cluster_spec.passes, 1);
+        // A smaller relation needing 2^12 clusters: beyond the 2048-cursor
+        // plain budget, within the write-combining staging budget — the
+        // planner now runs ONE buffered pass where the seed rule ran two
+        // plain ones, and prices it with the buffered cost term.
+        let buffered = plan_streaming(
+            1_000_000,
+            300_000_000,
+            4,
+            &spec,
+            &params,
+            MemoryBudget::unbounded(),
+            1,
+        );
+        assert_eq!(buffered.cluster_spec.bits, 12);
+        assert_eq!(buffered.scatter, ScatterMode::Buffered);
+        assert_eq!(buffered.cluster_spec.passes, 1);
+        // The buffered prediction undercuts the same plan priced as the
+        // seed's two plain passes.
+        let seed_style = StreamingPlan {
+            cluster_spec: RadixClusterSpec {
+                passes: 2,
+                ..buffered.cluster_spec
+            },
+            scatter: ScatterMode::Plain,
+            ..buffered
+        };
+        let n = 1_000_000;
+        let fast = predict_streaming_cost(&buffered, 300_000_000, n, &spec, &params);
+        let slow = predict_streaming_cost(&seed_style, 300_000_000, n, &spec, &params);
+        assert!(fast < slow, "buffered {fast} vs seed-style {slow}");
     }
 
     #[test]

@@ -1,49 +1,120 @@
 //! Parallel Radix-Cluster: per-thread local clustering + prefix-sum merge.
 //!
 //! Each worker radix-clusters one contiguous shard of the input with the
-//! sequential kernel (so every per-pass cursor set stays cache-contained *per
-//! core*), then the per-shard cluster sizes are prefix-summed into global
-//! cluster borders and the shards are merged — in worker order, so the result
-//! is **byte-identical** to the sequential [`rdx_core::cluster::radix_cluster`]:
-//! the sequential kernel is a stable counting sort, worker shards are
-//! contiguous input ranges, and concatenating each cluster's per-shard
-//! segments in shard order reproduces exactly the stable global order.
+//! sequential scatter engine **inside its own [`ClusterScratch`] arena** (so
+//! every per-pass cursor set stays cache-contained *per core* and no worker
+//! allocates per shard), then the per-shard cluster sizes are prefix-summed
+//! into global cluster borders and the shards are merged — in worker order,
+//! so the result is **byte-identical** to the sequential
+//! [`rdx_core::cluster::radix_cluster`]: the sequential kernel is a stable
+//! counting sort, worker shards are contiguous input ranges, and
+//! concatenating each cluster's per-shard segments in shard order reproduces
+//! exactly the stable global order.
 //!
-//! The merge itself is parallel too: the output arrays are split at the
-//! global cluster borders into disjoint `&mut` shards (`split_by_bounds`) and
-//! whole clusters are dealt to workers, balanced by tuple count.
+//! The merge builds the output with `Vec::with_capacity` + per-cluster
+//! `extend_from_slice` — the earlier design initialised the output with
+//! `vec![keys[0]; n]` and then overwrote every slot from worker threads,
+//! writing each output byte twice; since the initialising fill was itself a
+//! full sequential write, the fill-then-parallel-copy scheme could never
+//! beat a single sequential pass, so the double-init is simply gone.
 
-use crate::pool::{partition_ranges, run_workers, split_by_bounds, ExecPolicy};
+use crate::pool::{partition_ranges, ExecPolicy};
 use rdx_core::cluster::{
-    radix_cluster, radix_cluster_oids, radix_sort_spec, Clustered, RadixClusterSpec,
+    radix_sort_spec, ClusterScratch, Clustered, RadixClusterSpec, ScatterMode, ScratchClustered,
 };
 use rdx_dsm::Oid;
-use std::ops::Range;
+
+/// Reusable per-worker [`ClusterScratch`] arenas for the parallel cluster
+/// kernels: one arena per worker thread, grown on demand and retained
+/// across calls, so repeated parallel clusterings (per query, per batch)
+/// allocate only their outputs.
+#[derive(Debug, Default)]
+pub struct ParClusterScratch<K, P> {
+    workers: Vec<ClusterScratch<K, P>>,
+}
+
+impl<K, P> ParClusterScratch<K, P> {
+    /// An empty pool; per-worker arenas are created on first use.
+    pub fn new() -> Self {
+        ParClusterScratch {
+            workers: Vec::new(),
+        }
+    }
+
+    /// Resident heap bytes across all per-worker arenas.
+    pub fn resident_bytes(&self) -> usize {
+        self.workers.iter().map(|w| w.resident_bytes()).sum()
+    }
+}
 
 /// Parallel `radix_cluster(B, P)` over hashed keys; byte-identical to the
-/// sequential [`radix_cluster`] for every `(spec, policy)`.
+/// sequential [`rdx_core::cluster::radix_cluster`] for every
+/// `(spec, policy)`.  Allocates one-shot per-worker scratch; hot paths
+/// should hold a [`ParClusterScratch`] and call
+/// [`par_radix_cluster_with_scratch`].
 pub fn par_radix_cluster<P: Copy + Send + Sync>(
     keys: &[u64],
     payloads: &[P],
     spec: RadixClusterSpec,
     policy: &ExecPolicy,
 ) -> Clustered<u64, P> {
-    par_cluster_impl(keys, payloads, spec, policy, |k, p| {
-        radix_cluster(k, p, spec)
+    par_radix_cluster_with_scratch(
+        keys,
+        payloads,
+        spec,
+        ScatterMode::Auto,
+        policy,
+        &mut ParClusterScratch::new(),
+    )
+}
+
+/// [`par_radix_cluster`] with an explicit scatter mode and reusable
+/// per-worker arenas.
+pub fn par_radix_cluster_with_scratch<P: Copy + Send + Sync>(
+    keys: &[u64],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    mode: ScatterMode,
+    policy: &ExecPolicy,
+    scratch: &mut ParClusterScratch<u64, P>,
+) -> Clustered<u64, P> {
+    par_cluster_impl(keys, payloads, spec, mode, policy, scratch, |&k| {
+        rdx_core::hash::hash_key(k)
     })
 }
 
 /// Parallel clustering of unhashed oids (the join-index case of §3.1);
-/// byte-identical to the sequential [`radix_cluster_oids`].
+/// byte-identical to the sequential
+/// [`rdx_core::cluster::radix_cluster_oids`].  Allocates one-shot per-worker
+/// scratch; hot paths should hold a [`ParClusterScratch`] and call
+/// [`par_radix_cluster_oids_with_scratch`].
 pub fn par_radix_cluster_oids<P: Copy + Send + Sync>(
     oids: &[Oid],
     payloads: &[P],
     spec: RadixClusterSpec,
     policy: &ExecPolicy,
 ) -> Clustered<Oid, P> {
-    par_cluster_impl(oids, payloads, spec, policy, |k, p| {
-        radix_cluster_oids(k, p, spec)
-    })
+    par_radix_cluster_oids_with_scratch(
+        oids,
+        payloads,
+        spec,
+        ScatterMode::Auto,
+        policy,
+        &mut ParClusterScratch::new(),
+    )
+}
+
+/// [`par_radix_cluster_oids`] with an explicit scatter mode and reusable
+/// per-worker arenas.
+pub fn par_radix_cluster_oids_with_scratch<P: Copy + Send + Sync>(
+    oids: &[Oid],
+    payloads: &[P],
+    spec: RadixClusterSpec,
+    mode: ScatterMode,
+    policy: &ExecPolicy,
+    scratch: &mut ParClusterScratch<Oid, P>,
+) -> Clustered<Oid, P> {
+    par_cluster_impl(oids, payloads, spec, mode, policy, scratch, |&o| o as u64)
 }
 
 /// Parallel Radix-Sort of an oid column: all significant bits, no ignore
@@ -57,114 +128,78 @@ pub fn par_radix_sort_oids<P: Copy + Send + Sync>(
     par_radix_cluster_oids(oids, payloads, radix_sort_spec(domain), policy)
 }
 
-/// One merge work item: the group's first cluster index plus one
-/// `(keys, payloads)` output shard per cluster in the group.
-type MergeGroup<'a, K, P> = (usize, Vec<(&'a mut [K], &'a mut [P])>);
-
 fn par_cluster_impl<K, P, F>(
     keys: &[K],
     payloads: &[P],
     spec: RadixClusterSpec,
+    mode: ScatterMode,
     policy: &ExecPolicy,
-    cluster_shard: F,
+    scratch: &mut ParClusterScratch<K, P>,
+    bucket_of: F,
 ) -> Clustered<K, P>
 where
     K: Copy + Send + Sync,
     P: Copy + Send + Sync,
-    F: Fn(&[K], &[P]) -> Clustered<K, P> + Sync,
+    F: Fn(&K) -> u64 + Sync,
 {
     assert_eq!(keys.len(), payloads.len(), "keys/payloads length mismatch");
     let n = keys.len();
     let threads = policy.worker_threads();
+    if scratch.workers.len() < threads.max(1) {
+        scratch
+            .workers
+            .resize_with(threads.max(1), ClusterScratch::new);
+    }
     if threads == 1 || n == 0 || spec.bits == 0 {
-        return cluster_shard(keys, payloads);
+        return scratch.workers[0].cluster_by(keys, payloads, spec, mode, bucket_of);
     }
 
-    // Phase 1 — per-thread histograms and local scatter: each worker runs the
-    // full (multi-pass, stable) sequential kernel on its contiguous shard.
+    // Phase 1 — per-worker local clustering: each worker runs the full
+    // (multi-pass, stable) scatter engine on its contiguous shard, entirely
+    // inside its own arena — no per-shard histograms, flip buffers or
+    // result vectors are allocated.
     let shards = partition_ranges(n, threads);
-    let locals: Vec<Clustered<K, P>> = run_workers(threads, |w| {
-        let r = shards[w].clone();
-        cluster_shard(&keys[r.clone()], &payloads[r])
-    });
-
-    // Phase 2 — prefix sum of the per-shard cluster sizes into global borders.
-    let clusters = spec.num_clusters();
-    let mut bounds = vec![0usize; clusters + 1];
-    for c in 0..clusters {
-        let total: usize = locals.iter().map(|l| l.cluster_range(c).len()).sum();
-        bounds[c + 1] = bounds[c] + total;
-    }
-    debug_assert_eq!(bounds[clusters], n);
-
-    // Phase 3 — parallel merge: split the output at the global borders into
-    // one disjoint `&mut` shard per cluster, deal whole clusters to workers
-    // (balanced by tuple count), and copy each cluster's per-shard segments
-    // in shard order.
-    let mut out_keys = vec![keys[0]; n];
-    let mut out_payloads = vec![payloads[0]; n];
-    let key_shards = split_by_bounds(&mut out_keys, &bounds);
-    let payload_shards = split_by_bounds(&mut out_payloads, &bounds);
-
-    let groups = balanced_cluster_groups(&bounds, threads);
-    let mut key_iter = key_shards.into_iter();
-    let mut payload_iter = payload_shards.into_iter();
-    let work: Vec<MergeGroup<'_, K, P>> = groups
-        .iter()
-        .map(|g| {
-            let shards: Vec<_> = g
-                .clone()
-                .map(|_| (key_iter.next().unwrap(), payload_iter.next().unwrap()))
-                .collect();
-            (g.start, shards)
-        })
-        .collect();
-
-    let locals_ref = &locals;
     std::thread::scope(|scope| {
-        for (first_cluster, cluster_shards) in work {
+        let bucket_of = &bucket_of;
+        for (worker, range) in scratch.workers.iter_mut().zip(&shards) {
+            let r = range.clone();
             scope.spawn(move || {
-                for (j, (key_out, payload_out)) in cluster_shards.into_iter().enumerate() {
-                    let c = first_cluster + j;
-                    let mut off = 0;
-                    for local in locals_ref {
-                        let seg_keys = local.cluster_keys(c);
-                        let seg_payloads = local.cluster_payloads(c);
-                        key_out[off..off + seg_keys.len()].copy_from_slice(seg_keys);
-                        payload_out[off..off + seg_payloads.len()].copy_from_slice(seg_payloads);
-                        off += seg_keys.len();
-                    }
-                    debug_assert_eq!(off, key_out.len());
-                }
+                worker.cluster_by_in_scratch(&keys[r.clone()], &payloads[r], spec, mode, bucket_of);
             });
         }
     });
+    let locals: Vec<ScratchClustered<'_, K, P>> = scratch.workers[..threads]
+        .iter()
+        .map(|w| w.view().expect("worker clustered its shard"))
+        .collect();
+
+    // Phase 2 — prefix sum of the per-shard cluster sizes into global borders.
+    let clusters = spec.num_clusters();
+    let mut bounds = Vec::with_capacity(clusters + 1);
+    bounds.push(0usize);
+    let mut acc = 0usize;
+    for c in 0..clusters {
+        acc += locals
+            .iter()
+            .map(|l| l.cluster_range(c).len())
+            .sum::<usize>();
+        bounds.push(acc);
+    }
+    debug_assert_eq!(acc, n);
+
+    // Phase 3 — merge: concatenate each cluster's per-shard segments in
+    // shard order, appending into capacity-reserved outputs so every output
+    // byte is written exactly once.
+    let mut out_keys: Vec<K> = Vec::with_capacity(n);
+    let mut out_payloads: Vec<P> = Vec::with_capacity(n);
+    for c in 0..clusters {
+        for local in &locals {
+            out_keys.extend_from_slice(local.cluster_keys(c));
+            out_payloads.extend_from_slice(local.cluster_payloads(c));
+        }
+    }
 
     Clustered::from_parts(out_keys, out_payloads, bounds, spec)
-}
-
-/// Deals clusters `0..H` into at most `parts` contiguous groups with
-/// near-equal *tuple* counts (clusters can be heavily skewed, so dealing by
-/// cluster index alone would unbalance the merge).
-fn balanced_cluster_groups(bounds: &[usize], parts: usize) -> Vec<Range<usize>> {
-    let clusters = bounds.len() - 1;
-    let n = *bounds.last().unwrap();
-    let parts = parts.max(1).min(clusters.max(1));
-    let mut groups = Vec::with_capacity(parts);
-    let mut start = 0usize;
-    for p in 0..parts {
-        let end = if p + 1 == parts {
-            clusters
-        } else {
-            let target = n * (p + 1) / parts;
-            bounds
-                .partition_point(|&b| b < target)
-                .clamp(start, clusters)
-        };
-        groups.push(start..end);
-        start = end;
-    }
-    groups
 }
 
 #[cfg(test)]
@@ -173,7 +208,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
-    use rdx_core::cluster::radix_sort_oids;
+    use rdx_core::cluster::{radix_cluster, radix_cluster_oids, radix_sort_oids};
 
     fn shuffled_oids(n: usize, seed: u64) -> Vec<Oid> {
         let mut v: Vec<Oid> = (0..n as Oid).collect();
@@ -214,6 +249,37 @@ mod tests {
     }
 
     #[test]
+    fn buffered_parallel_equals_sequential_across_scratch_reuse() {
+        // One scratch pool across many (spec, mode, threads) calls — the
+        // serving layer's reuse pattern — must stay byte-identical to the
+        // sequential kernel throughout.
+        let mut scratch = ParClusterScratch::new();
+        let oids = shuffled_oids(9_000, 17);
+        let payloads: Vec<u32> = (0..9_000).collect();
+        for spec in [
+            RadixClusterSpec::single_pass(5),
+            RadixClusterSpec::partial(8, 2, 1),
+            RadixClusterSpec::single_pass(0),
+        ] {
+            let expected = radix_cluster_oids(&oids, &payloads, spec);
+            for mode in [ScatterMode::Plain, ScatterMode::Buffered, ScatterMode::Auto] {
+                for threads in [1usize, 3, 4] {
+                    let got = par_radix_cluster_oids_with_scratch(
+                        &oids,
+                        &payloads,
+                        spec,
+                        mode,
+                        &ExecPolicy::with_threads(threads),
+                        &mut scratch,
+                    );
+                    assert_eq!(got, expected, "spec={spec:?} mode={mode:?} t={threads}");
+                }
+            }
+        }
+        assert!(scratch.resident_bytes() > 0);
+    }
+
+    #[test]
     fn parallel_sort_equals_sequential_sort() {
         let oids = shuffled_oids(20_000, 9);
         let payloads: Vec<u32> = (0..20_000).collect();
@@ -224,8 +290,8 @@ mod tests {
 
     #[test]
     fn skewed_clusters_still_merge_correctly() {
-        // Every key lands in cluster 0 except a handful: exercises the
-        // balanced group dealing with pathological skew.
+        // Every key lands in cluster 0 except a handful: exercises the merge
+        // with pathological skew.
         let mut oids = vec![0 as Oid; 5_000];
         oids.extend([7, 9, 15, 31].iter().map(|&x| x as Oid));
         let payloads: Vec<u32> = (0..oids.len() as u32).collect();

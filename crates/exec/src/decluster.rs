@@ -12,11 +12,17 @@
 //! destination is data-determined, workers merely split who writes it.
 
 use crate::pool::{partition_ranges, split_by_bounds, ExecPolicy};
-use rdx_core::decluster::{radix_decluster_windows, validate_inputs, window_elems};
+use rdx_core::decluster::{
+    radix_decluster_windows, radix_decluster_windows_with_scratch, validate_inputs, window_elems,
+    DeclusterScratch,
+};
 use rdx_dsm::Oid;
 
 /// Parallel Radix-Decluster; byte-identical to
 /// [`rdx_core::decluster::radix_decluster`] for every `(window, policy)`.
+///
+/// Allocates (and zero-fills) its result per call; hot paths that hold a
+/// reusable output buffer should use [`par_radix_decluster_into`].
 ///
 /// # Panics
 /// Panics if the slices disagree in length or the borders do not cover the
@@ -28,36 +34,69 @@ pub fn par_radix_decluster<T: Copy + Default + Send + Sync>(
     window_bytes: usize,
     policy: &ExecPolicy,
 ) -> Vec<T> {
+    debug_assert!(validate_inputs(result_positions, bounds));
+    let mut result = vec![T::default(); values.len()];
+    par_radix_decluster_into(
+        values,
+        result_positions,
+        bounds,
+        window_bytes,
+        policy,
+        &mut DeclusterScratch::new(),
+        &mut result,
+    );
+    result
+}
+
+/// Parallel Radix-Decluster into a caller-provided output slice: the
+/// parallel counterpart of [`rdx_core::decluster::radix_decluster_into`].
+/// Every slot of `out` is overwritten, so no allocation or zero-fill is
+/// paid for the result; with one worker the whole sweep runs inline through
+/// `scratch` and is allocation-free in steady state (multi-worker sweeps
+/// still allocate their per-worker cursor arrays alongside the thread
+/// spawns they already require).
+///
+/// # Panics
+/// Panics if the slices disagree in length, `out` has the wrong length, or
+/// the borders do not cover the input.
+pub fn par_radix_decluster_into<T: Copy + Send + Sync>(
+    values: &[T],
+    result_positions: &[Oid],
+    bounds: &[usize],
+    window_bytes: usize,
+    policy: &ExecPolicy,
+    scratch: &mut DeclusterScratch,
+    out: &mut [T],
+) {
     let n = values.len();
     assert_eq!(
         result_positions.len(),
         n,
         "values/positions length mismatch"
     );
+    assert_eq!(out.len(), n, "output length mismatch");
     assert_eq!(
         *bounds.last().unwrap_or(&0),
         n,
         "cluster borders do not cover the input"
     );
-    debug_assert!(validate_inputs(result_positions, bounds));
-
-    let mut result = vec![T::default(); n];
     if n == 0 {
-        return result;
+        return;
     }
     let elems = window_elems(window_bytes, std::mem::size_of::<T>());
     let windows = n.div_ceil(elems);
     let threads = policy.worker_threads().min(windows).max(1);
     if threads == 1 {
-        radix_decluster_windows(
+        radix_decluster_windows_with_scratch(
             values,
             result_positions,
             bounds,
             elems,
             0..windows,
-            &mut result,
+            scratch,
+            out,
         );
-        return result;
+        return;
     }
 
     // Cut the window sequence into contiguous per-worker ranges and split the
@@ -67,16 +106,15 @@ pub fn par_radix_decluster<T: Copy + Default + Send + Sync>(
     let cuts: Vec<usize> = std::iter::once(0)
         .chain(groups.iter().map(|g| (g.end * elems).min(n)))
         .collect();
-    let shards = split_by_bounds(&mut result, &cuts);
+    let shards = split_by_bounds(out, &cuts);
 
     std::thread::scope(|scope| {
-        for (range, out) in groups.into_iter().zip(shards) {
+        for (range, shard) in groups.into_iter().zip(shards) {
             scope.spawn(move || {
-                radix_decluster_windows(values, result_positions, bounds, elems, range, out)
+                radix_decluster_windows(values, result_positions, bounds, elems, range, shard)
             });
         }
     });
-    result
 }
 
 #[cfg(test)]
@@ -145,6 +183,29 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<i32> = par_radix_decluster(&[], &[], &[0], 1024, &ExecPolicy::with_threads(4));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn into_variant_overwrites_reused_buffers_byte_identically() {
+        let mut scratch = DeclusterScratch::new();
+        let mut buf: Vec<i64> = Vec::new();
+        for &(n, threads) in &[(1_000usize, 1usize), (1_000, 3), (257, 2), (4_096, 1)] {
+            let (values, positions, bounds) = clustered_input(n, 4, n as u64);
+            let expected = radix_decluster(&values, &positions, &bounds, 512);
+            // Garbage-filled reused buffer: every slot must be overwritten.
+            buf.clear();
+            buf.resize(n, i64::MIN);
+            par_radix_decluster_into(
+                &values,
+                &positions,
+                &bounds,
+                512,
+                &ExecPolicy::with_threads(threads),
+                &mut scratch,
+                &mut buf,
+            );
+            assert_eq!(buf, expected, "n={n} threads={threads}");
+        }
     }
 
     #[test]

@@ -52,12 +52,15 @@ pub mod pipeline;
 pub mod pool;
 pub mod strategy;
 
-pub use cluster::{par_radix_cluster, par_radix_cluster_oids, par_radix_sort_oids};
-pub use decluster::par_radix_decluster;
+pub use cluster::{
+    par_radix_cluster, par_radix_cluster_oids, par_radix_cluster_oids_with_scratch,
+    par_radix_cluster_with_scratch, par_radix_sort_oids, ParClusterScratch,
+};
+pub use decluster::{par_radix_decluster, par_radix_decluster_into};
 pub use join::par_partitioned_hash_join;
 pub use pipeline::{
-    cluster_spec_for, dsm_cluster_spec, BoxedFetch, DsmPipelineRun, PipelineRun, PipelineStats,
-    PreparedProjection, ProjectionPipeline,
+    cluster_plan_for, cluster_spec_for, dsm_cluster_spec, BoxedFetch, ChunkScratch, DsmPipelineRun,
+    PipelineRun, PipelineStats, PreparedProjection, ProjectionPipeline,
 };
 pub use pool::{ExecPolicy, MorselQueue};
 pub use strategy::{par_dsm_post_projection, par_nsm_post_projection_decluster};

@@ -41,14 +41,15 @@
 //! position: each chunk is a self-contained Radix-Decluster problem over
 //! rebased positions (`rdx_core::decluster::chunks`).
 
-use crate::cluster::par_radix_cluster_oids;
-use crate::decluster::par_radix_decluster;
+use crate::cluster::{par_radix_cluster_oids_with_scratch, ParClusterScratch};
+use crate::decluster::par_radix_decluster_into;
 use crate::join::par_partitioned_hash_join;
 use crate::pool::{for_each_output_morsel, ExecPolicy};
-use crate::strategy::{par_order_join_index, par_project_columns};
+use crate::strategy::{par_order_join_index, par_project_columns_into};
 use rdx_cache::CacheParams;
-use rdx_core::cluster::{Clustered, RadixClusterSpec};
-use rdx_core::decluster::chunks::ChunkCursorState;
+use rdx_core::cluster::{plan_partial_cluster, Clustered, RadixClusterSpec, ScatterMode};
+use rdx_core::decluster::chunks::{ChunkCursorState, ChunkRuns};
+use rdx_core::decluster::DeclusterScratch;
 use rdx_core::join::join_cluster_spec;
 use rdx_core::strategy::planner::{plan_streaming, StreamingPlan};
 use rdx_core::strategy::sink::{MaterializeSink, RowChunkSink};
@@ -76,10 +77,24 @@ pub fn cluster_spec_for(
     smaller_value_width: usize,
     params: &CacheParams,
 ) -> RadixClusterSpec {
-    RadixClusterSpec::optimal_partial(
+    cluster_plan_for(smaller_tuples, smaller_value_width, params).0
+}
+
+/// [`cluster_spec_for`] together with the scatter mode the clustering runs
+/// with (plain cursors vs. software write-combining), both derived by
+/// [`plan_partial_cluster`] — the same call `plan_streaming` makes, so the
+/// executed clustering, the priced one and the serving layer's cache keys
+/// all agree.
+pub fn cluster_plan_for(
+    smaller_tuples: usize,
+    smaller_value_width: usize,
+    params: &CacheParams,
+) -> (RadixClusterSpec, ScatterMode) {
+    plan_partial_cluster(
         smaller_tuples,
         smaller_value_width.max(1),
-        params.cache_capacity(),
+        rdx_core::cluster::OID_PAIR_BYTES,
+        params,
     )
 }
 
@@ -181,6 +196,49 @@ pub struct PipelineStats {
     pub timings: PhaseTimings,
 }
 
+/// The reusable per-run working memory of the streaming chunk loop: the
+/// output columns handed to the sink, the chunk-local
+/// `CLUST_SMALLER`/`CLUST_RESULT` staging arrays, the staged clustered
+/// values, the run list of the current chunk, and the decluster cursor
+/// scratch.
+///
+/// Every buffer grows to the chunk high-water mark on the first chunk and
+/// is reused afterwards, which is what makes a steady-state
+/// [`PipelineRun::step`] **allocation-free** on a single-threaded policy
+/// (multi-threaded chunks still pay their scoped thread spawns).  The
+/// serving layer pools these across queries in a batch
+/// ([`PipelineRun::attach_scratch`] / [`PipelineRun::take_scratch`]), so a
+/// stream of short queries stops paying per-query warm-up allocations too.
+#[derive(Debug, Default)]
+pub struct ChunkScratch {
+    columns: Vec<Vec<i32>>,
+    chunk: ChunkRuns,
+    local_oids: Vec<Oid>,
+    local_positions: Vec<Oid>,
+    local_bounds: Vec<usize>,
+    staged: Vec<i32>,
+    decluster: DeclusterScratch,
+}
+
+impl ChunkScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resident heap bytes currently held (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        let cols: usize = self
+            .columns
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<i32>())
+            .sum();
+        cols + (self.local_oids.capacity() + self.local_positions.capacity()) * 4
+            + self.local_bounds.capacity() * std::mem::size_of::<usize>()
+            + self.staged.capacity() * 4
+    }
+}
+
 /// A boxed attribute fetcher `(oid, attr) → value`, the type-erased form the
 /// serving layer uses so runs over different storage models are homogeneous.
 pub type BoxedFetch<'a> = Box<dyn Fn(Oid, usize) -> i32 + Sync + 'a>;
@@ -208,6 +266,7 @@ pub struct PipelineRun<FL, FS> {
     policy: ExecPolicy,
     streaming: StreamingPlan,
     cursors: Option<ChunkCursorState>,
+    scratch: ChunkScratch,
     emitted: usize,
     chunks_emitted: usize,
     peak_chunk_bytes: usize,
@@ -269,6 +328,7 @@ where
             policy,
             streaming,
             cursors,
+            scratch: ChunkScratch::new(),
             emitted: 0,
             chunks_emitted: 0,
             peak_chunk_bytes: 0,
@@ -276,6 +336,20 @@ where
             begun: false,
             finished: false,
         }
+    }
+
+    /// Replaces this run's chunk scratch with `scratch` (typically one
+    /// harvested from a completed run via [`PipelineRun::take_scratch`]), so
+    /// the warmed buffers carry over instead of being re-grown.  Purely a
+    /// performance hand-off: results are unaffected.
+    pub fn attach_scratch(&mut self, scratch: ChunkScratch) {
+        self.scratch = scratch;
+    }
+
+    /// Takes this run's chunk scratch, leaving a fresh empty one — how a
+    /// scratch pool reclaims the warmed buffers of a finished query.
+    pub fn take_scratch(&mut self) -> ChunkScratch {
+        std::mem::take(&mut self.scratch)
     }
 
     /// The chunking this run streams under.
@@ -326,66 +400,81 @@ where
         let emitted = self.emitted;
         let chunk_end = (emitted + self.streaming.chunk_rows).min(n);
         let rows = chunk_end - emitted;
-        let mut columns: Vec<Vec<i32>> = Vec::with_capacity(self.spec.total());
         let mut chunk_bytes = rows * self.spec.total() * VALUE_WIDTH;
+
+        // All chunk-local buffers come from the run's scratch: after the
+        // first (largest) chunk has grown them, a steady-state step
+        // allocates nothing.
+        let scratch = &mut self.scratch;
+        scratch.columns.resize_with(self.spec.total(), Vec::new);
 
         // First side: morsel-parallel gather straight into the chunk.
         let t = Instant::now();
-        columns.extend(par_project_columns(
+        par_project_columns_into(
             &self.prepared.first_oids[emitted..chunk_end],
-            self.spec.project_larger,
             &self.fetch_larger,
             &self.policy,
-        ));
+            &mut scratch.columns[..self.spec.project_larger],
+        );
         self.timings.project_larger += t.elapsed();
 
         // Second side.
         let t = Instant::now();
         match (&self.prepared.clustered, &mut self.cursors) {
             (Some(clustered), Some(cursors)) => {
-                let chunk = cursors.next_chunk(clustered.payloads(), chunk_end);
+                cursors.next_chunk_into(clustered.payloads(), chunk_end, &mut scratch.chunk);
+                let chunk = &scratch.chunk;
                 debug_assert_eq!(chunk.result_range, emitted..chunk_end);
                 // Chunk-local CLUST_SMALLER / CLUST_RESULT, shared by all
                 // smaller-side columns of this chunk.
-                let local_oids = chunk.gather(clustered.keys());
-                let local_positions = chunk.rebased_positions(clustered.payloads());
-                let local_bounds = chunk.local_bounds();
-                chunk_bytes += (local_oids.len() + local_positions.len()) * VALUE_WIDTH;
-                let mut staged = vec![0i32; rows];
+                chunk.gather_into(clustered.keys(), &mut scratch.local_oids);
+                chunk.rebased_positions_into(clustered.payloads(), &mut scratch.local_positions);
+                chunk.local_bounds_into(&mut scratch.local_bounds);
+                chunk_bytes +=
+                    (scratch.local_oids.len() + scratch.local_positions.len()) * VALUE_WIDTH;
+                scratch.staged.resize(rows, 0);
+                let staged = &mut scratch.staged[..rows];
                 chunk_bytes += staged.len() * VALUE_WIDTH;
-                for b in 0..self.spec.project_smaller {
+                for (b, column) in scratch.columns[self.spec.project_larger..]
+                    .iter_mut()
+                    .enumerate()
+                {
                     // On-demand clustered positional join: the chunk's
                     // CLUST_VALUES, never the whole column.
                     let fetch = &self.fetch_smaller;
-                    for_each_output_morsel(&mut staged, &self.policy, |off, slots| {
+                    let local_oids = &scratch.local_oids;
+                    for_each_output_morsel(staged, &self.policy, |off, slots| {
                         let oids = &local_oids[off..off + slots.len()];
                         for (slot, &oid) in slots.iter_mut().zip(oids) {
                             *slot = fetch(oid, b);
                         }
                     });
-                    columns.push(par_radix_decluster(
-                        &staged,
-                        &local_positions,
-                        &local_bounds,
+                    column.resize(rows, 0);
+                    par_radix_decluster_into(
+                        staged,
+                        &scratch.local_positions,
+                        &scratch.local_bounds,
                         self.streaming.window_bytes,
                         &self.policy,
-                    ));
+                        &mut scratch.decluster,
+                        column,
+                    );
                 }
                 self.timings.decluster += t.elapsed();
             }
             _ => {
-                columns.extend(par_project_columns(
+                par_project_columns_into(
                     &self.prepared.second_oids[emitted..chunk_end],
-                    self.spec.project_smaller,
                     &self.fetch_smaller,
                     &self.policy,
-                ));
+                    &mut scratch.columns[self.spec.project_larger..],
+                );
                 self.timings.project_smaller += t.elapsed();
             }
         }
 
         self.peak_chunk_bytes = self.peak_chunk_bytes.max(chunk_bytes);
-        sink.emit(emitted, &columns);
+        sink.emit(emitted, &scratch.columns);
         self.chunks_emitted += 1;
         self.emitted = chunk_end;
         Some(rows)
@@ -542,20 +631,24 @@ impl ProjectionPipeline {
         // Phase 3: second-side partial clustering (the 8 N-byte
         // CLUST_SMALLER / CLUST_RESULT floor the chunks stream over), on the
         // §3.1 spec `plan_streaming` also derives — the same
-        // `optimal_partial` rule, so prepared prefix and streaming plan can
-        // never drift apart.  Counted as decluster time, matching
-        // project_second_side_decluster.
+        // `plan_partial_cluster` rule, so prepared prefix and streaming plan
+        // can never drift apart, including the pass count and the
+        // plain/buffered scatter choice.  Counted as decluster time,
+        // matching project_second_side_decluster.
         let n = first_oids.len();
-        let cluster_spec = cluster_spec_for(smaller_cardinality, smaller_value_width, params);
+        let (cluster_spec, scatter) =
+            cluster_plan_for(smaller_cardinality, smaller_value_width, params);
         let t = Instant::now();
         let clustered: Option<Clustered<Oid, Oid>> = match self.plan.second_side {
             SecondSideCode::Decluster => {
                 let result_positions: Vec<Oid> = (0..n as Oid).collect();
-                Some(par_radix_cluster_oids(
+                Some(par_radix_cluster_oids_with_scratch(
                     &second_oids,
                     &result_positions,
                     cluster_spec,
+                    scatter,
                     policy,
+                    &mut ParClusterScratch::new(),
                 ))
             }
             SecondSideCode::Unsorted => None,

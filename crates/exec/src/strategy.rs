@@ -20,13 +20,16 @@
 //! phase reproduces its sequential counterpart's output exactly (window size
 //! affects only the access pattern, never the values).
 
-use crate::cluster::{par_radix_cluster_oids, par_radix_sort_oids};
+use crate::cluster::{par_radix_cluster_oids_with_scratch, ParClusterScratch};
 use crate::decluster::par_radix_decluster;
 use crate::join::par_partitioned_hash_join;
 use crate::pool::{for_each_output_morsel, ExecPolicy};
 use rdx_cache::CacheParams;
-use rdx_core::cluster::RadixClusterSpec;
+use rdx_core::cluster::{
+    plan_cluster_passes, plan_partial_cluster, RadixClusterSpec, OID_PAIR_BYTES,
+};
 use rdx_core::decluster::choose_window_bytes;
+use rdx_core::hash::significant_bits;
 use rdx_core::join::join_cluster_spec;
 use rdx_core::strategy::{
     DsmPostProjection, PhaseTimings, ProjectionCode, QuerySpec, SecondSideCode, StrategyOutcome,
@@ -51,23 +54,32 @@ pub fn par_order_join_index(
     match code {
         ProjectionCode::Unsorted => (join_index.larger().to_vec(), join_index.smaller().to_vec()),
         ProjectionCode::Sorted => {
-            let sorted = par_radix_sort_oids(
+            // Radix-Sort with passes and scatter mode from the same
+            // `plan_cluster_passes` rule the cost planner prices.
+            let bits = significant_bits(first_cardinality);
+            let (passes, mode) = plan_cluster_passes(bits, OID_PAIR_BYTES, params);
+            let sorted = par_radix_cluster_oids_with_scratch(
                 join_index.larger(),
                 join_index.smaller(),
-                first_cardinality,
+                RadixClusterSpec::partial(bits, passes, 0),
+                mode,
                 policy,
+                &mut ParClusterScratch::new(),
             );
             let (keys, payloads, _) = sorted.into_parts();
             (keys, payloads)
         }
         ProjectionCode::PartialCluster => {
-            let spec = RadixClusterSpec::optimal_partial(
-                first_cardinality,
-                value_width,
-                params.cache_capacity(),
+            let (spec, mode) =
+                plan_partial_cluster(first_cardinality, value_width, OID_PAIR_BYTES, params);
+            let clustered = par_radix_cluster_oids_with_scratch(
+                join_index.larger(),
+                join_index.smaller(),
+                spec,
+                mode,
+                policy,
+                &mut ParClusterScratch::new(),
             );
-            let clustered =
-                par_radix_cluster_oids(join_index.larger(), join_index.smaller(), spec, policy);
             let (keys, payloads, _) = clustered.into_parts();
             (keys, payloads)
         }
@@ -85,18 +97,33 @@ pub fn par_project_columns<F>(
 where
     F: Fn(Oid, usize) -> i32 + Sync,
 {
-    (0..n_attrs)
-        .map(|attr| {
-            let mut column = vec![0i32; oids.len()];
-            for_each_output_morsel(&mut column, policy, |offset, chunk| {
-                let oids = &oids[offset..offset + chunk.len()];
-                for (slot, &oid) in chunk.iter_mut().zip(oids) {
-                    *slot = fetch(oid, attr);
-                }
-            });
-            column
-        })
-        .collect()
+    let mut columns: Vec<Vec<i32>> = (0..n_attrs).map(|_| Vec::new()).collect();
+    par_project_columns_into(oids, fetch, policy, &mut columns);
+    columns
+}
+
+/// [`par_project_columns`] into reused column buffers: each of `columns` is
+/// resized to `oids.len()` (keeping its capacity) and filled in place, so a
+/// caller projecting chunk after chunk allocates nothing once the buffers
+/// have grown — the streaming pipeline's steady state.  Column `b` is
+/// filled with `fetch(oid, b)`.
+pub fn par_project_columns_into<F>(
+    oids: &[Oid],
+    fetch: F,
+    policy: &ExecPolicy,
+    columns: &mut [Vec<i32>],
+) where
+    F: Fn(Oid, usize) -> i32 + Sync,
+{
+    for (attr, column) in columns.iter_mut().enumerate() {
+        column.resize(oids.len(), 0);
+        for_each_output_morsel(column, policy, |offset, chunk| {
+            let oids = &oids[offset..offset + chunk.len()];
+            for (slot, &oid) in chunk.iter_mut().zip(oids) {
+                *slot = fetch(oid, attr);
+            }
+        });
+    }
 }
 
 /// Parallel second-side Radix-Decluster pipeline (Fig. 4): parallel partial
@@ -115,11 +142,17 @@ where
     F: Fn(Oid, usize) -> i32 + Sync,
 {
     let n = second_oids_in_result_order.len();
-    let spec =
-        RadixClusterSpec::optimal_partial(second_cardinality, value_width, params.cache_capacity());
+    let (spec, mode) =
+        plan_partial_cluster(second_cardinality, value_width, OID_PAIR_BYTES, params);
     let result_positions: Vec<Oid> = (0..n as Oid).collect();
-    let clustered =
-        par_radix_cluster_oids(second_oids_in_result_order, &result_positions, spec, policy);
+    let clustered = par_radix_cluster_oids_with_scratch(
+        second_oids_in_result_order,
+        &result_positions,
+        spec,
+        mode,
+        policy,
+        &mut ParClusterScratch::new(),
+    );
     let window = choose_window_bytes(
         value_width,
         clustered.num_clusters(),

@@ -24,7 +24,7 @@ use rdx_core::strategy::planner::{
 };
 use rdx_core::strategy::{DsmPostProjection, MaterializeSink, QuerySpec};
 use rdx_dsm::{DsmRelation, ResultRelation};
-use rdx_exec::{DsmPipelineRun, ExecPolicy, ProjectionPipeline};
+use rdx_exec::{ChunkScratch, DsmPipelineRun, ExecPolicy, ProjectionPipeline};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -143,6 +143,10 @@ pub struct QueryStats {
     pub plan: DsmPostProjection,
     /// Whether the prepared prefix came from the clustered-index cache.
     pub cache_hit: bool,
+    /// Whether this query's chunk loop started on warmed scratch buffers
+    /// handed down from an earlier query in the batch (the server's scratch
+    /// pool), instead of growing its own.
+    pub scratch_reused: bool,
     /// The admitted budget share (`usize::MAX` when unbounded).
     pub share_bytes: usize,
     /// Whether admission granted less than the fair share (tighter chunks).
@@ -193,6 +197,8 @@ pub struct BatchStats {
     pub peak_concurrency: usize,
     /// Total chunks dispatched.
     pub chunks_dispatched: u64,
+    /// Queries that started on pooled (already warmed) chunk scratch.
+    pub scratch_reuses: u64,
     /// Wall-clock time for the whole batch.
     pub wall: Duration,
     /// Clustered-index cache counters after the batch.
@@ -240,6 +246,12 @@ pub struct RdxServer {
     catalog: Catalog,
     cache: ClusterCache,
     shared_params: CacheParams,
+    /// Warmed [`ChunkScratch`] arenas harvested from completed queries and
+    /// handed to newly admitted ones, so a batch of queries pays the chunk
+    /// working-buffer growth once instead of per query.  Bounded by
+    /// `max_concurrent` (at most that many queries can hold scratch at
+    /// once, so a larger pool could never be drained).
+    scratch_pool: Vec<ChunkScratch>,
 }
 
 impl RdxServer {
@@ -259,6 +271,7 @@ impl RdxServer {
             shared_params,
             catalog: Catalog::new(),
             cache: ClusterCache::new(config.cache_bytes),
+            scratch_pool: Vec::new(),
             config,
         }
     }
@@ -300,6 +313,7 @@ impl RdxServer {
         let shared_params = &self.shared_params;
         let catalog = &self.catalog;
         let cache = &mut self.cache;
+        let scratch_pool = &mut self.scratch_pool;
 
         let mut admission = AdmissionController::new(config.global_budget, config.max_concurrent);
         let mut scheduler = ChunkScheduler::new(config.fairness);
@@ -351,7 +365,7 @@ impl RdxServer {
                     }
                     AdmissionDecision::Admit { share, replanned } => {
                         queue.pop_front();
-                        let session = admit(
+                        let mut session = admit(
                             next,
                             request,
                             share,
@@ -362,6 +376,13 @@ impl RdxServer {
                             config,
                             started,
                         );
+                        // Warm start: hand down scratch harvested from an
+                        // earlier query in this batch, if any.
+                        if let Some(scratch) = scratch_pool.pop() {
+                            session.run.attach_scratch(scratch);
+                            session.stats.scratch_reused = true;
+                            stats.scratch_reuses += 1;
+                        }
                         scheduler.add(next, session.stats.predicted_chunk_cost_ms);
                         sessions.push(session);
                     }
@@ -391,10 +412,14 @@ impl RdxServer {
             if session.run.step(&mut session.sink).is_some() {
                 stats.chunks_dispatched += 1;
             } else {
-                // Completed: account, release the grant, free the slot.
+                // Completed: account, release the grant, free the slot —
+                // and reclaim the warmed chunk scratch for the next query.
                 scheduler.remove(id);
                 admission.release(session.share);
                 let mut session = sessions.swap_remove(pos);
+                if scratch_pool.len() < config.max_concurrent {
+                    scratch_pool.push(session.run.take_scratch());
+                }
                 let run_stats = session.run.run_stats();
                 session.stats.chunks = run_stats.chunks_emitted;
                 session.stats.rows = run_stats.rows_emitted;
@@ -512,6 +537,7 @@ fn admit<'a>(
         stats: QueryStats {
             plan,
             cache_hit,
+            scratch_reused: false,
             share_bytes: effective.limit_bytes(),
             replanned,
             chunks: 0,
@@ -582,6 +608,42 @@ mod tests {
         assert_eq!(report.stats.cache.hits, 4);
         assert!(!report.outcomes[0].outcome.as_ref().unwrap().stats.cache_hit);
         assert!(report.outcomes[4].outcome.as_ref().unwrap().stats.cache_hit);
+    }
+
+    #[test]
+    fn scratch_pool_hands_warm_buffers_to_later_queries() {
+        let w = JoinWorkloadBuilder::equal(1_200, 2).seed(61).build();
+        let mut config = test_config(MemoryBudget::bytes(4 * 1024));
+        config.max_concurrent = 1; // strictly sequential: reuse is deterministic
+        let mut server = RdxServer::new(config);
+        let larger = server.register(w.larger.clone());
+        let smaller = server.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(2);
+        let requests = vec![ServerRequest::new(larger, smaller, spec); 4];
+        let report = server.run_batch(&requests);
+        // First query grows its scratch; the next three inherit it.
+        assert_eq!(report.stats.scratch_reuses, 3);
+        assert!(
+            !report.outcomes[0]
+                .outcome
+                .as_ref()
+                .unwrap()
+                .stats
+                .scratch_reused
+        );
+        for outcome in &report.outcomes[1..] {
+            let q = outcome.outcome.as_ref().expect("served");
+            assert!(q.stats.scratch_reused);
+            assert_eq!(q.stats.rows, w.expected_matches);
+        }
+        // Reuse is invisible in the results: all four are identical.
+        let first = columns(&report.outcomes[0].outcome.as_ref().unwrap().result);
+        for outcome in &report.outcomes[1..] {
+            assert_eq!(columns(&outcome.outcome.as_ref().unwrap().result), first);
+        }
+        // The pool persists across batches too.
+        let next = server.run_batch(&requests[..1]);
+        assert_eq!(next.stats.scratch_reuses, 1);
     }
 
     #[test]

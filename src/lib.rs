@@ -61,8 +61,12 @@ pub use rdx_workload as workload;
 pub mod prelude {
     pub use rdx_cache::{CacheParams, MemorySystem};
     pub use rdx_core::budget::{BudgetError, MemoryBudget};
-    pub use rdx_core::cluster::{radix_cluster, RadixClusterSpec};
-    pub use rdx_core::decluster::radix_decluster;
+    pub use rdx_core::cluster::{
+        plan_cluster_passes, radix_cluster, radix_cluster_oids_with_scratch,
+        radix_cluster_with_scratch, scatter_cursor_budget, ClusterScratch, RadixClusterSpec,
+        ScatterMode,
+    };
+    pub use rdx_core::decluster::{radix_decluster, radix_decluster_into, DeclusterScratch};
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{
         plan_streaming, plan_streaming_checked, CountingSink, DsmPostProjection, MaterializeSink,
@@ -71,8 +75,9 @@ pub mod prelude {
     pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
     pub use rdx_exec::{
         par_dsm_post_projection, par_nsm_post_projection_decluster, par_partitioned_hash_join,
-        par_radix_cluster, par_radix_cluster_oids, par_radix_decluster, DsmPipelineRun, ExecPolicy,
-        PipelineRun, PreparedProjection, ProjectionPipeline,
+        par_radix_cluster, par_radix_cluster_oids, par_radix_cluster_oids_with_scratch,
+        par_radix_decluster, par_radix_decluster_into, ChunkScratch, DsmPipelineRun, ExecPolicy,
+        ParClusterScratch, PipelineRun, PreparedProjection, ProjectionPipeline,
     };
     pub use rdx_nsm::NsmRelation;
     pub use rdx_serve::{

@@ -1,0 +1,237 @@
+//! Allocation-regression tests for the zero-allocation scatter engine.
+//!
+//! A counting global allocator wraps `System` and tallies every `alloc` /
+//! `realloc` in the test binary.  The headline guarantee (the PR 4
+//! acceptance gate): once a streaming [`PipelineRun`] has emitted its first
+//! chunk on a single-threaded policy, **every further
+//! [`PipelineRun::step`] performs zero heap allocations** — the chunk loop
+//! runs entirely out of the run's [`ChunkScratch`] and the caller's sink.
+//! Companion tests pin down the per-call allocation budget of the scratch
+//! kernels themselves, so a regression that quietly reintroduces per-call
+//! buffers fails loudly.
+
+use radix_decluster::core::cluster::SWWC_SLOT_ELEMS;
+use radix_decluster::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Counts allocations (and reallocations — a `realloc` is a new buffer as
+/// far as steady-state reuse is concerned); frees are irrelevant here.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The allocation counter is process-global, so concurrently running tests
+/// would count each other's allocations into any measured window.  Every
+/// test in this binary holds this lock for its whole body; a panicked test
+/// must not wedge the rest, so poisoning is ignored.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs `f` and returns how many allocations it performed.  Only meaningful
+/// while [`serialized`] is held.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// A sink that verifies geometry but holds no memory: the steady-state
+/// consumer of the zero-allocation gate (a materialising sink would
+/// rightfully allocate for its own accumulation).
+struct NullSink {
+    rows: usize,
+    chunks: usize,
+}
+
+impl RowChunkSink for NullSink {
+    fn emit(&mut self, _first_row: usize, columns: &[Vec<i32>]) {
+        self.rows += columns.first().map(|c| c.len()).unwrap_or(0);
+        self.chunks += 1;
+    }
+}
+
+#[test]
+fn pipeline_step_allocates_nothing_in_steady_state() {
+    let _guard = serialized();
+    let w = JoinWorkloadBuilder::equal(6_000, 2).seed(77).build();
+    let spec = QuerySpec::symmetric(2);
+    let params = CacheParams::tiny_for_tests();
+    let data_bytes = 2 * 6_000 * 2 * 4;
+    // Single-threaded policy: multi-threaded chunks inherently allocate for
+    // their scoped thread spawns.
+    let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::fraction_of(data_bytes, 32));
+    let plan =
+        DsmPostProjection::with_codes(ProjectionCode::PartialCluster, SecondSideCode::Decluster);
+    let pipeline = ProjectionPipeline::new(plan);
+    let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+    let mut run = DsmPipelineRun::over_dsm(
+        prepared.clone(),
+        &w.larger,
+        &w.smaller,
+        &spec,
+        &params,
+        &policy,
+    );
+    let mut sink = NullSink { rows: 0, chunks: 0 };
+
+    // Warm-up: the first chunk grows the scratch to its high-water mark
+    // (chunks after the first are never larger).
+    assert!(run.step(&mut sink).is_some());
+
+    // Steady state: zero heap allocations per chunk, across many chunks.
+    let mut steady_chunks = 0;
+    loop {
+        let allocs = allocations_during(|| {
+            let _ = run.step(&mut sink);
+        });
+        if run.is_done() {
+            break;
+        }
+        steady_chunks += 1;
+        assert_eq!(
+            allocs, 0,
+            "steady-state chunk {steady_chunks} allocated {allocs} times"
+        );
+    }
+    assert!(
+        steady_chunks >= 16,
+        "budget should force many chunks, got {steady_chunks}"
+    );
+    assert_eq!(sink.rows, w.expected_matches);
+
+    // The same prefix re-run on recycled scratch is warm from chunk one.
+    let scratch = run.take_scratch();
+    let mut second =
+        DsmPipelineRun::over_dsm(prepared, &w.larger, &w.smaller, &spec, &params, &policy);
+    second.attach_scratch(scratch);
+    let mut sink2 = NullSink { rows: 0, chunks: 0 };
+    let first_chunk_allocs = allocations_during(|| {
+        second.step(&mut sink2);
+        second.step(&mut sink2);
+    });
+    assert_eq!(
+        first_chunk_allocs, 0,
+        "recycled scratch must make even the first chunks allocation-free"
+    );
+}
+
+#[test]
+fn cluster_with_scratch_allocates_only_the_output() {
+    let _guard = serialized();
+    let oids: Vec<Oid> = (0..50_000u32).rev().collect();
+    let payloads: Vec<Oid> = (0..50_000).collect();
+    let spec = RadixClusterSpec::partial(6, 2, 0);
+    let mut scratch = ClusterScratch::new();
+    for mode in [ScatterMode::Plain, ScatterMode::Buffered] {
+        // Warm-up grows the arena (the buffered mode additionally owns its
+        // staging buffers, so each mode warms its own working set).
+        let _ = radix_cluster_oids_with_scratch(&oids, &payloads, spec, mode, &mut scratch);
+        let mut out = None;
+        let allocs = allocations_during(|| {
+            out = Some(radix_cluster_oids_with_scratch(
+                &oids,
+                &payloads,
+                spec,
+                mode,
+                &mut scratch,
+            ));
+        });
+        // Exactly the owned output: keys + payloads + bounds (the seed
+        // kernel allocated four full-size working buffers and two cursor
+        // vectors per segment on top).
+        assert!(
+            allocs <= 3,
+            "{mode:?}: {allocs} allocations for an owned-output call"
+        );
+        assert_eq!(out.unwrap().len(), 50_000);
+    }
+    // The borrowed-view entry point allocates nothing at all (its result
+    // buffers are part of the arena, warmed by its own first run).
+    let _ = scratch.cluster_oids_in_scratch(&oids, &payloads, spec, ScatterMode::Buffered);
+    let view_allocs = allocations_during(|| {
+        let view = scratch.cluster_oids_in_scratch(&oids, &payloads, spec, ScatterMode::Buffered);
+        assert_eq!(view.len(), 50_000);
+    });
+    assert_eq!(view_allocs, 0, "in-scratch clustering must not allocate");
+}
+
+#[test]
+fn decluster_into_allocates_nothing_after_warmup() {
+    let _guard = serialized();
+    let n = 20_000usize;
+    let smaller: Vec<Oid> = (0..n as Oid).rev().collect();
+    let positions: Vec<Oid> = (0..n as Oid).collect();
+    let clustered = radix_decluster_inputs(&smaller, &positions);
+    let (values, positions, bounds) = clustered;
+    let mut scratch = DeclusterScratch::new();
+    let mut out = vec![0i32; n];
+    // Warm-up.
+    radix_decluster_into(&values, &positions, &bounds, 4096, &mut scratch, &mut out);
+    let allocs = allocations_during(|| {
+        for _ in 0..5 {
+            radix_decluster_into(&values, &positions, &bounds, 4096, &mut scratch, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "decluster_into must reuse its cursor scratch");
+    let expected = radix_decluster(&values, &positions, &bounds, 4096);
+    assert_eq!(out, expected);
+}
+
+/// Builds a valid (values, positions, bounds) decluster input from a
+/// shuffled oid column, as the §3.2 pipeline does.
+fn radix_decluster_inputs(smaller: &[Oid], positions: &[Oid]) -> (Vec<i32>, Vec<Oid>, Vec<usize>) {
+    let clustered = radix_decluster_cluster(smaller, positions);
+    let values: Vec<i32> = clustered.keys().iter().map(|&o| o as i32 * 3).collect();
+    (
+        values,
+        clustered.payloads().to_vec(),
+        clustered.bounds().to_vec(),
+    )
+}
+
+fn radix_decluster_cluster(
+    smaller: &[Oid],
+    positions: &[Oid],
+) -> radix_decluster::core::cluster::Clustered<Oid, Oid> {
+    radix_decluster::core::cluster::radix_cluster_oids(
+        smaller,
+        positions,
+        RadixClusterSpec::single_pass(5),
+    )
+}
+
+#[test]
+fn swwc_slot_constant_agrees_between_kernel_and_cost_model() {
+    // `rdx-cost` cannot depend on `rdx-core` (the planner would create a
+    // cycle), so the staging-slot size is mirrored; this pins the mirror.
+    assert_eq!(
+        SWWC_SLOT_ELEMS,
+        radix_decluster::cost::algorithms::SWWC_SLOT_ELEMS
+    );
+}

@@ -67,6 +67,47 @@ proptest! {
         prop_assert_eq!(radix_count(parallel.keys(), bits, ignore), parallel.bounds().to_vec());
     }
 
+    /// The software write-combining (buffered) scatter is byte-identical to
+    /// the plain scatter for arbitrary `(bits, passes, ignore)` and skew —
+    /// including the all-one-cluster extreme (`modulus == 1`) and cluster
+    /// sizes that are not multiples of the staging slot, which exercise the
+    /// partial-flush path.  Scratch reuse across cases is part of the
+    /// property.
+    #[test]
+    fn buffered_scatter_equals_plain_scatter(
+        raw in proptest::collection::vec(0u32..u32::MAX, 0..2_500),
+        modulus in 1u32..60_000,
+        bits in 0u32..11,
+        passes in 1u32..4,
+        ignore in 0u32..6,
+    ) {
+        use radix_decluster::core::cluster::{
+            radix_cluster_oids_with_scratch, radix_cluster_with_scratch, ClusterScratch,
+            ScatterMode,
+        };
+        let oids: Vec<Oid> = raw.iter().map(|&v| v % modulus).collect();
+        let payloads: Vec<u32> = (0..oids.len() as u32).collect();
+        let spec = RadixClusterSpec::partial(bits, passes, ignore);
+        let plain = radix_cluster_oids(&oids, &payloads, spec);
+        let mut scratch = ClusterScratch::new();
+        let buffered = radix_cluster_oids_with_scratch(
+            &oids, &payloads, spec, ScatterMode::Buffered, &mut scratch,
+        );
+        prop_assert_eq!(&buffered, &plain);
+        // Reusing the same (now dirty) scratch must not change the result.
+        let again = radix_cluster_oids_with_scratch(
+            &oids, &payloads, spec, ScatterMode::Buffered, &mut scratch,
+        );
+        prop_assert_eq!(&again, &plain);
+        // The hashed-key kernel obeys the same equivalence.
+        let keys: Vec<u64> = oids.iter().map(|&o| o as u64).collect();
+        let hashed_plain = radix_cluster(&keys, &payloads, spec);
+        let hashed_buffered = radix_cluster_with_scratch(
+            &keys, &payloads, spec, ScatterMode::Buffered, &mut ClusterScratch::new(),
+        );
+        prop_assert_eq!(&hashed_buffered, &hashed_plain);
+    }
+
     /// Parallel Radix-Decluster inverts the clustering permutation exactly
     /// like the sequential kernel, for every window size and thread count.
     #[test]
