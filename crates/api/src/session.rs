@@ -1,0 +1,164 @@
+//! The [`Session`]: owner of everything a stream of queries shares.
+
+use crate::ticket::{ChunkProgress, QueryPoll, Ticket};
+use crate::Query;
+use rdx_cache::CacheParams;
+use rdx_core::error::RdxError;
+use rdx_dsm::DsmRelation;
+use rdx_serve::{
+    CacheStats, Catalog, EngineStep, QueryEngine, RelationId, ServeConfig, TicketStatus,
+};
+use std::sync::Arc;
+
+/// One front door to the whole workspace: a `Session` owns the relation
+/// [`Catalog`], the shared [`CacheParams`] every plan is priced against,
+/// the global [`rdx_core::budget::MemoryBudget`] admission splits, the
+/// clustered-join-index cache, and the warmed scratch pools — the state the
+/// four legacy entry points each plumbed separately.
+///
+/// Queries start at [`Session::query`] (a fluent builder) and resolve
+/// through one planner entry to any execution mode; submitted queries are
+/// pumped by [`Session::drive`] and observed with [`Ticket::poll`].
+pub struct Session {
+    engine: QueryEngine,
+}
+
+impl Default for Session {
+    /// A session over [`ServeConfig::default`]: the paper's Pentium 4
+    /// hierarchy, an unbounded global budget, four admission slots.
+    fn default() -> Self {
+        Session::new(ServeConfig::default())
+    }
+}
+
+impl Session {
+    /// A session running under `config` (the same knobs as the serving
+    /// layer: hierarchy params, global budget, concurrency, fairness,
+    /// cache bytes, plan shares).
+    ///
+    /// # Panics
+    /// Panics if `config.max_concurrent == 0`.
+    pub fn new(config: ServeConfig) -> Self {
+        Session {
+            engine: QueryEngine::new(config),
+        }
+    }
+
+    /// A session over the given hierarchy with every other knob at its
+    /// default — and plans priced against the *whole* cache
+    /// (`plan_shares = 1`), so single-query sessions plan exactly as the
+    /// legacy `DsmPostProjection::plan`-style entry points did at the same
+    /// `params`.
+    pub fn with_params(params: CacheParams) -> Self {
+        Session::new(ServeConfig {
+            params,
+            plan_shares: Some(1),
+            ..ServeConfig::default()
+        })
+    }
+
+    /// Registers a relation for querying.
+    pub fn register(&mut self, relation: DsmRelation) -> RelationId {
+        self.engine.register(relation)
+    }
+
+    /// Registers an already-shared relation without copying it.
+    pub fn register_arc(&mut self, relation: Arc<DsmRelation>) -> RelationId {
+        self.engine.register_arc(relation)
+    }
+
+    /// Starts a fluent query over the registered pair `(larger, smaller)`,
+    /// projecting one column from each side until [`Query::project`] says
+    /// otherwise.
+    pub fn query(&mut self, larger: RelationId, smaller: RelationId) -> Query<'_> {
+        Query::new(self, larger, smaller)
+    }
+
+    /// Pumps the stride scheduler for at most `steps` chunk-steps and
+    /// returns how many actually ran (0 = the session is drained).  Each
+    /// step admits from the FIFO queue while budget and concurrency slots
+    /// allow, then runs **one chunk of one query** under the fairness
+    /// policy — so a caller alternating `drive` with [`Query::submit`] /
+    /// [`Ticket::poll`] gets exactly the bounded-latency loop an async
+    /// front needs.
+    pub fn drive(&mut self, steps: usize) -> usize {
+        let mut ran = 0;
+        for _ in 0..steps {
+            if self.engine.step() == EngineStep::Idle {
+                break;
+            }
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Where `ticket` is in its state machine (see the crate docs).  The
+    /// first poll that observes completion takes the parked outcome with
+    /// it; later polls report [`RdxError::UnknownTicket`].
+    pub fn poll(&mut self, ticket: &Ticket) -> QueryPoll {
+        match self.engine.status(ticket.id()) {
+            None => QueryPoll::Rejected(RdxError::UnknownTicket {
+                ticket: ticket.id().raw(),
+            }),
+            Some(TicketStatus::Queued { .. }) => QueryPoll::Queued,
+            Some(TicketStatus::Running { chunks, rows }) => {
+                QueryPoll::Chunk(ChunkProgress { chunks, rows })
+            }
+            Some(TicketStatus::Finished) => {
+                let outcome = self
+                    .engine
+                    .take_outcome(ticket.id())
+                    .expect("finished outcome parked");
+                match outcome.outcome {
+                    Ok(report) => QueryPoll::Done(report),
+                    Err(e) => QueryPoll::Rejected(e),
+                }
+            }
+        }
+    }
+
+    /// Queries waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.engine.queued()
+    }
+
+    /// Queries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.engine.in_flight()
+    }
+
+    /// `true` when nothing is queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.engine.is_idle()
+    }
+
+    /// The catalog of registered relations.
+    pub fn catalog(&self) -> &Catalog {
+        self.engine.catalog()
+    }
+
+    /// The per-query cache share plans are priced against.
+    pub fn params(&self) -> &CacheParams {
+        self.engine.shared_params()
+    }
+
+    /// The configuration this session runs under.
+    pub fn config(&self) -> &ServeConfig {
+        self.engine.config()
+    }
+
+    /// Clustered-join-index cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// The ticket-granular engine underneath, for callers that need the
+    /// serve-layer surface directly.
+    pub fn engine_mut(&mut self) -> &mut QueryEngine {
+        &mut self.engine
+    }
+
+    pub(crate) fn engine(&mut self) -> &mut QueryEngine {
+        &mut self.engine
+    }
+}

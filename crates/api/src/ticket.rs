@@ -1,0 +1,58 @@
+//! Non-blocking submission tickets and their poll states.
+
+use crate::Session;
+use rdx_core::error::RdxError;
+use rdx_serve::{QueryResult, TicketId};
+
+/// A submitted query's handle: cheap, copyable, and inert — polling never
+/// blocks and never runs chunks (that is [`Session::drive`]'s job).
+///
+/// See the crate docs for the state machine; the terminal
+/// [`QueryPoll::Done`] / [`QueryPoll::Rejected`] outcome is delivered to
+/// exactly one poll, after which the ticket is forgotten and further polls
+/// report [`RdxError::UnknownTicket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    id: TicketId,
+}
+
+impl Ticket {
+    pub(crate) fn new(id: TicketId) -> Self {
+        Ticket { id }
+    }
+
+    /// The engine-level ticket id.
+    pub fn id(&self) -> TicketId {
+        self.id
+    }
+
+    /// Where this query is right now — sugar for [`Session::poll`].
+    pub fn poll(&self, session: &mut Session) -> QueryPoll {
+        session.poll(self)
+    }
+}
+
+/// Live progress of an admitted, still-running query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProgress {
+    /// Chunks emitted so far.
+    pub chunks: usize,
+    /// Result rows emitted so far.
+    pub rows: usize,
+}
+
+/// What a [`Ticket::poll`] observed.
+#[derive(Debug)]
+pub enum QueryPoll {
+    /// Waiting for admission (FIFO under the global memory budget).
+    Queued,
+    /// Admitted and progressing chunk by chunk.
+    Chunk(ChunkProgress),
+    /// Complete: the materialised result and its statistics.  Delivered to
+    /// exactly one poll.
+    Done(QueryResult),
+    /// The query failed (validation, admission, budget) — or the ticket is
+    /// unknown / already consumed ([`RdxError::UnknownTicket`]).  Failure
+    /// outcomes are likewise delivered once.
+    Rejected(RdxError),
+}

@@ -1,0 +1,190 @@
+//! The unified error hierarchy of the workspace: every fallible path — from
+//! kernel-level budget checks to catalog lookups in the serving layer —
+//! reports one [`RdxError`], so callers of the `Session`/`Query` front door
+//! (`rdx-api`) match on a single type instead of per-crate error zoos.
+//!
+//! Layering: this type lives at the bottom of the workspace (everything
+//! depends on `rdx-core`), so upper layers attach their failures to it
+//! instead of defining their own.  [`BudgetError`] — the PR 2/3 budget
+//! diagnosis — is absorbed as the [`RdxError::Budget`] variant; the serving
+//! layer's catalog failures are [`RdxError::UnknownRelation`] (raw relation
+//! id, since the `RelationId` newtype lives upstream); the strategy
+//! executors' former `assert!`/`panic!` validation sites are
+//! [`RdxError::TooManyColumns`] and [`RdxError::SelectionMismatch`]; the
+//! ticket front reports a consumed or never-issued ticket as
+//! [`RdxError::UnknownTicket`].
+
+use crate::budget::BudgetError;
+
+/// Which join input an error refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The larger (probing, first projection) relation.
+    Larger,
+    /// The smaller (build, second projection) relation.
+    Smaller,
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::Larger => write!(f, "larger"),
+            Side::Smaller => write!(f, "smaller"),
+        }
+    }
+}
+
+/// Every way a projection query can fail, across all layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdxError {
+    /// A memory budget is degenerate: zero bytes, or below the one-row
+    /// floor of the streaming plan it was meant to bound.
+    Budget(BudgetError),
+    /// A query named a relation id the catalog has never issued.
+    UnknownRelation {
+        /// The raw id (`RelationId`'s inner value).
+        id: u32,
+    },
+    /// The query projects more columns than a relation has.
+    TooManyColumns {
+        /// Which join input is too narrow.
+        side: Side,
+        /// Columns the spec asked for.
+        requested: usize,
+        /// Projectable columns the relation actually has (for NSM
+        /// relations the join-key attribute is excluded).
+        available: usize,
+    },
+    /// A sparse projection's selection vector does not belong to the base
+    /// table it was paired with.
+    SelectionMismatch {
+        /// Base-table cardinality the selection was built over.
+        selection_base: usize,
+        /// Cardinality of the base table actually supplied.
+        base_cardinality: usize,
+    },
+    /// A ticket was polled that this session never issued — or whose
+    /// outcome was already taken by an earlier poll.
+    UnknownTicket {
+        /// The raw ticket number.
+        ticket: u64,
+    },
+}
+
+impl std::fmt::Display for RdxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdxError::Budget(e) => write!(f, "inadmissible budget: {e}"),
+            RdxError::UnknownRelation { id } => write!(f, "unknown relation rel#{id}"),
+            RdxError::TooManyColumns {
+                side,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{side} relation has {available} projectable columns, {requested} requested"
+            ),
+            RdxError::SelectionMismatch {
+                selection_base,
+                base_cardinality,
+            } => write!(
+                f,
+                "selection over a {selection_base}-row base does not belong to \
+                 this {base_cardinality}-row base table"
+            ),
+            RdxError::UnknownTicket { ticket } => write!(
+                f,
+                "ticket#{ticket} was never issued by this session (or its \
+                 outcome was already taken)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RdxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RdxError::Budget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BudgetError> for RdxError {
+    fn from(e: BudgetError) -> Self {
+        RdxError::Budget(e)
+    }
+}
+
+/// Validates a projection spec against the projectable column counts of the
+/// two inputs — the shared guard every strategy executor's `try_` entry
+/// runs before touching data (the former `assert!` sites).
+pub fn check_projection_widths(
+    project_larger: usize,
+    larger_available: usize,
+    project_smaller: usize,
+    smaller_available: usize,
+) -> Result<(), RdxError> {
+    if project_larger > larger_available {
+        return Err(RdxError::TooManyColumns {
+            side: Side::Larger,
+            requested: project_larger,
+            available: larger_available,
+        });
+    }
+    if project_smaller > smaller_available {
+        return Err(RdxError::TooManyColumns {
+            side: Side::Smaller,
+            requested: project_smaller,
+            available: smaller_available,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_check_reports_the_offending_side() {
+        assert_eq!(check_projection_widths(2, 2, 1, 1), Ok(()));
+        assert_eq!(
+            check_projection_widths(3, 2, 1, 1),
+            Err(RdxError::TooManyColumns {
+                side: Side::Larger,
+                requested: 3,
+                available: 2
+            })
+        );
+        assert_eq!(
+            check_projection_widths(0, 0, 9, 4),
+            Err(RdxError::TooManyColumns {
+                side: Side::Smaller,
+                requested: 9,
+                available: 4
+            })
+        );
+    }
+
+    #[test]
+    fn display_is_readable_and_budget_source_chains() {
+        let e = RdxError::from(BudgetError::ZeroBytes);
+        assert!(e.to_string().contains("budget"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(RdxError::UnknownRelation { id: 7 }
+            .to_string()
+            .contains("rel#7"));
+        assert!(RdxError::UnknownTicket { ticket: 3 }
+            .to_string()
+            .contains("ticket#3"));
+        let mismatch = RdxError::SelectionMismatch {
+            selection_base: 10,
+            base_cardinality: 20,
+        };
+        assert!(mismatch.to_string().contains("10"));
+        assert!(std::error::Error::source(&mismatch).is_none());
+        assert_eq!(Side::Larger.to_string(), "larger");
+        assert_eq!(Side::Smaller.to_string(), "smaller");
+    }
+}

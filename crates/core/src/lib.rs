@@ -22,6 +22,9 @@
 //!   DSM post-projection (u/s/c/d), DSM pre-projection, NSM pre-projection
 //!   (naive and partitioned hash join), and NSM post-projection
 //!   (Radix-Decluster and Jive-Join).
+//! * [`error`] — the workspace-wide [`RdxError`] hierarchy: every fallible
+//!   path (budget checks, catalog lookups, projection-spec validation, the
+//!   ticket front) reports this one type.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@
 pub mod budget;
 pub mod cluster;
 pub mod decluster;
+pub mod error;
 pub mod hash;
 pub mod jive;
 pub mod join;
@@ -47,5 +51,6 @@ pub use decluster::{
     choose_window_bytes, radix_decluster, radix_decluster_into, radix_decluster_windows,
     radix_decluster_windows_with_scratch, window_elems, DeclusterScratch,
 };
+pub use error::{RdxError, Side};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

@@ -7,6 +7,7 @@
 //!    (partial Radix-Cluster + clustered Positional-Join + Radix-Decluster per
 //!    column, Fig. 4).
 
+use crate::error::{check_projection_widths, RdxError};
 use crate::join::{join_cluster_spec, partitioned_hash_join};
 use crate::strategy::common::{
     order_join_index, project_first_side, project_second_side_decluster,
@@ -66,9 +67,14 @@ impl DsmPostProjection {
 
     /// Executes the strategy.
     ///
+    /// **Legacy surface**: a documented thin wrapper over
+    /// [`DsmPostProjection::try_execute`] that panics instead of returning
+    /// the typed [`RdxError`].  New code — and everything behind the
+    /// `rdx-api` `Session` front door — goes through the fallible path.
+    ///
     /// # Panics
     /// Panics if the query asks for more projection columns than a relation
-    /// has.
+    /// has (`RdxError::TooManyColumns`).
     pub fn execute(
         &self,
         larger: &DsmRelation,
@@ -76,14 +82,27 @@ impl DsmPostProjection {
         spec: &QuerySpec,
         params: &CacheParams,
     ) -> StrategyOutcome {
-        assert!(
-            spec.project_larger <= larger.width(),
-            "larger side has too few columns"
-        );
-        assert!(
-            spec.project_smaller <= smaller.width(),
-            "smaller side has too few columns"
-        );
+        self.try_execute(larger, smaller, spec, params)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Executes the strategy, reporting validation failures as typed
+    /// [`RdxError`]s instead of panicking.  Degenerate inputs that *can*
+    /// run — empty relations, zero-width specs — produce an empty (or
+    /// column-less) result rather than an error.
+    pub fn try_execute(
+        &self,
+        larger: &DsmRelation,
+        smaller: &DsmRelation,
+        spec: &QuerySpec,
+        params: &CacheParams,
+    ) -> Result<StrategyOutcome, RdxError> {
+        check_projection_widths(
+            spec.project_larger,
+            larger.width(),
+            spec.project_smaller,
+            smaller.width(),
+        )?;
         let mut timings = PhaseTimings::default();
 
         // Phase 1: join index over the key columns only.
@@ -143,7 +162,7 @@ impl DsmPostProjection {
         for col in second_columns {
             result.push_column(Column::from_vec(col));
         }
-        StrategyOutcome { result, timings }
+        Ok(StrategyOutcome { result, timings })
     }
 }
 
@@ -244,5 +263,76 @@ mod tests {
             &QuerySpec::symmetric(5),
             &params,
         );
+    }
+
+    #[test]
+    fn try_execute_reports_over_projection_as_typed_error() {
+        use crate::error::{RdxError, Side};
+        let w = JoinWorkloadBuilder::equal(100, 1).build();
+        let params = CacheParams::tiny_for_tests();
+        let plan = DsmPostProjection::plan(&w.larger, &w.smaller, &params);
+        let err = plan
+            .try_execute(&w.larger, &w.smaller, &QuerySpec::symmetric(5), &params)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RdxError::TooManyColumns {
+                side: Side::Larger,
+                requested: 5,
+                available: 1
+            }
+        );
+        // Asymmetric over-projection pins the smaller side.
+        let err = plan
+            .try_execute(
+                &w.larger,
+                &w.smaller,
+                &QuerySpec {
+                    project_larger: 1,
+                    project_smaller: 5,
+                },
+                &params,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RdxError::TooManyColumns {
+                side: Side::Smaller,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_width_spec_is_a_degenerate_success_not_an_error() {
+        let w = JoinWorkloadBuilder::equal(200, 1).seed(2).build();
+        let params = CacheParams::tiny_for_tests();
+        let out = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        )
+        .try_execute(&w.larger, &w.smaller, &QuerySpec::symmetric(0), &params)
+        .expect("zero-width spec must run");
+        assert_eq!(out.result.num_columns(), 0);
+    }
+
+    #[test]
+    fn empty_relations_are_a_degenerate_success_not_an_error() {
+        use rdx_dsm::Column;
+        let empty = DsmRelation::new(Column::from_vec(vec![]), vec![Column::from_vec(vec![])]);
+        let params = CacheParams::tiny_for_tests();
+        for first in [
+            ProjectionCode::Unsorted,
+            ProjectionCode::Sorted,
+            ProjectionCode::PartialCluster,
+        ] {
+            for second in [SecondSideCode::Unsorted, SecondSideCode::Decluster] {
+                let out = DsmPostProjection::with_codes(first, second)
+                    .try_execute(&empty, &empty, &QuerySpec::symmetric(1), &params)
+                    .expect("empty relations must run");
+                assert_eq!(out.result.cardinality(), 0);
+                assert_eq!(out.result.num_columns(), 2);
+            }
+        }
     }
 }

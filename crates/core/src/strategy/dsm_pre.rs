@@ -6,6 +6,7 @@
 //! `π · 4` extra bytes per tuple per pass — which is exactly the overhead the
 //! paper's comparison quantifies.
 
+use crate::error::{check_projection_widths, RdxError};
 use crate::hash::hash_key;
 use crate::join::{join_cluster_spec, HashTable};
 use crate::strategy::{PhaseTimings, QuerySpec, StrategyOutcome};
@@ -116,14 +117,32 @@ impl WideBuffer {
 }
 
 /// Executes the DSM pre-projection strategy with Partitioned Hash-Join.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_dsm_pre_projection`].
 pub fn dsm_pre_projection(
     larger: &DsmRelation,
     smaller: &DsmRelation,
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger <= larger.width());
-    assert!(spec.project_smaller <= smaller.width());
+    try_dsm_pre_projection(larger, smaller, spec, params).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`dsm_pre_projection`] with validation failures reported as typed
+/// [`RdxError`]s instead of panics.
+pub fn try_dsm_pre_projection(
+    larger: &DsmRelation,
+    smaller: &DsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width(),
+        spec.project_smaller,
+        smaller.width(),
+    )?;
     let mut timings = PhaseTimings::default();
     let t = Instant::now();
 
@@ -176,7 +195,7 @@ pub fn dsm_pre_projection(
     for col in result_cols {
         result.push_column(Column::from_vec(col));
     }
-    StrategyOutcome { result, timings }
+    Ok(StrategyOutcome { result, timings })
 }
 
 #[cfg(test)]
@@ -227,6 +246,23 @@ mod tests {
         assert_eq!(
             result_rows(&out.result),
             reference_rows(&w.larger, &w.smaller, &spec)
+        );
+    }
+
+    #[test]
+    fn try_variant_reports_over_projection_as_typed_error() {
+        use crate::error::Side;
+        let w = JoinWorkloadBuilder::equal(100, 1).build();
+        let params = CacheParams::tiny_for_tests();
+        let err = try_dsm_pre_projection(&w.larger, &w.smaller, &QuerySpec::symmetric(7), &params)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RdxError::TooManyColumns {
+                side: Side::Larger,
+                requested: 7,
+                available: 1
+            }
         );
     }
 }

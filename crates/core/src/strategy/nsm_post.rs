@@ -11,6 +11,7 @@
 //!   penalty the paper derives.
 //! * `NSM-post-jive` uses Jive-Join \[LR99\] for the projection phase.
 
+use crate::error::{check_projection_widths, RdxError};
 use crate::jive::{jive_bits, jive_join_projection};
 use crate::join::{join_cluster_spec, partitioned_hash_join};
 use crate::strategy::common::{
@@ -37,14 +38,34 @@ fn nsm_join_index(
 }
 
 /// NSM post-projection using partial clustering + Radix-Decluster.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_nsm_post_projection_decluster`].
 pub fn nsm_post_projection_decluster(
     larger: &NsmRelation,
     smaller: &NsmRelation,
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger < larger.width());
-    assert!(spec.project_smaller < smaller.width());
+    try_nsm_post_projection_decluster(larger, smaller, spec, params)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`nsm_post_projection_decluster`] with validation failures reported as
+/// typed [`RdxError`]s (the join-key attribute is not projectable, so an NSM
+/// relation of width `ω` offers `ω − 1` columns).
+pub fn try_nsm_post_projection_decluster(
+    larger: &NsmRelation,
+    smaller: &NsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width().saturating_sub(1),
+        spec.project_smaller,
+        smaller.width().saturating_sub(1),
+    )?;
     let mut timings = PhaseTimings::default();
 
     let t = Instant::now();
@@ -86,18 +107,36 @@ pub fn nsm_post_projection_decluster(
     for col in first_columns.into_iter().chain(second_columns) {
         result.push_column(Column::from_vec(col));
     }
-    StrategyOutcome { result, timings }
+    Ok(StrategyOutcome { result, timings })
 }
 
 /// NSM post-projection using Jive-Join for the projection phase.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_nsm_post_projection_jive`].
 pub fn nsm_post_projection_jive(
     larger: &NsmRelation,
     smaller: &NsmRelation,
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger < larger.width());
-    assert!(spec.project_smaller < smaller.width());
+    try_nsm_post_projection_jive(larger, smaller, spec, params).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`nsm_post_projection_jive`] with validation failures reported as typed
+/// [`RdxError`]s.
+pub fn try_nsm_post_projection_jive(
+    larger: &NsmRelation,
+    smaller: &NsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width().saturating_sub(1),
+        spec.project_smaller,
+        smaller.width().saturating_sub(1),
+    )?;
     let mut timings = PhaseTimings::default();
 
     let t = Instant::now();
@@ -125,7 +164,7 @@ pub fn nsm_post_projection_jive(
     for col in jive.larger_columns.into_iter().chain(jive.smaller_columns) {
         result.push_column(Column::from_vec(col));
     }
-    StrategyOutcome { result, timings }
+    Ok(StrategyOutcome { result, timings })
 }
 
 #[cfg(test)]
@@ -170,5 +209,32 @@ mod tests {
         let b = nsm_post_projection_jive(&w.larger_nsm, &w.smaller_nsm, &spec, &params);
         assert_eq!(result_rows(&a.result), result_rows(&b.result));
         assert_eq!(a.result.cardinality(), w.expected_matches);
+    }
+
+    #[test]
+    fn try_variants_report_the_key_exclusive_width_as_typed_errors() {
+        use crate::error::{RdxError, Side};
+        // ω = 2 record: one key + one projectable attribute.
+        let w = JoinWorkloadBuilder::equal(300, 1).seed(24).build();
+        let params = CacheParams::tiny_for_tests();
+        let spec = QuerySpec {
+            project_larger: 1,
+            project_smaller: 2,
+        };
+        for err in [
+            try_nsm_post_projection_decluster(&w.larger_nsm, &w.smaller_nsm, &spec, &params)
+                .unwrap_err(),
+            try_nsm_post_projection_jive(&w.larger_nsm, &w.smaller_nsm, &spec, &params)
+                .unwrap_err(),
+        ] {
+            assert_eq!(
+                err,
+                RdxError::TooManyColumns {
+                    side: Side::Smaller,
+                    requested: 2,
+                    available: 1
+                }
+            );
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! two variants is the point the paper makes about Partitioned Hash-Join
 //! "carrying generic merit" beyond MonetDB.
 
+use crate::error::{check_projection_widths, RdxError};
 use crate::hash::hash_key;
 use crate::join::{join_cluster_spec, HashTable};
 use crate::strategy::{PhaseTimings, QuerySpec, StrategyOutcome};
@@ -148,13 +149,30 @@ fn to_outcome(result_cols: Vec<Vec<i32>>, timings: PhaseTimings) -> StrategyOutc
 
 /// NSM pre-projection with a **naive** (non-partitioned) Hash-Join —
 /// "NSM-pre-hash", the no-cache-optimisation baseline of Fig. 10a.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_nsm_pre_projection_hash`].
 pub fn nsm_pre_projection_hash(
     larger: &NsmRelation,
     smaller: &NsmRelation,
     spec: &QuerySpec,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger < larger.width());
-    assert!(spec.project_smaller < smaller.width());
+    try_nsm_pre_projection_hash(larger, smaller, spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`nsm_pre_projection_hash`] with validation failures reported as typed
+/// [`RdxError`]s.
+pub fn try_nsm_pre_projection_hash(
+    larger: &NsmRelation,
+    smaller: &NsmRelation,
+    spec: &QuerySpec,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width().saturating_sub(1),
+        spec.project_smaller,
+        smaller.width().saturating_sub(1),
+    )?;
     let mut timings = PhaseTimings::default();
     let t = Instant::now();
     let larger_pipe = Pipeline::scan(larger, spec.project_larger);
@@ -167,19 +185,37 @@ pub fn nsm_pre_projection_hash(
         spec,
     );
     timings.join = t.elapsed();
-    to_outcome(cols, timings)
+    Ok(to_outcome(cols, timings))
 }
 
 /// NSM pre-projection with **Partitioned Hash-Join** — "NSM-pre-phash", the
 /// conventional plan upgraded with the paper's cache-conscious join.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_nsm_pre_projection_phash`].
 pub fn nsm_pre_projection_phash(
     larger: &NsmRelation,
     smaller: &NsmRelation,
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger < larger.width());
-    assert!(spec.project_smaller < smaller.width());
+    try_nsm_pre_projection_phash(larger, smaller, spec, params).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`nsm_pre_projection_phash`] with validation failures reported as typed
+/// [`RdxError`]s.
+pub fn try_nsm_pre_projection_phash(
+    larger: &NsmRelation,
+    smaller: &NsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width().saturating_sub(1),
+        spec.project_smaller,
+        smaller.width().saturating_sub(1),
+    )?;
     let mut timings = PhaseTimings::default();
     let t = Instant::now();
     let larger_pipe = Pipeline::scan(larger, spec.project_larger);
@@ -202,7 +238,7 @@ pub fn nsm_pre_projection_phash(
         spec,
     );
     timings.join = t.elapsed();
-    to_outcome(cols, timings)
+    Ok(to_outcome(cols, timings))
 }
 
 #[cfg(test)]
@@ -244,5 +280,27 @@ mod tests {
     fn projecting_more_than_record_width_panics() {
         let w = JoinWorkloadBuilder::equal(100, 1).build();
         nsm_pre_projection_hash(&w.larger_nsm, &w.smaller_nsm, &QuerySpec::symmetric(4));
+    }
+
+    #[test]
+    fn try_variants_report_over_projection_as_typed_errors() {
+        use crate::error::{RdxError, Side};
+        let w = JoinWorkloadBuilder::equal(100, 1).build();
+        let params = CacheParams::tiny_for_tests();
+        let spec = QuerySpec::symmetric(4);
+        let want = RdxError::TooManyColumns {
+            side: Side::Larger,
+            requested: 4,
+            available: 1,
+        };
+        assert_eq!(
+            try_nsm_pre_projection_hash(&w.larger_nsm, &w.smaller_nsm, &spec).unwrap_err(),
+            want
+        );
+        assert_eq!(
+            try_nsm_pre_projection_phash(&w.larger_nsm, &w.smaller_nsm, &spec, &params)
+                .unwrap_err(),
+            want
+        );
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
 use crate::decluster::{choose_window_bytes, radix_decluster};
+use crate::error::{check_projection_widths, RdxError};
 use crate::join::{join_cluster_spec, partitioned_hash_join};
 use crate::positional::positional_join;
 use crate::strategy::common::{order_join_index, project_first_side, ProjectionCode};
@@ -27,6 +28,9 @@ use std::time::Instant;
 /// (that is what a selection operator produces); the projection columns are
 /// *not* materialised — they are fetched sparsely from the base table during
 /// the projection phase, which is the whole point of the experiment.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_dsm_post_projection_sparse`].
 pub fn dsm_post_projection_sparse(
     larger: &DsmRelation,
     smaller_base: &DsmRelation,
@@ -34,13 +38,32 @@ pub fn dsm_post_projection_sparse(
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger <= larger.width());
-    assert!(spec.project_smaller <= smaller_base.width());
-    assert_eq!(
-        selection.base_cardinality(),
-        smaller_base.cardinality(),
-        "selection does not belong to this base table"
-    );
+    try_dsm_post_projection_sparse(larger, smaller_base, selection, spec, params)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`dsm_post_projection_sparse`] with validation failures — over-wide
+/// specs, and a selection that does not belong to the supplied base table —
+/// reported as typed [`RdxError`]s instead of panics.
+pub fn try_dsm_post_projection_sparse(
+    larger: &DsmRelation,
+    smaller_base: &DsmRelation,
+    selection: &Selection,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width(),
+        spec.project_smaller,
+        smaller_base.width(),
+    )?;
+    if selection.base_cardinality() != smaller_base.cardinality() {
+        return Err(RdxError::SelectionMismatch {
+            selection_base: selection.base_cardinality(),
+            base_cardinality: smaller_base.cardinality(),
+        });
+    }
     let mut timings = PhaseTimings::default();
 
     // Join phase: the smaller side's key column is the selected keys.
@@ -97,7 +120,7 @@ pub fn dsm_post_projection_sparse(
     for col in first_columns.into_iter().chain(second_columns) {
         result.push_column(Column::from_vec(col));
     }
-    StrategyOutcome { result, timings }
+    Ok(StrategyOutcome { result, timings })
 }
 
 #[cfg(test)]
@@ -177,5 +200,48 @@ mod tests {
             &QuerySpec::symmetric(1),
             &CacheParams::tiny_for_tests(),
         );
+    }
+
+    #[test]
+    fn try_variant_reports_mismatch_and_over_projection_as_typed_errors() {
+        use crate::error::{RdxError, Side};
+        let sparse = SparseWorkload::generate(100, 0.5, 1, 1);
+        let other_base = RelationBuilder::new(50).columns(1).build_dsm();
+        let larger = RelationBuilder::new(100).columns(1).build_dsm();
+        let params = CacheParams::tiny_for_tests();
+        let err = try_dsm_post_projection_sparse(
+            &larger,
+            &other_base,
+            &sparse.selection,
+            &QuerySpec::symmetric(1),
+            &params,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RdxError::SelectionMismatch {
+                selection_base: sparse.selection.base_cardinality(),
+                base_cardinality: 50
+            }
+        );
+        let err = try_dsm_post_projection_sparse(
+            &larger,
+            &sparse.base,
+            &sparse.selection,
+            &QuerySpec {
+                project_larger: 1,
+                project_smaller: 3,
+            },
+            &params,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            RdxError::TooManyColumns {
+                side: Side::Smaller,
+                requested: 3,
+                ..
+            }
+        ));
     }
 }

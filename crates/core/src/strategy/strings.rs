@@ -9,6 +9,7 @@
 use crate::cluster::{radix_cluster_oids, RadixClusterSpec};
 use crate::decluster::choose_window_bytes;
 use crate::decluster::varsize::radix_decluster_varsize;
+use crate::error::{check_projection_widths, RdxError};
 use crate::join::{join_cluster_spec, partitioned_hash_join};
 use crate::strategy::common::{order_join_index, project_first_side, ProjectionCode};
 use crate::strategy::{PhaseTimings, QuerySpec, StrategyOutcome};
@@ -22,14 +23,33 @@ use std::time::Instant;
 /// The fixed-width part follows the planner's usual `c/d`-style pipeline; each
 /// string column is fetched with a clustered positional gather and put into
 /// final order with the variable-size Radix-Decluster.
+///
+/// **Legacy surface**: thin panicking wrapper over
+/// [`try_dsm_post_projection_with_strings`].
 pub fn dsm_post_projection_with_strings(
     larger: &DsmRelation,
     smaller: &DsmRelation,
     spec: &QuerySpec,
     params: &CacheParams,
 ) -> StrategyOutcome {
-    assert!(spec.project_larger <= larger.width());
-    assert!(spec.project_smaller <= smaller.width());
+    try_dsm_post_projection_with_strings(larger, smaller, spec, params)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`dsm_post_projection_with_strings`] with validation failures reported as
+/// typed [`RdxError`]s instead of panics.
+pub fn try_dsm_post_projection_with_strings(
+    larger: &DsmRelation,
+    smaller: &DsmRelation,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> Result<StrategyOutcome, RdxError> {
+    check_projection_widths(
+        spec.project_larger,
+        larger.width(),
+        spec.project_smaller,
+        smaller.width(),
+    )?;
     let mut timings = PhaseTimings::default();
 
     // Join index over the keys.
@@ -93,7 +113,7 @@ pub fn dsm_post_projection_with_strings(
     }
     timings.decluster = t.elapsed();
 
-    StrategyOutcome { result, timings }
+    Ok(StrategyOutcome { result, timings })
 }
 
 #[cfg(test)]
@@ -160,5 +180,27 @@ mod tests {
         );
         assert_eq!(out.result.var_columns().len(), 0);
         assert_eq!(out.result.cardinality(), 500);
+    }
+
+    #[test]
+    fn try_variant_reports_over_projection_as_typed_error() {
+        use crate::error::{RdxError, Side};
+        let larger = RelationBuilder::new(100).columns(1).seed(64).build_dsm();
+        let smaller = RelationBuilder::new(100).columns(1).seed(65).build_dsm();
+        let err = try_dsm_post_projection_with_strings(
+            &larger,
+            &smaller,
+            &QuerySpec::symmetric(2),
+            &CacheParams::tiny_for_tests(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RdxError::TooManyColumns {
+                side: Side::Larger,
+                requested: 2,
+                available: 1
+            }
+        );
     }
 }

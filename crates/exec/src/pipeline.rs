@@ -544,6 +544,44 @@ impl<'a> DsmPipelineRun<'a> {
     }
 }
 
+impl DsmPipelineRun<'static> {
+    /// A run that *owns* its relations through `Arc`s instead of borrowing
+    /// them — a `'static` value a session can park across calls without
+    /// borrowing its own catalog (what the ticket-granular serving engine
+    /// and the `rdx-api` `Session` front door need: the catalog hands out
+    /// `Arc` clones, so an in-flight run never pins the catalog itself).
+    ///
+    /// # Panics
+    /// Panics if the query asks for more projection columns than a relation
+    /// has (callers with a catalog validate first and report the typed
+    /// `RdxError` instead).
+    pub fn over_dsm_arc(
+        prepared: Arc<PreparedProjection>,
+        larger: Arc<DsmRelation>,
+        smaller: Arc<DsmRelation>,
+        spec: &QuerySpec,
+        params: &CacheParams,
+        policy: &ExecPolicy,
+    ) -> Self {
+        assert!(
+            spec.project_larger <= larger.width(),
+            "larger side has too few columns"
+        );
+        assert!(
+            spec.project_smaller <= smaller.width(),
+            "smaller side has too few columns"
+        );
+        PipelineRun::new(
+            prepared,
+            Box::new(move |oid, a| larger.attr(a).value(oid as usize)),
+            Box::new(move |oid, b| smaller.attr(b).value(oid as usize)),
+            spec,
+            params,
+            policy,
+        )
+    }
+}
+
 impl ProjectionPipeline {
     /// A pipeline running the given projection codes.
     pub fn new(plan: DsmPostProjection) -> Self {
@@ -979,6 +1017,48 @@ mod tests {
             assert_eq!(run.run_stats().rows_emitted, w.expected_matches);
             assert!(run.stats().timings.total() >= run.run_stats().timings.total());
         }
+    }
+
+    #[test]
+    fn arc_owned_run_matches_the_borrowing_run() {
+        let w = JoinWorkloadBuilder::equal(1_000, 2).seed(9).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::bytes(512));
+        let plan = DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        );
+        let pipeline = ProjectionPipeline::new(plan);
+        let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+        let mut borrowed = DsmPipelineRun::over_dsm(
+            prepared.clone(),
+            &w.larger,
+            &w.smaller,
+            &spec,
+            &params,
+            &policy,
+        );
+        // The Arc-owning run is a 'static value: parkable without borrowing.
+        let mut owned: DsmPipelineRun<'static> = DsmPipelineRun::over_dsm_arc(
+            prepared,
+            Arc::new(w.larger.clone()),
+            Arc::new(w.smaller.clone()),
+            &spec,
+            &params,
+            &policy,
+        );
+        let (mut sink_a, mut sink_b) = (MaterializeSink::new(), MaterializeSink::new());
+        borrowed.run_to_completion(&mut sink_a);
+        owned.run_to_completion(&mut sink_b);
+        let cols = |s: MaterializeSink| {
+            s.into_result()
+                .columns()
+                .iter()
+                .map(|c| c.as_slice().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cols(sink_a), cols(sink_b));
     }
 
     #[test]

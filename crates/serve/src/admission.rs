@@ -83,6 +83,18 @@ impl AdmissionController {
         self.global.per_query_share(self.max_concurrent)
     }
 
+    /// The budget still uncommitted — what a query running *outside* the
+    /// grant path (the engine's direct `run`/`stream` modes) may use
+    /// without over-committing the global budget alongside the shares
+    /// already granted to in-flight queries.  [`BudgetError::ZeroBytes`]
+    /// when every byte is granted out.
+    pub fn residual(&self) -> Result<MemoryBudget, BudgetError> {
+        if !self.global.is_bounded() {
+            return Ok(MemoryBudget::unbounded());
+        }
+        MemoryBudget::try_bytes(self.global.limit_bytes() - self.committed_bytes)
+    }
+
     /// Attempts to admit a query whose streaming plan needs `bytes_per_row`
     /// resident bytes per in-flight result row.
     pub fn try_admit(&mut self, bytes_per_row: usize) -> AdmissionDecision {

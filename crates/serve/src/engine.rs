@@ -1,0 +1,846 @@
+//! The **ticket-granular query engine**: the persistent core the whole
+//! serving layer (and the `rdx-api` `Session` front door) runs on.
+//!
+//! PR 3's [`crate::server::RdxServer::run_batch`] was a synchronous
+//! all-or-nothing call: admission, scheduling and chunk execution lived
+//! inside one loop whose in-flight state borrowed the catalog, so there was
+//! no API surface on which to accept a query while a batch was in flight.
+//! This module factors that loop into a value with *open* edges:
+//!
+//! * [`QueryEngine::submit`] validates a request against the catalog and
+//!   enqueues it, returning a non-blocking [`TicketId`] immediately — at any
+//!   time, including between chunk steps of other in-flight queries (the
+//!   async-front enabler the ROADMAP asks for);
+//! * [`QueryEngine::step`] pumps exactly one scheduler decision: admit from
+//!   the queue head while budget and slots allow, then run **one chunk of
+//!   one query** under the stride-scheduling fairness policy — the same
+//!   decision sequence the old batch loop made, now resumable from outside;
+//! * [`QueryEngine::status`] / [`QueryEngine::take_outcome`] observe a
+//!   ticket without blocking.
+//!
+//! ## The ticket state machine
+//!
+//! ```text
+//! submit ──► Queued ──admit──► Running ──last chunk──► Finished ──take──► gone
+//!    │                                                    ▲
+//!    └── validation / admission failure ──────────────────┘  (outcome = Err)
+//! ```
+//!
+//! A ticket moves strictly left to right.  `Queued` tickets wait in FIFO
+//! order (admission never skips the queue head, so arrival order bounds
+//! waiting); `Running` tickets are parked [`rdx_exec::PipelineRun`]s that
+//! own `Arc` clones of their relations (never borrowing the catalog, which
+//! is what lets the engine hold them across calls); `Finished` tickets park
+//! their outcome — the materialised result or a typed
+//! [`RdxError`] — until exactly one [`QueryEngine::take_outcome`] claims it.
+//!
+//! Everything fallible reports the workspace-wide [`RdxError`]; the engine
+//! never panics on untrusted input.
+//!
+//! [`crate::server::RdxServer::run_batch`] is now a documented thin wrapper
+//! over these primitives: submit all, step until idle, take all outcomes.
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::cache::{CacheStats, ClusterCache, ClusterKey};
+use crate::registry::{Catalog, RelationId};
+use crate::scheduler::ChunkScheduler;
+use crate::server::{QueryOutcome, QueryResult, QueryStats, ServeConfig, ServerRequest};
+use rdx_cache::CacheParams;
+use rdx_core::budget::MemoryBudget;
+use rdx_core::error::{RdxError, Side};
+use rdx_core::strategy::planner::{
+    plan_by_cost_with_threads, predict_streaming_cost, streaming_bytes_per_row, StreamingPlan,
+};
+use rdx_core::strategy::{DsmPostProjection, MaterializeSink, PhaseTimings, RowChunkSink};
+use rdx_dsm::DsmRelation;
+use rdx_exec::{DsmPipelineRun, ExecPolicy, ProjectionPipeline};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Process-wide ticket counter: ids are unique across every engine in the
+/// process, so a ticket accidentally polled against the wrong session can
+/// never alias (and silently consume) another session's outcome — it
+/// reports [`RdxError::UnknownTicket`] instead.
+static NEXT_TICKET: AtomicU64 = AtomicU64::new(0);
+
+/// Opaque handle to a submitted query: the engine's promise to eventually
+/// park an outcome under this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TicketId(pub(crate) u64);
+
+impl TicketId {
+    /// The raw ticket number (what [`RdxError::UnknownTicket`] carries).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TicketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ticket#{}", self.0)
+    }
+}
+
+/// Where a ticket currently is in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketStatus {
+    /// Waiting for admission (FIFO; `position` 0 is the queue head).
+    Queued {
+        /// Tickets ahead of this one.
+        position: usize,
+    },
+    /// Admitted and progressing chunk by chunk.
+    Running {
+        /// Chunks emitted so far.
+        chunks: usize,
+        /// Result rows emitted so far.
+        rows: usize,
+    },
+    /// Complete; the outcome is parked until [`QueryEngine::take_outcome`].
+    Finished,
+}
+
+/// What one [`QueryEngine::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStep {
+    /// One chunk of `ticket` ran, emitting `rows` result rows.
+    Chunk {
+        /// The query that progressed.
+        ticket: TicketId,
+        /// Rows in the emitted chunk.
+        rows: usize,
+    },
+    /// `ticket` completed; its outcome is parked for
+    /// [`QueryEngine::take_outcome`].
+    Finished {
+        /// The query that completed.
+        ticket: TicketId,
+    },
+    /// Nothing queued and nothing running: the engine is drained.
+    Idle,
+}
+
+/// Cumulative engine counters since the last [`QueryEngine::reset_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Peak over time of `Σ` active queries' planned working-set bounds.
+    pub peak_concurrent_bytes: usize,
+    /// Most queries in flight at once.
+    pub peak_concurrency: usize,
+    /// Total chunks dispatched.
+    pub chunks_dispatched: u64,
+    /// Queries that started on pooled (already warmed) chunk scratch.
+    pub scratch_reuses: u64,
+}
+
+/// A validated, planned, cache-resolved query, ready to stream chunks —
+/// what the single planner entry [`QueryEngine::resolve`] returns.
+///
+/// Every execution mode of the front door funnels through this value: a
+/// one-shot `run()` steps it to completion into a
+/// [`MaterializeSink`], a `stream(sink)` into the caller's sink, and a
+/// submitted ticket is stepped by the engine's own scheduler — so all modes
+/// exercise one code path and stay byte-identical by construction.
+pub struct ResolvedQuery {
+    run: DsmPipelineRun<'static>,
+    stats: QueryStats,
+    started: Instant,
+}
+
+impl ResolvedQuery {
+    /// The projection codes the planner chose (or the request pinned).
+    pub fn plan(&self) -> DsmPostProjection {
+        self.stats.plan
+    }
+
+    /// The chunking this query streams under.
+    pub fn streaming(&self) -> &StreamingPlan {
+        self.run.streaming()
+    }
+
+    /// Whether the prepared prefix came from the clustered-index cache.
+    pub fn cache_hit(&self) -> bool {
+        self.stats.cache_hit
+    }
+
+    /// Emits the next chunk into `sink`; `None` once complete (see
+    /// [`rdx_exec::PipelineRun::step`] for the begin/finish protocol).
+    pub fn step(&mut self, sink: &mut dyn RowChunkSink) -> Option<usize> {
+        self.run.step(sink)
+    }
+
+    /// Steps the query to completion.
+    pub fn run_to_completion(&mut self, sink: &mut dyn RowChunkSink) {
+        self.run.run_to_completion(sink)
+    }
+
+    /// `true` once the sink has been finished.
+    pub fn is_done(&self) -> bool {
+        self.run.is_done()
+    }
+}
+
+/// One queued (submitted, not yet admitted) ticket.
+struct Pending {
+    ticket: TicketId,
+    request: ServerRequest,
+    submitted_at: Instant,
+}
+
+/// One admitted, in-flight ticket.
+struct Running {
+    ticket: TicketId,
+    request: ServerRequest,
+    rq: ResolvedQuery,
+    sink: MaterializeSink,
+    /// The admission grant (released on completion; may exceed the
+    /// effective budget when a hint tightened it).
+    share: MemoryBudget,
+}
+
+/// The persistent, ticket-granular serving core.
+///
+/// ```
+/// use rdx_serve::{QueryEngine, EngineStep, ServeConfig, ServerRequest, TicketStatus};
+/// use rdx_core::strategy::QuerySpec;
+/// use rdx_workload::JoinWorkloadBuilder;
+///
+/// let mut engine = QueryEngine::new(ServeConfig::default());
+/// let w = JoinWorkloadBuilder::equal(1_000, 1).build();
+/// let larger = engine.register(w.larger.clone());
+/// let smaller = engine.register(w.smaller.clone());
+/// let ticket = engine.submit(ServerRequest::new(larger, smaller, QuerySpec::symmetric(1)));
+/// while engine.step() != EngineStep::Idle {}
+/// assert_eq!(engine.status(ticket), Some(TicketStatus::Finished));
+/// let outcome = engine.take_outcome(ticket).unwrap();
+/// assert_eq!(outcome.outcome.unwrap().stats.rows, w.expected_matches);
+/// ```
+pub struct QueryEngine {
+    config: ServeConfig,
+    shared_params: CacheParams,
+    catalog: Catalog,
+    cache: ClusterCache,
+    scratch_pool: Vec<rdx_exec::ChunkScratch>,
+    admission: AdmissionController,
+    scheduler: ChunkScheduler,
+    queue: VecDeque<Pending>,
+    running: Vec<Running>,
+    finished: HashMap<u64, QueryOutcome>,
+    stats: EngineStats,
+}
+
+impl QueryEngine {
+    /// An engine with an empty catalog and a cold cache.
+    ///
+    /// # Panics
+    /// Panics if `config.max_concurrent == 0`.
+    pub fn new(config: ServeConfig) -> Self {
+        assert!(config.max_concurrent >= 1, "must serve at least one query");
+        // Every per-query plan is priced and clustered against a 1/k share
+        // of the cache — conservative when fewer queries are active, but it
+        // keeps cluster specs (and so cache keys) stable across admission
+        // states.
+        let shares = config.plan_shares.unwrap_or(config.max_concurrent).max(1);
+        let shared_params = config.params.per_query_share(shares);
+        QueryEngine {
+            shared_params,
+            catalog: Catalog::new(),
+            cache: ClusterCache::new(config.cache_bytes),
+            scratch_pool: Vec::new(),
+            admission: AdmissionController::new(config.global_budget, config.max_concurrent),
+            scheduler: ChunkScheduler::new(config.fairness),
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            finished: HashMap::new(),
+            stats: EngineStats::default(),
+            config,
+        }
+    }
+
+    /// Registers a relation for querying.
+    pub fn register(&mut self, relation: DsmRelation) -> RelationId {
+        self.catalog.register(relation)
+    }
+
+    /// Registers an already-shared relation without copying it.
+    pub fn register_arc(&mut self, relation: Arc<DsmRelation>) -> RelationId {
+        self.catalog.register_arc(relation)
+    }
+
+    /// The catalog of registered relations.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The configuration this engine runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Clustered-index cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The per-query cache share plans are priced against.
+    pub fn shared_params(&self) -> &CacheParams {
+        &self.shared_params
+    }
+
+    /// Tickets waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Tickets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.running.len()
+    }
+
+    /// `true` when nothing is queued or running (finished outcomes may
+    /// still be parked).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Cumulative counters since the last [`QueryEngine::reset_stats`].
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the cumulative counters (the batch wrapper calls this so
+    /// [`crate::BatchStats`] keeps its per-batch semantics).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Submits a query, returning its ticket **without blocking**: the call
+    /// never runs a chunk, so it is safe between chunk steps of any
+    /// in-flight query.  Validation failures park an `Err` outcome
+    /// immediately (an invalid request never occupies a queue slot).
+    pub fn submit(&mut self, request: ServerRequest) -> TicketId {
+        let ticket = TicketId(NEXT_TICKET.fetch_add(1, Ordering::Relaxed));
+        match validate(&self.catalog, &request) {
+            Ok(()) => self.queue.push_back(Pending {
+                ticket,
+                request,
+                submitted_at: Instant::now(),
+            }),
+            Err(e) => {
+                self.finished.insert(
+                    ticket.0,
+                    QueryOutcome {
+                        request,
+                        outcome: Err(e),
+                    },
+                );
+            }
+        }
+        ticket
+    }
+
+    /// Where `ticket` is in its state machine, or `None` for a ticket this
+    /// engine never issued (or whose outcome was already taken).
+    pub fn status(&self, ticket: TicketId) -> Option<TicketStatus> {
+        if let Some(position) = self.queue.iter().position(|p| p.ticket == ticket) {
+            return Some(TicketStatus::Queued { position });
+        }
+        if let Some(r) = self.running.iter().find(|r| r.ticket == ticket) {
+            let s = r.rq.run.run_stats();
+            return Some(TicketStatus::Running {
+                chunks: s.chunks_emitted,
+                rows: s.rows_emitted,
+            });
+        }
+        if self.finished.contains_key(&ticket.0) {
+            return Some(TicketStatus::Finished);
+        }
+        None
+    }
+
+    /// Claims a finished ticket's outcome.  Each outcome can be taken
+    /// exactly once; `None` for unknown, already-taken, or still-unfinished
+    /// tickets (check [`QueryEngine::status`] to tell these apart).
+    pub fn take_outcome(&mut self, ticket: TicketId) -> Option<QueryOutcome> {
+        self.finished.remove(&ticket.0)
+    }
+
+    /// Pumps the engine by one scheduler decision: admit from the queue
+    /// head while budget and concurrency slots allow, then run **one chunk
+    /// of one query** under the fairness policy.  Returns what happened;
+    /// [`EngineStep::Idle`] means the engine is drained.
+    pub fn step(&mut self) -> EngineStep {
+        self.admit_from_queue();
+
+        self.stats.peak_concurrency = self.stats.peak_concurrency.max(self.running.len());
+        let concurrent_bytes: usize = self
+            .running
+            .iter()
+            .map(|r| r.rq.run.streaming().max_working_set_bytes())
+            .sum();
+        self.stats.peak_concurrent_bytes = self.stats.peak_concurrent_bytes.max(concurrent_bytes);
+        if self.config.global_budget.is_bounded() {
+            debug_assert!(concurrent_bytes <= self.config.global_budget.limit_bytes());
+        }
+
+        // One chunk of one query, per the fairness policy.
+        let Some(id) = self.scheduler.dispatch() else {
+            debug_assert!(self.queue.is_empty(), "queued work with nothing admitted");
+            return EngineStep::Idle;
+        };
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.ticket.0 as usize == id)
+            .expect("scheduled ticket vanished");
+        let running = &mut self.running[pos];
+        if let Some(rows) = running.rq.run.step(&mut running.sink) {
+            self.stats.chunks_dispatched += 1;
+            EngineStep::Chunk {
+                ticket: running.ticket,
+                rows,
+            }
+        } else {
+            // Completed: release the grant, free the slot, park the outcome.
+            self.scheduler.remove(id);
+            self.admission.release(running.share);
+            let r = self.running.swap_remove(pos);
+            let ticket = r.ticket;
+            let (rq, sink) = (r.rq, r.sink);
+            let stats = self.retire(rq);
+            self.finished.insert(
+                ticket.0,
+                QueryOutcome {
+                    request: r.request,
+                    outcome: Ok(QueryResult {
+                        result: sink.into_result(),
+                        stats,
+                    }),
+                },
+            );
+            EngineStep::Finished { ticket }
+        }
+    }
+
+    /// **The single planner entry** of the front door: validates `request`
+    /// against the catalog, checks `budget` can hold one resident result
+    /// row, chooses the projection codes (cost-based at the shared cache
+    /// share unless the request pinned them), resolves the prepared prefix
+    /// through the clustered-index cache, warms the run from the scratch
+    /// pool, and prices its per-chunk cost for the stride scheduler.
+    ///
+    /// Every execution mode — one-shot `run`, `stream`, and submitted
+    /// tickets — goes through this one function, which is what makes them
+    /// byte-identical by construction.
+    pub fn resolve(
+        &mut self,
+        request: &ServerRequest,
+        budget: MemoryBudget,
+    ) -> Result<ResolvedQuery, RdxError> {
+        validate(&self.catalog, request)?;
+        budget.check_one_row(streaming_bytes_per_row(&request.spec))?;
+        let larger = self.catalog.get_arc(request.larger).expect("validated");
+        let smaller = self.catalog.get_arc(request.smaller).expect("validated");
+        let threads = request
+            .threads_hint
+            .unwrap_or(self.config.threads_per_query);
+        let policy = ExecPolicy::with_threads(threads).budget(budget);
+        let shared_params = &self.shared_params;
+        let plan = request.codes.unwrap_or_else(|| {
+            plan_by_cost_with_threads(
+                &larger,
+                &smaller,
+                &request.spec,
+                shared_params,
+                policy.worker_threads(),
+            )
+        });
+        // Derived by the same function the prepared prefix itself uses, so
+        // the cache key can never drift from what it names.
+        let cluster = rdx_exec::dsm_cluster_spec(smaller.cardinality(), shared_params);
+        let key = ClusterKey {
+            larger: request.larger,
+            smaller: request.smaller,
+            plan,
+            cluster,
+        };
+        let pipeline = ProjectionPipeline::new(plan);
+        let (prepared, cache_hit) = self.cache.get_or_prepare(key, || {
+            pipeline.prepare(&larger, &smaller, shared_params, &policy)
+        });
+        let mut run = DsmPipelineRun::over_dsm_arc(
+            prepared,
+            larger,
+            smaller.clone(),
+            &request.spec,
+            shared_params,
+            &policy,
+        );
+        let predicted_chunk_cost_ms = predict_streaming_cost(
+            run.streaming(),
+            smaller.cardinality(),
+            run.prepared().result_rows(),
+            &request.spec,
+            shared_params,
+        ) / run.streaming().num_chunks.max(1) as f64;
+        // Warm start: hand down scratch harvested from an earlier query.
+        let mut scratch_reused = false;
+        if let Some(scratch) = self.scratch_pool.pop() {
+            run.attach_scratch(scratch);
+            scratch_reused = true;
+            self.stats.scratch_reuses += 1;
+        }
+        Ok(ResolvedQuery {
+            run,
+            stats: QueryStats {
+                plan,
+                cache_hit,
+                scratch_reused,
+                share_bytes: budget.limit_bytes(),
+                replanned: false,
+                chunks: 0,
+                rows: 0,
+                peak_chunk_bytes: 0,
+                predicted_chunk_cost_ms,
+                timings: PhaseTimings::default(),
+                wait: Duration::ZERO,
+                service: Duration::ZERO,
+            },
+            started: Instant::now(),
+        })
+    }
+
+    /// [`QueryEngine::resolve`] with the direct-execution budget rule: the
+    /// *uncommitted residual* of the global budget, tightened by the
+    /// request's own hint if any.  In-flight tickets keep their admission
+    /// grants (their parked working buffers stay resident between chunk
+    /// steps), so capping a direct run at the residual preserves the
+    /// serving layer's load-bearing invariant — `Σ resident working sets ≤
+    /// global` — even when `run`/`stream` calls interleave with tickets on
+    /// one session.  When every byte is granted out, the direct run is
+    /// refused with a typed [`RdxError::Budget`] instead of over-committing.
+    pub fn resolve_direct(&mut self, request: &ServerRequest) -> Result<ResolvedQuery, RdxError> {
+        let residual = self.admission.residual().map_err(RdxError::Budget)?;
+        let budget = match request.budget_hint {
+            Some(hint) if hint.limit_bytes() < residual.limit_bytes() => hint,
+            _ => residual,
+        };
+        self.resolve(request, budget)
+    }
+
+    /// Retires a resolved query: harvests its warmed chunk scratch back
+    /// into the pool and returns the finalised statistics.  The ticket path
+    /// calls this on completion; direct `run`/`stream` callers call it
+    /// after `run_to_completion`.
+    pub fn retire(&mut self, mut rq: ResolvedQuery) -> QueryStats {
+        if self.scratch_pool.len() < self.config.max_concurrent {
+            self.scratch_pool.push(rq.run.take_scratch());
+        }
+        // A cache-hit run never paid the prefix build; fold those timings in
+        // only when this query actually built it.
+        let run_stats = if rq.stats.cache_hit {
+            rq.run.run_stats()
+        } else {
+            rq.run.stats()
+        };
+        rq.stats.chunks = run_stats.chunks_emitted;
+        rq.stats.rows = run_stats.rows_emitted;
+        rq.stats.peak_chunk_bytes = run_stats.peak_chunk_bytes;
+        rq.stats.timings = run_stats.timings;
+        rq.stats.service = rq.started.elapsed();
+        rq.stats
+    }
+
+    /// Admits from the queue head while budget and slots allow (FIFO —
+    /// admission never skips the head, so arrival order bounds waiting).
+    fn admit_from_queue(&mut self) {
+        while let Some(front) = self.queue.front() {
+            let request = front.request;
+            let effective_row_bytes = streaming_bytes_per_row(&request.spec);
+            // A hint below the one-row floor can never run; reject before
+            // it holds up the queue.
+            if let Some(hint) = request.budget_hint {
+                if let Err(e) = hint.check_one_row(effective_row_bytes) {
+                    let p = self.queue.pop_front().expect("peeked");
+                    self.finished.insert(
+                        p.ticket.0,
+                        QueryOutcome {
+                            request,
+                            outcome: Err(RdxError::Budget(e)),
+                        },
+                    );
+                    continue;
+                }
+            }
+            match self.admission.try_admit(effective_row_bytes) {
+                AdmissionDecision::Queue => break,
+                AdmissionDecision::Reject(e) => {
+                    let p = self.queue.pop_front().expect("peeked");
+                    self.finished.insert(
+                        p.ticket.0,
+                        QueryOutcome {
+                            request,
+                            outcome: Err(RdxError::Budget(e)),
+                        },
+                    );
+                }
+                AdmissionDecision::Admit { share, replanned } => {
+                    let p = self.queue.pop_front().expect("peeked");
+                    // The effective budget: the admission grant, tightened
+                    // by the request's own hint if any (a hint can only
+                    // shrink the share, never grow it).
+                    let effective = match request.budget_hint {
+                        Some(hint) if hint.limit_bytes() < share.limit_bytes() => hint,
+                        _ => share,
+                    };
+                    match self.resolve(&request, effective) {
+                        Ok(mut rq) => {
+                            rq.stats.replanned = replanned;
+                            rq.stats.wait = p.submitted_at.elapsed();
+                            self.scheduler
+                                .add(p.ticket.0 as usize, rq.stats.predicted_chunk_cost_ms);
+                            self.running.push(Running {
+                                ticket: p.ticket,
+                                request,
+                                rq,
+                                sink: MaterializeSink::new(),
+                                share,
+                            });
+                        }
+                        Err(e) => {
+                            self.admission.release(share);
+                            self.finished.insert(
+                                p.ticket.0,
+                                QueryOutcome {
+                                    request,
+                                    outcome: Err(e),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Request validation against the catalog, in workspace-wide error terms.
+fn validate(catalog: &Catalog, request: &ServerRequest) -> Result<(), RdxError> {
+    let larger = catalog
+        .get(request.larger)
+        .ok_or(RdxError::UnknownRelation {
+            id: request.larger.raw(),
+        })?;
+    let smaller = catalog
+        .get(request.smaller)
+        .ok_or(RdxError::UnknownRelation {
+            id: request.smaller.raw(),
+        })?;
+    if request.spec.project_larger > larger.width() {
+        return Err(RdxError::TooManyColumns {
+            side: Side::Larger,
+            requested: request.spec.project_larger,
+            available: larger.width(),
+        });
+    }
+    if request.spec.project_smaller > smaller.width() {
+        return Err(RdxError::TooManyColumns {
+            side: Side::Smaller,
+            requested: request.spec.project_smaller,
+            available: smaller.width(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdx_core::budget::BudgetError;
+    use rdx_core::strategy::QuerySpec;
+    use rdx_dsm::ResultRelation;
+    use rdx_workload::JoinWorkloadBuilder;
+
+    fn engine(budget: MemoryBudget) -> QueryEngine {
+        QueryEngine::new(ServeConfig {
+            params: CacheParams::tiny_for_tests(),
+            global_budget: budget,
+            max_concurrent: 2,
+            threads_per_query: 1,
+            cache_bytes: 1 << 20,
+            fairness: crate::FairnessPolicy::CostWeighted,
+            plan_shares: None,
+        })
+    }
+
+    fn columns(result: &ResultRelation) -> Vec<Vec<i32>> {
+        result
+            .columns()
+            .iter()
+            .map(|c| c.as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn ticket_walks_queued_running_finished() {
+        let w = JoinWorkloadBuilder::equal(1_500, 1).seed(3).build();
+        let mut engine = engine(MemoryBudget::bytes(64));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+        let ticket = engine.submit(ServerRequest::new(larger, smaller, spec));
+        assert_eq!(
+            engine.status(ticket),
+            Some(TicketStatus::Queued { position: 0 })
+        );
+        // First step admits and runs one chunk.
+        assert!(matches!(
+            engine.step(),
+            EngineStep::Chunk { ticket: t, rows } if t == ticket && rows > 0
+        ));
+        assert!(matches!(
+            engine.status(ticket),
+            Some(TicketStatus::Running { chunks: 1, .. })
+        ));
+        while engine.step() != EngineStep::Idle {}
+        assert_eq!(engine.status(ticket), Some(TicketStatus::Finished));
+        let outcome = engine.take_outcome(ticket).expect("outcome parked");
+        let q = outcome.outcome.expect("query served");
+        assert_eq!(q.stats.rows, w.expected_matches);
+        assert!(q.stats.chunks > 1);
+        // Taken exactly once.
+        assert!(engine.take_outcome(ticket).is_none());
+        assert_eq!(engine.status(ticket), None);
+    }
+
+    #[test]
+    fn submit_between_steps_joins_the_running_mix() {
+        let w = JoinWorkloadBuilder::equal(2_000, 1).seed(5).build();
+        let mut engine = engine(MemoryBudget::bytes(4 * 1024));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+        let a = engine.submit(ServerRequest::new(larger, smaller, spec));
+        // Step a few chunks of A alone…
+        for _ in 0..3 {
+            assert!(matches!(engine.step(), EngineStep::Chunk { .. }));
+        }
+        // …then submit B *between chunk steps of the in-flight A* — the
+        // async-front enabler.
+        let b = engine.submit(ServerRequest::new(larger, smaller, spec));
+        assert!(matches!(
+            engine.status(a),
+            Some(TicketStatus::Running { .. })
+        ));
+        while engine.step() != EngineStep::Idle {}
+        let ra = engine.take_outcome(a).unwrap().outcome.unwrap();
+        let rb = engine.take_outcome(b).unwrap().outcome.unwrap();
+        // Interleaving is invisible in the results.
+        assert_eq!(columns(&ra.result), columns(&rb.result));
+        assert_eq!(ra.stats.rows, w.expected_matches);
+        assert!(engine.stats().peak_concurrency >= 2);
+    }
+
+    #[test]
+    fn invalid_submissions_finish_immediately_with_typed_errors() {
+        let w = JoinWorkloadBuilder::equal(300, 1).seed(7).build();
+        let mut engine = engine(MemoryBudget::bytes(4 * 1024));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let ghost = engine.submit(ServerRequest::new(
+            RelationId(99),
+            smaller,
+            QuerySpec::symmetric(1),
+        ));
+        assert_eq!(engine.status(ghost), Some(TicketStatus::Finished));
+        assert_eq!(
+            engine.take_outcome(ghost).unwrap().outcome.unwrap_err(),
+            RdxError::UnknownRelation { id: 99 }
+        );
+        // A hint below the one-row floor fails at admission time.
+        let starved = engine.submit(
+            ServerRequest::new(larger, smaller, QuerySpec::symmetric(1))
+                .with_budget_hint(MemoryBudget::bytes(1)),
+        );
+        while engine.step() != EngineStep::Idle {}
+        assert!(matches!(
+            engine.take_outcome(starved).unwrap().outcome.unwrap_err(),
+            RdxError::Budget(BudgetError::BelowOneRow { .. })
+        ));
+        // Unknown tickets report None, not a panic.  (u64::MAX is never
+        // issued: the process-wide counter counts up from zero.)
+        assert_eq!(engine.status(TicketId(u64::MAX)), None);
+        assert!(engine.take_outcome(TicketId(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn resolve_is_one_entry_for_direct_and_ticket_paths() {
+        let w = JoinWorkloadBuilder::equal(1_200, 2).seed(11).build();
+        let mut engine = engine(MemoryBudget::bytes(8 * 1024));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let request = ServerRequest::new(larger, smaller, QuerySpec::symmetric(2));
+
+        // Direct: resolve → run_to_completion → retire.
+        let mut rq = engine.resolve_direct(&request).expect("resolves");
+        assert!(!rq.cache_hit());
+        let mut sink = MaterializeSink::new();
+        rq.run_to_completion(&mut sink);
+        assert!(rq.is_done());
+        let stats = engine.retire(rq);
+        assert_eq!(stats.rows, w.expected_matches);
+        let direct = sink.into_result();
+
+        // Ticket: same request through the scheduler; the prefix now comes
+        // from the cache the direct run warmed.
+        let ticket = engine.submit(request);
+        while engine.step() != EngineStep::Idle {}
+        let q = engine.take_outcome(ticket).unwrap().outcome.unwrap();
+        assert!(q.stats.cache_hit);
+        assert_eq!(columns(&direct), columns(&q.result));
+
+        // Pinned codes override the planner through the same entry.
+        let pinned = engine
+            .resolve_direct(&request.with_codes(q.stats.plan))
+            .unwrap();
+        assert_eq!(pinned.plan(), q.stats.plan);
+        engine.retire(pinned);
+    }
+
+    #[test]
+    fn direct_runs_cannot_overcommit_past_in_flight_grants() {
+        let w = JoinWorkloadBuilder::equal(1_000, 1).seed(13).build();
+        let mut engine = engine(MemoryBudget::bytes(4_096)); // max_concurrent = 2
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let request = ServerRequest::new(larger, smaller, QuerySpec::symmetric(1));
+
+        // One ticket in flight holds its 2 KB fair share…
+        engine.submit(request);
+        assert!(matches!(engine.step(), EngineStep::Chunk { .. }));
+        // …so a direct run is capped at the 2 KB residual, keeping
+        // Σ resident working sets ≤ the 4 KB global budget.
+        let rq = engine.resolve_direct(&request).expect("residual fits");
+        assert_eq!(rq.stats.share_bytes, 2_048);
+        engine.retire(rq);
+
+        // With the whole budget granted out, a direct run is refused with a
+        // typed error instead of over-committing.
+        engine.submit(request);
+        assert!(matches!(engine.step(), EngineStep::Chunk { .. }));
+        assert_eq!(engine.in_flight(), 2);
+        let err = match engine.resolve_direct(&request) {
+            Err(e) => e,
+            Ok(_) => panic!("fully committed budget must refuse direct runs"),
+        };
+        assert_eq!(err, RdxError::Budget(BudgetError::ZeroBytes));
+
+        // Draining the tickets frees the budget again.
+        while engine.step() != EngineStep::Idle {}
+        let rq = engine.resolve_direct(&request).expect("budget released");
+        assert_eq!(rq.stats.share_bytes, 4_096);
+        engine.retire(rq);
+    }
+}

@@ -6,7 +6,7 @@
 //! once, arbitrated by exactly the quantities the paper models — cache
 //! shares, memory budgets and predicted cost.
 //!
-//! Four pieces, one per module:
+//! Five pieces, one per module:
 //!
 //! * [`registry`] — the relation [`Catalog`]: queries name data by
 //!   [`RelationId`], which is what makes cached intermediates safely
@@ -27,30 +27,46 @@
 //!   [`rdx_exec::PreparedProjection`] prefixes keyed by
 //!   `(relation ids, codes, cluster spec)`: repeated queries over the same
 //!   join reuse the radix-clustered product instead of re-clustering.
+//! * [`engine`] — the **ticket-granular [`QueryEngine`]** tying them
+//!   together as a persistent value with open edges: non-blocking
+//!   [`QueryEngine::submit`] returns a [`TicketId`] at any time (including
+//!   between chunk steps of in-flight queries), [`QueryEngine::step`] pumps
+//!   one admission-plus-chunk decision, and [`QueryEngine::resolve`] is the
+//!   **single planner entry** every execution mode funnels through.
 //!
-//! [`RdxServer::run_batch`] ties them together.  The load-bearing
-//! guarantee, exercised by the workspace conformance grid: **any**
-//! interleaving of **any** admitted mix produces, per query, output
-//! byte-identical to running that query alone — scheduling changes *when*
-//! chunks run, never what they contain.
+//! [`RdxServer::run_batch`] is the legacy synchronous shape, now a thin
+//! wrapper over tickets.  The load-bearing guarantee, exercised by the
+//! workspace conformance grid: **any** interleaving of **any** admitted mix
+//! produces, per query, output byte-identical to running that query alone —
+//! scheduling changes *when* chunks run, never what they contain.
+//!
+//! All fallible paths report the workspace-wide
+//! [`rdx_core::error::RdxError`] ([`ServeError`] remains as an alias).
 //!
 //! [`Catalog`]: registry::Catalog
 //! [`RelationId`]: registry::RelationId
 //! [`AdmissionController`]: admission::AdmissionController
 //! [`ChunkScheduler`]: scheduler::ChunkScheduler
 //! [`ClusterCache`]: cache::ClusterCache
+//! [`QueryEngine`]: engine::QueryEngine
+//! [`QueryEngine::submit`]: engine::QueryEngine::submit
+//! [`QueryEngine::step`]: engine::QueryEngine::step
+//! [`QueryEngine::resolve`]: engine::QueryEngine::resolve
+//! [`TicketId`]: engine::TicketId
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod cache;
+pub mod engine;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
 
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use cache::{CacheStats, ClusterCache, ClusterKey};
+pub use engine::{EngineStats, EngineStep, QueryEngine, ResolvedQuery, TicketId, TicketStatus};
 pub use registry::{Catalog, RelationId};
 pub use scheduler::{ChunkScheduler, FairnessPolicy};
 pub use server::{

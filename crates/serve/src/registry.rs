@@ -3,6 +3,7 @@
 //! plain value.
 
 use rdx_dsm::DsmRelation;
+use std::sync::Arc;
 
 /// Opaque handle to a registered relation.
 ///
@@ -12,6 +13,14 @@ use rdx_dsm::DsmRelation;
 /// which is what makes cached prepared prefixes safe to share.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelationId(pub(crate) u32);
+
+impl RelationId {
+    /// The raw id — what [`rdx_core::error::RdxError::UnknownRelation`]
+    /// carries, since the newtype is not visible from `rdx-core`.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+}
 
 impl std::fmt::Display for RelationId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -23,10 +32,12 @@ impl std::fmt::Display for RelationId {
 ///
 /// Registration is append-only: ids stay valid for the catalog's lifetime,
 /// so cached prepared prefixes keyed by id can never dangle or alias a
-/// replaced relation.
+/// replaced relation.  Relations are held behind `Arc` so an in-flight
+/// query's pipeline run can *own* a clone of its inputs — parked runs are
+/// `'static` values that never borrow the catalog.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    relations: Vec<DsmRelation>,
+    relations: Vec<Arc<DsmRelation>>,
 }
 
 impl Catalog {
@@ -37,6 +48,12 @@ impl Catalog {
 
     /// Registers a relation, returning its id.
     pub fn register(&mut self, relation: DsmRelation) -> RelationId {
+        self.register_arc(Arc::new(relation))
+    }
+
+    /// Registers an already-shared relation without copying it — how two
+    /// sessions (or a session and its tests) share one physical table.
+    pub fn register_arc(&mut self, relation: Arc<DsmRelation>) -> RelationId {
         let id = RelationId(u32::try_from(self.relations.len()).expect("catalog overflow"));
         self.relations.push(relation);
         id
@@ -44,7 +61,13 @@ impl Catalog {
 
     /// The relation behind `id`, if registered.
     pub fn get(&self, id: RelationId) -> Option<&DsmRelation> {
-        self.relations.get(id.0 as usize)
+        self.relations.get(id.0 as usize).map(|r| r.as_ref())
+    }
+
+    /// An owning handle to the relation behind `id`, if registered — what
+    /// in-flight pipeline runs capture so they never borrow the catalog.
+    pub fn get_arc(&self, id: RelationId) -> Option<Arc<DsmRelation>> {
+        self.relations.get(id.0 as usize).cloned()
     }
 
     /// Number of registered relations.
@@ -88,5 +111,15 @@ mod tests {
         assert!(catalog.get(RelationId(99)).is_none());
         assert_eq!(catalog.ids().collect::<Vec<_>>(), vec![a, b]);
         assert_eq!(a.to_string(), "rel#0");
+    }
+
+    #[test]
+    fn arc_registration_shares_without_copying() {
+        let mut catalog = Catalog::new();
+        let shared = Arc::new(relation(4));
+        let id = catalog.register_arc(shared.clone());
+        assert!(Arc::ptr_eq(&shared, &catalog.get_arc(id).unwrap()));
+        assert!(catalog.get_arc(RelationId(9)).is_none());
+        assert_eq!(catalog.get(id).unwrap().cardinality(), 4);
     }
 }

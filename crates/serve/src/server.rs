@@ -1,31 +1,29 @@
-//! The serving front: [`RdxServer`] accepts batches of [`ServerRequest`]s
-//! over registered relations and runs them **concurrently** — admission
-//! control splits the global memory budget, the stride scheduler interleaves
-//! pipeline chunks, and the clustered-join-index cache short-circuits the
-//! expensive prepared prefix for repeated joins.
+//! The batch serving front: [`RdxServer`] accepts batches of
+//! [`ServerRequest`]s over registered relations and runs them
+//! **concurrently** — admission control splits the global memory budget, the
+//! stride scheduler interleaves pipeline chunks, and the clustered-join-index
+//! cache short-circuits the expensive prepared prefix for repeated joins.
 //!
-//! Concurrency here is *chunk interleaving*, not threads-per-query: each
-//! query is a parked [`rdx_exec::PipelineRun`] (a `QuerySession`) and the
-//! serving loop steps one chunk of one query at a time (each chunk is
-//! itself morsel-parallel across the configured worker threads).  That
-//! keeps the whole layer deterministic — the conformance guarantee is that
-//! any interleaving produces results byte-identical to running every query
-//! alone — while still bounding memory (admission) and tail latency
-//! (fair scheduling).
+//! **Legacy surface**: since the ticket-granular refactor, this whole module
+//! is a documented thin wrapper over [`crate::engine::QueryEngine`] —
+//! [`RdxServer::run_batch`] submits every request as a ticket, pumps
+//! [`QueryEngine::step`] until idle, and takes the outcomes back in
+//! submission order.  New code (and the `rdx-api` `Session`/`Query` front
+//! door) uses the engine's non-blocking `submit`/`step`/`poll` primitives
+//! directly; the batch call remains for callers that want the synchronous
+//! all-at-once shape, and its semantics — FIFO admission, fair chunk
+//! interleaving, byte-identical results for any interleaving — are exactly
+//! the engine's.
 
-use crate::admission::{AdmissionController, AdmissionDecision};
-use crate::cache::{CacheStats, ClusterCache, ClusterKey};
+use crate::cache::CacheStats;
+use crate::engine::{EngineStep, QueryEngine, TicketId};
 use crate::registry::{Catalog, RelationId};
-use crate::scheduler::{ChunkScheduler, FairnessPolicy};
+use crate::scheduler::FairnessPolicy;
 use rdx_cache::CacheParams;
-use rdx_core::budget::{BudgetError, MemoryBudget};
-use rdx_core::strategy::planner::{
-    plan_by_cost_with_threads, predict_streaming_cost, streaming_bytes_per_row,
-};
-use rdx_core::strategy::{DsmPostProjection, MaterializeSink, QuerySpec};
+use rdx_core::budget::MemoryBudget;
+use rdx_core::error::RdxError;
+use rdx_core::strategy::{DsmPostProjection, PhaseTimings, QuerySpec};
 use rdx_dsm::{DsmRelation, ResultRelation};
-use rdx_exec::{ChunkScratch, DsmPipelineRun, ExecPolicy, ProjectionPipeline};
-use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Server configuration.
@@ -78,6 +76,14 @@ pub struct ServerRequest {
     pub spec: QuerySpec,
     /// Optional per-query cap, applied on top of the admission grant.
     pub budget_hint: Option<MemoryBudget>,
+    /// Optional per-query worker-thread count, overriding
+    /// [`ServeConfig::threads_per_query`].  Threads change only scheduling,
+    /// never bytes, so this cannot affect results.
+    pub threads_hint: Option<usize>,
+    /// Optional pinned projection codes, bypassing the cost-based planner
+    /// (what the conformance grid uses to drive every `u/s/c × u/d` cell
+    /// through the one planner entry).
+    pub codes: Option<DsmPostProjection>,
 }
 
 impl ServerRequest {
@@ -88,6 +94,8 @@ impl ServerRequest {
             smaller,
             spec,
             budget_hint: None,
+            threads_hint: None,
+            codes: None,
         }
     }
 
@@ -96,56 +104,38 @@ impl ServerRequest {
         self.budget_hint = Some(budget);
         self
     }
-}
 
-/// Why a request could not be served.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServeError {
-    /// A named relation is not registered.
-    UnknownRelation(RelationId),
-    /// The spec projects more columns than a relation has.
-    TooManyColumns {
-        /// The offending relation.
-        relation: RelationId,
-        /// Columns requested.
-        requested: usize,
-        /// Columns available.
-        available: usize,
-    },
-    /// The global budget (or the request's own hint) cannot hold one
-    /// resident result row.
-    Budget(BudgetError),
-}
+    /// Runs this query's chunks on `threads` workers (0 = auto-detect).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads_hint = Some(threads);
+        self
+    }
 
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::UnknownRelation(id) => write!(f, "unknown relation {id}"),
-            ServeError::TooManyColumns {
-                relation,
-                requested,
-                available,
-            } => write!(
-                f,
-                "{relation} has {available} columns, {requested} requested"
-            ),
-            ServeError::Budget(e) => write!(f, "inadmissible budget: {e}"),
-        }
+    /// Pins the projection codes instead of cost-based planning.
+    pub fn with_codes(mut self, codes: DsmPostProjection) -> Self {
+        self.codes = Some(codes);
+        self
     }
 }
 
-impl std::error::Error for ServeError {}
+/// Why a request could not be served.
+///
+/// **Legacy alias**: serving-layer failures are the workspace-wide
+/// [`RdxError`] since the one-front-door redesign; catalog failures surface
+/// as [`RdxError::UnknownRelation`] / [`RdxError::TooManyColumns`] and
+/// budget failures as [`RdxError::Budget`].
+pub type ServeError = RdxError;
 
 /// Per-query execution statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryStats {
-    /// The projection codes the planner chose.
+    /// The projection codes the planner chose (or the request pinned).
     pub plan: DsmPostProjection,
     /// Whether the prepared prefix came from the clustered-index cache.
     pub cache_hit: bool,
     /// Whether this query's chunk loop started on warmed scratch buffers
-    /// handed down from an earlier query in the batch (the server's scratch
-    /// pool), instead of growing its own.
+    /// handed down from an earlier query (the engine's scratch pool),
+    /// instead of growing its own.
     pub scratch_reused: bool,
     /// The admitted budget share (`usize::MAX` when unbounded).
     pub share_bytes: usize,
@@ -162,7 +152,11 @@ pub struct QueryStats {
     /// divided by the planned chunk count) — the stride the cost-weighted
     /// scheduler charges per dispatched chunk.
     pub predicted_chunk_cost_ms: f64,
-    /// Time from batch start to admission.
+    /// Wall-clock phase breakdown of the work this query actually paid:
+    /// chunk-loop phases always; the join/reorder/cluster prefix only when
+    /// this query built it (a cache hit skips it).
+    pub timings: PhaseTimings,
+    /// Time from submission to admission.
     pub wait: Duration,
     /// Time from admission to completion (interleaved wall clock).
     pub service: Duration,
@@ -183,7 +177,7 @@ pub struct QueryOutcome {
     /// The request as submitted.
     pub request: ServerRequest,
     /// The result, or why it was refused.
-    pub outcome: Result<QueryResult, ServeError>,
+    pub outcome: Result<QueryResult, RdxError>,
 }
 
 /// Batch-level statistics.
@@ -214,18 +208,6 @@ pub struct BatchReport {
     pub stats: BatchStats,
 }
 
-/// One admitted, in-flight query: a parked resumable pipeline run plus its
-/// sink and accounting — the session state the scheduler interleaves.
-struct QuerySession<'a> {
-    request_index: usize,
-    request: ServerRequest,
-    run: DsmPipelineRun<'a>,
-    sink: MaterializeSink,
-    share: MemoryBudget,
-    stats: QueryStats,
-    admitted_at: Instant,
-}
-
 /// The multi-query serving layer.
 ///
 /// ```
@@ -242,16 +224,7 @@ struct QuerySession<'a> {
 /// assert_eq!(result.result.cardinality(), w.expected_matches);
 /// ```
 pub struct RdxServer {
-    config: ServeConfig,
-    catalog: Catalog,
-    cache: ClusterCache,
-    shared_params: CacheParams,
-    /// Warmed [`ChunkScratch`] arenas harvested from completed queries and
-    /// handed to newly admitted ones, so a batch of queries pays the chunk
-    /// working-buffer growth once instead of per query.  Bounded by
-    /// `max_concurrent` (at most that many queries can hold scratch at
-    /// once, so a larger pool could never be drained).
-    scratch_pool: Vec<ChunkScratch>,
+    engine: QueryEngine,
 }
 
 impl RdxServer {
@@ -260,303 +233,95 @@ impl RdxServer {
     /// # Panics
     /// Panics if `config.max_concurrent == 0`.
     pub fn new(config: ServeConfig) -> Self {
-        assert!(config.max_concurrent >= 1, "must serve at least one query");
-        // Every per-query plan is priced and clustered against a 1/k share
-        // of the cache — conservative when fewer queries are active, but it
-        // keeps cluster specs (and so cache keys) stable across admission
-        // states.
-        let shares = config.plan_shares.unwrap_or(config.max_concurrent).max(1);
-        let shared_params = config.params.per_query_share(shares);
         RdxServer {
-            shared_params,
-            catalog: Catalog::new(),
-            cache: ClusterCache::new(config.cache_bytes),
-            scratch_pool: Vec::new(),
-            config,
+            engine: QueryEngine::new(config),
         }
     }
 
     /// Registers a relation for querying.
     pub fn register(&mut self, relation: DsmRelation) -> RelationId {
-        self.catalog.register(relation)
+        self.engine.register(relation)
     }
 
     /// The catalog of registered relations.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.engine.catalog()
     }
 
     /// The configuration this server runs under.
     pub fn config(&self) -> &ServeConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Clustered-index cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.engine.cache_stats()
     }
 
     /// The per-query cache share plans are priced against.
     pub fn shared_params(&self) -> &CacheParams {
-        &self.shared_params
+        self.engine.shared_params()
+    }
+
+    /// The ticket-granular engine underneath — for callers outgrowing the
+    /// batch shape (non-blocking submission, polling, incremental driving).
+    ///
+    /// The engine is *shared* with [`RdxServer::run_batch`]: a subsequent
+    /// batch call drives any ticket still open here to completion alongside
+    /// its own (outcomes stay claimable by their tickets, results are
+    /// unaffected), and the batch's [`BatchStats`] then include that work.
+    /// Mix the two surfaces only if that accounting is acceptable —
+    /// otherwise drain tickets first or use separate servers.
+    pub fn engine_mut(&mut self) -> &mut QueryEngine {
+        &mut self.engine
     }
 
     /// Serves a batch of concurrent requests to completion.
     ///
-    /// Requests are admitted in submission order (FIFO — admission never
-    /// skips the queue head, so arrival order bounds waiting); admitted
-    /// queries progress one chunk at a time under the fairness policy.  The
-    /// report carries one outcome per request, in submission order.
+    /// **Legacy surface**: a documented thin wrapper over the ticket
+    /// primitives — every request becomes a [`QueryEngine::submit`] ticket,
+    /// the engine is stepped until [`EngineStep::Idle`], and the outcomes
+    /// are taken back in submission order.  Requests are admitted in
+    /// submission order (FIFO — admission never skips the queue head, so
+    /// arrival order bounds waiting); admitted queries progress one chunk
+    /// at a time under the fairness policy.
+    ///
+    /// Tickets already open on the shared engine (via
+    /// [`RdxServer::engine_mut`]) are driven along with the batch and
+    /// counted in its [`BatchStats`]; see `engine_mut` for the contract.
     pub fn run_batch(&mut self, requests: &[ServerRequest]) -> BatchReport {
         let started = Instant::now();
-        let config = &self.config;
-        let shared_params = &self.shared_params;
-        let catalog = &self.catalog;
-        let cache = &mut self.cache;
-        let scratch_pool = &mut self.scratch_pool;
-
-        let mut admission = AdmissionController::new(config.global_budget, config.max_concurrent);
-        let mut scheduler = ChunkScheduler::new(config.fairness);
-        let mut outcomes: Vec<Option<QueryOutcome>> = Vec::new();
-        outcomes.resize_with(requests.len(), || None);
-        let mut stats = BatchStats::default();
-
-        // Validate up front: invalid requests fail fast and never occupy a
-        // queue slot.
-        let mut queue: VecDeque<usize> = VecDeque::new();
-        for (i, request) in requests.iter().enumerate() {
-            match validate(catalog, request) {
-                Ok(()) => queue.push_back(i),
-                Err(e) => {
-                    outcomes[i] = Some(QueryOutcome {
-                        request: *request,
-                        outcome: Err(e),
-                    })
-                }
-            }
-        }
-
-        let mut sessions: Vec<QuerySession<'_>> = Vec::new();
-        loop {
-            // Admit from the queue head while budget and slots allow.
-            while let Some(&next) = queue.front() {
-                let request = requests[next];
-                let effective_row_bytes = streaming_bytes_per_row(&request.spec);
-                // A hint below the one-row floor can never run; reject before
-                // it holds up the queue.
-                if let Some(hint) = request.budget_hint {
-                    if let Err(e) = hint.check_one_row(effective_row_bytes) {
-                        queue.pop_front();
-                        outcomes[next] = Some(QueryOutcome {
-                            request,
-                            outcome: Err(ServeError::Budget(e)),
-                        });
-                        continue;
-                    }
-                }
-                match admission.try_admit(effective_row_bytes) {
-                    AdmissionDecision::Queue => break,
-                    AdmissionDecision::Reject(e) => {
-                        queue.pop_front();
-                        outcomes[next] = Some(QueryOutcome {
-                            request,
-                            outcome: Err(ServeError::Budget(e)),
-                        });
-                    }
-                    AdmissionDecision::Admit { share, replanned } => {
-                        queue.pop_front();
-                        let mut session = admit(
-                            next,
-                            request,
-                            share,
-                            replanned,
-                            catalog,
-                            cache,
-                            shared_params,
-                            config,
-                            started,
-                        );
-                        // Warm start: hand down scratch harvested from an
-                        // earlier query in this batch, if any.
-                        if let Some(scratch) = scratch_pool.pop() {
-                            session.run.attach_scratch(scratch);
-                            session.stats.scratch_reused = true;
-                            stats.scratch_reuses += 1;
-                        }
-                        scheduler.add(next, session.stats.predicted_chunk_cost_ms);
-                        sessions.push(session);
-                    }
-                }
-            }
-
-            stats.peak_concurrency = stats.peak_concurrency.max(sessions.len());
-            let concurrent_bytes: usize = sessions
-                .iter()
-                .map(|s| s.run.streaming().max_working_set_bytes())
-                .sum();
-            stats.peak_concurrent_bytes = stats.peak_concurrent_bytes.max(concurrent_bytes);
-            if config.global_budget.is_bounded() {
-                debug_assert!(concurrent_bytes <= config.global_budget.limit_bytes());
-            }
-
-            // One chunk of one query, per the fairness policy.
-            let Some(id) = scheduler.dispatch() else {
-                debug_assert!(queue.is_empty(), "queued work with nothing admitted");
-                break;
-            };
-            let pos = sessions
-                .iter()
-                .position(|s| s.request_index == id)
-                .expect("scheduled session vanished");
-            let session = &mut sessions[pos];
-            if session.run.step(&mut session.sink).is_some() {
-                stats.chunks_dispatched += 1;
-            } else {
-                // Completed: account, release the grant, free the slot —
-                // and reclaim the warmed chunk scratch for the next query.
-                scheduler.remove(id);
-                admission.release(session.share);
-                let mut session = sessions.swap_remove(pos);
-                if scratch_pool.len() < config.max_concurrent {
-                    scratch_pool.push(session.run.take_scratch());
-                }
-                let run_stats = session.run.run_stats();
-                session.stats.chunks = run_stats.chunks_emitted;
-                session.stats.rows = run_stats.rows_emitted;
-                session.stats.peak_chunk_bytes = run_stats.peak_chunk_bytes;
-                session.stats.service = session.admitted_at.elapsed();
-                outcomes[session.request_index] = Some(QueryOutcome {
-                    request: session.request,
-                    outcome: Ok(QueryResult {
-                        result: session.sink.into_result(),
-                        stats: session.stats,
-                    }),
-                });
-            }
-        }
-
-        stats.wall = started.elapsed();
-        stats.cache = cache.stats();
+        // Per-batch counter semantics: peaks and totals restart here.
+        self.engine.reset_stats();
+        let tickets: Vec<TicketId> = requests.iter().map(|r| self.engine.submit(*r)).collect();
+        while self.engine.step() != EngineStep::Idle {}
+        let outcomes = tickets
+            .into_iter()
+            .map(|t| {
+                self.engine
+                    .take_outcome(t)
+                    .expect("request left unresolved")
+            })
+            .collect();
+        let engine_stats = self.engine.stats();
         BatchReport {
-            outcomes: outcomes
-                .into_iter()
-                .map(|o| o.expect("request left unresolved"))
-                .collect(),
-            stats,
+            outcomes,
+            stats: BatchStats {
+                peak_concurrent_bytes: engine_stats.peak_concurrent_bytes,
+                peak_concurrency: engine_stats.peak_concurrency,
+                chunks_dispatched: engine_stats.chunks_dispatched,
+                scratch_reuses: engine_stats.scratch_reuses,
+                wall: started.elapsed(),
+                cache: self.engine.cache_stats(),
+            },
         }
-    }
-}
-
-/// Request validation against the catalog.
-fn validate(catalog: &Catalog, request: &ServerRequest) -> Result<(), ServeError> {
-    let larger = catalog
-        .get(request.larger)
-        .ok_or(ServeError::UnknownRelation(request.larger))?;
-    let smaller = catalog
-        .get(request.smaller)
-        .ok_or(ServeError::UnknownRelation(request.smaller))?;
-    if request.spec.project_larger > larger.width() {
-        return Err(ServeError::TooManyColumns {
-            relation: request.larger,
-            requested: request.spec.project_larger,
-            available: larger.width(),
-        });
-    }
-    if request.spec.project_smaller > smaller.width() {
-        return Err(ServeError::TooManyColumns {
-            relation: request.smaller,
-            requested: request.spec.project_smaller,
-            available: smaller.width(),
-        });
-    }
-    Ok(())
-}
-
-/// Builds the in-flight session for an admitted request: plan codes, cache
-/// lookup (or prepare), streaming run under the granted share.
-#[allow(clippy::too_many_arguments)]
-fn admit<'a>(
-    request_index: usize,
-    request: ServerRequest,
-    share: MemoryBudget,
-    replanned: bool,
-    catalog: &'a Catalog,
-    cache: &mut ClusterCache,
-    shared_params: &CacheParams,
-    config: &ServeConfig,
-    batch_started: Instant,
-) -> QuerySession<'a> {
-    let larger = catalog.get(request.larger).expect("validated");
-    let smaller = catalog.get(request.smaller).expect("validated");
-    // The effective budget: the admission grant, tightened by the request's
-    // own hint if any (a hint can only shrink the share, never grow it).
-    let effective = match request.budget_hint {
-        Some(hint) if hint.limit_bytes() < share.limit_bytes() => hint,
-        _ => share,
-    };
-    let policy = ExecPolicy::with_threads(config.threads_per_query).budget(effective);
-    let plan = plan_by_cost_with_threads(
-        larger,
-        smaller,
-        &request.spec,
-        shared_params,
-        policy.worker_threads(),
-    );
-    // Derived by the same function the prepared prefix itself uses, so the
-    // cache key can never drift from what it names.
-    let cluster = rdx_exec::dsm_cluster_spec(smaller.cardinality(), shared_params);
-    let key = ClusterKey {
-        larger: request.larger,
-        smaller: request.smaller,
-        plan,
-        cluster,
-    };
-    let pipeline = ProjectionPipeline::new(plan);
-    let (prepared, cache_hit) = cache.get_or_prepare(key, || {
-        pipeline.prepare(larger, smaller, shared_params, &policy)
-    });
-    let run = DsmPipelineRun::over_dsm(
-        prepared,
-        larger,
-        smaller,
-        &request.spec,
-        shared_params,
-        &policy,
-    );
-    let predicted_chunk_cost_ms = predict_streaming_cost(
-        run.streaming(),
-        smaller.cardinality(),
-        run.prepared().result_rows(),
-        &request.spec,
-        shared_params,
-    ) / run.streaming().num_chunks.max(1) as f64;
-    let admitted_at = Instant::now();
-    QuerySession {
-        request_index,
-        request,
-        stats: QueryStats {
-            plan,
-            cache_hit,
-            scratch_reused: false,
-            share_bytes: effective.limit_bytes(),
-            replanned,
-            chunks: 0,
-            rows: 0,
-            peak_chunk_bytes: 0,
-            predicted_chunk_cost_ms,
-            wait: admitted_at.duration_since(batch_started),
-            service: Duration::ZERO,
-        },
-        run,
-        sink: MaterializeSink::new(),
-        share,
-        admitted_at,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rdx_core::budget::BudgetError;
     use rdx_workload::JoinWorkloadBuilder;
 
     fn test_config(budget: MemoryBudget) -> ServeConfig {
@@ -608,6 +373,11 @@ mod tests {
         assert_eq!(report.stats.cache.hits, 4);
         assert!(!report.outcomes[0].outcome.as_ref().unwrap().stats.cache_hit);
         assert!(report.outcomes[4].outcome.as_ref().unwrap().stats.cache_hit);
+        // Only the cache-missing query paid the prefix build time.
+        let miss = report.outcomes[0].outcome.as_ref().unwrap();
+        assert!(miss.stats.timings.join.as_nanos() > 0);
+        let hit = report.outcomes[4].outcome.as_ref().unwrap();
+        assert_eq!(hit.stats.timings.join, Duration::ZERO);
     }
 
     #[test]
@@ -681,20 +451,22 @@ mod tests {
         ]);
         assert_eq!(
             report.outcomes[0].outcome.as_ref().unwrap_err(),
-            &ServeError::UnknownRelation(ghost)
+            &RdxError::UnknownRelation { id: ghost.raw() }
         );
         assert!(matches!(
             report.outcomes[1].outcome.as_ref().unwrap_err(),
-            ServeError::TooManyColumns { .. }
+            RdxError::TooManyColumns { .. }
         ));
         assert!(matches!(
             report.outcomes[2].outcome.as_ref().unwrap_err(),
-            ServeError::Budget(BudgetError::BelowOneRow { .. })
+            RdxError::Budget(BudgetError::BelowOneRow { .. })
         ));
         let ok = report.outcomes[3].outcome.as_ref().unwrap();
         assert_eq!(ok.stats.rows, w.expected_matches);
         // Errors display something readable.
-        assert!(!ServeError::UnknownRelation(ghost).to_string().is_empty());
+        assert!(!RdxError::UnknownRelation { id: ghost.raw() }
+            .to_string()
+            .is_empty());
     }
 
     #[test]
@@ -709,7 +481,31 @@ mod tests {
             server.run_batch(&[ServerRequest::new(larger, smaller, QuerySpec::symmetric(1))]);
         assert!(matches!(
             report.outcomes[0].outcome.as_ref().unwrap_err(),
-            ServeError::Budget(BudgetError::BelowOneRow { .. })
+            RdxError::Budget(BudgetError::BelowOneRow { .. })
         ));
+    }
+
+    #[test]
+    fn request_hints_flow_through_the_batch_path() {
+        let w = JoinWorkloadBuilder::equal(900, 1).seed(17).build();
+        let mut server = RdxServer::new(test_config(MemoryBudget::bytes(64 * 1024)));
+        let larger = server.register(w.larger.clone());
+        let smaller = server.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+        let pinned = DsmPostProjection::with_codes(
+            rdx_core::strategy::ProjectionCode::Unsorted,
+            rdx_core::strategy::SecondSideCode::Decluster,
+        );
+        let report = server.run_batch(&[ServerRequest::new(larger, smaller, spec)
+            .with_codes(pinned)
+            .with_threads(2)
+            .with_budget_hint(MemoryBudget::bytes(256))]);
+        let q = report.outcomes[0].outcome.as_ref().expect("served");
+        assert_eq!(q.stats.plan, pinned);
+        // The hint tightened the share below the fair split.
+        assert_eq!(q.stats.share_bytes, 256);
+        assert!(q.stats.chunks > 1);
+        let solo = pinned.execute(&w.larger, &w.smaller, &spec, server.shared_params());
+        assert_eq!(columns(&q.result), columns(&solo.result));
     }
 }

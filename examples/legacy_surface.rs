@@ -1,0 +1,105 @@
+//! Pins the **legacy entry points** — the four pre-`Session` front doors —
+//! so they keep compiling and keep agreeing with the unified API they are
+//! now documented thin wrappers over:
+//!
+//! | legacy call | front-door replacement |
+//! |---|---|
+//! | `DsmPostProjection::plan(..).execute(..)` | `session.query(l, s).project(spec).run()` |
+//! | `par_dsm_post_projection(.., threads)` | `.threads(t).run()` |
+//! | `ProjectionPipeline::new(plan).execute(.., sink)` | `.budget(b).stream(sink)` |
+//! | `RdxServer::run_batch(&requests)` | `submit()` tickets + `Session::drive` + `Ticket::poll` |
+//!
+//! Run with `cargo run --release --example legacy_surface`.
+
+use radix_decluster::prelude::*;
+
+fn columns(result: &ResultRelation) -> Vec<Vec<i32>> {
+    result
+        .columns()
+        .iter()
+        .map(|c| c.as_slice().to_vec())
+        .collect()
+}
+
+fn main() {
+    let n = 50_000;
+    let pi = 2;
+    let w = JoinWorkloadBuilder::equal(n, pi).seed(11).build();
+    let params = CacheParams::paper_pentium4();
+    let spec = QuerySpec::symmetric(pi);
+
+    // Legacy door 1: the sequential executor with the paper's planning rule.
+    let plan = DsmPostProjection::plan(&w.larger, &w.smaller, &params);
+    let sequential = plan.execute(&w.larger, &w.smaller, &spec, &params);
+    println!(
+        "DsmPostProjection::execute      {:>8} rows  codes {}",
+        sequential.result.cardinality(),
+        plan.label()
+    );
+
+    // Legacy door 2: the morsel-parallel executor.
+    let parallel = par_dsm_post_projection(
+        &plan,
+        &w.larger,
+        &w.smaller,
+        &spec,
+        &params,
+        &ExecPolicy::with_threads(0), // auto-detect
+    );
+    println!(
+        "par_dsm_post_projection         {:>8} rows  (byte-identical: {})",
+        parallel.result.cardinality(),
+        columns(&parallel.result) == columns(&sequential.result)
+    );
+
+    // Legacy door 3: the streaming pipeline under a memory budget.
+    let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::fraction_of(n * pi * 8, 16));
+    let (streamed, stats) = ProjectionPipeline::new(plan)
+        .execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
+    println!(
+        "ProjectionPipeline::execute     {:>8} rows  in {} chunks (byte-identical: {})",
+        streamed.result.cardinality(),
+        stats.chunks_emitted,
+        columns(&streamed.result) == columns(&sequential.result)
+    );
+
+    // Legacy door 4: the batch server — itself now a thin wrapper over the
+    // ticket engine.
+    let mut server = RdxServer::new(ServeConfig {
+        params: params.clone(),
+        plan_shares: Some(1),
+        ..ServeConfig::default()
+    });
+    let larger = server.register(w.larger.clone());
+    let smaller = server.register(w.smaller.clone());
+    let report = server.run_batch(&[ServerRequest::new(larger, smaller, spec).with_codes(plan)]);
+    let batch = report.outcomes[0].outcome.as_ref().expect("served");
+    println!(
+        "RdxServer::run_batch            {:>8} rows  in {} chunks (byte-identical: {})",
+        batch.result.cardinality(),
+        batch.stats.chunks,
+        columns(&batch.result) == columns(&sequential.result)
+    );
+
+    // And the front door they all route through now.
+    let mut session = Session::with_params(params);
+    let larger = session.register(w.larger.clone());
+    let smaller = session.register(w.smaller.clone());
+    let front = session
+        .query(larger, smaller)
+        .project(spec)
+        .codes(plan)
+        .run()
+        .expect("front door");
+    println!(
+        "Session::query(..).run()        {:>8} rows  (byte-identical: {})",
+        front.result.cardinality(),
+        columns(&front.result) == columns(&sequential.result)
+    );
+
+    assert_eq!(columns(&parallel.result), columns(&sequential.result));
+    assert_eq!(columns(&streamed.result), columns(&sequential.result));
+    assert_eq!(columns(&batch.result), columns(&sequential.result));
+    assert_eq!(columns(&front.result), columns(&sequential.result));
+    println!("all five surfaces agree byte for byte.");
+}

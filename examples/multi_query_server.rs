@@ -1,12 +1,16 @@
-//! A multi-tenant serving session: zipfian query mix through `rdx-serve`,
-//! comparing serial execution, fair chunk interleaving, and interleaving
-//! with the clustered-join-index cache warm.
+//! A multi-tenant serving session through the **ticket front door**: a
+//! zipfian query mix is submitted as non-blocking tickets, pumped with
+//! [`Session::drive`] and observed with [`Ticket::poll`] — comparing serial
+//! execution, fair chunk interleaving, and interleaving with the
+//! clustered-join-index cache warm.  A final pass demonstrates the
+//! async-front enabler: new submissions landing between chunk steps of
+//! queries already in flight.
 //!
 //! Run with `cargo run --release --example multi_query_server [queries]`
 //! (default 24).
 
 use radix_decluster::prelude::*;
-use radix_decluster::serve::BatchReport;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -17,32 +21,80 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx]
 }
 
-fn summarize(label: &str, report: &BatchReport) {
-    let mut latencies: Vec<Duration> = report
-        .outcomes
-        .iter()
-        .filter_map(|o| o.outcome.as_ref().ok())
-        .map(|q| q.stats.wait + q.stats.service)
-        .collect();
+/// One served pass: per-query latency (wait + service) and cache hits.
+struct PassReport {
+    latencies: Vec<Duration>,
+    cache_hits: usize,
+    peak_concurrency: usize,
+    peak_bytes: usize,
+    wall: Duration,
+}
+
+fn summarize(label: &str, pass: &PassReport) {
+    let mut latencies = pass.latencies.clone();
     latencies.sort();
-    let served = latencies.len();
-    let hits = report
-        .outcomes
-        .iter()
-        .filter_map(|o| o.outcome.as_ref().ok())
-        .filter(|q| q.stats.cache_hit)
-        .count();
-    let wall = report.stats.wall.as_secs_f64();
+    let wall = pass.wall.as_secs_f64();
     println!(
         "{label:<28} wall {:>7.1} ms  thr {:>6.1} q/s  p50 {:>7.1} ms  p99 {:>7.1} ms  \
-         peak-conc {}  peak-bytes {:>9}  cache-hits {hits}",
+         peak-conc {}  peak-bytes {:>9}  cache-hits {}",
         wall * 1e3,
-        served as f64 / wall.max(1e-9),
+        latencies.len() as f64 / wall.max(1e-9),
         percentile(&latencies, 0.50).as_secs_f64() * 1e3,
         percentile(&latencies, 0.99).as_secs_f64() * 1e3,
-        report.stats.peak_concurrency,
-        report.stats.peak_concurrent_bytes,
+        pass.peak_concurrency,
+        pass.peak_bytes,
+        pass.cache_hits,
     );
+}
+
+/// Submits every query of the mix as a ticket, drives the session to
+/// completion with bounded `drive` calls, and polls outcomes as they land.
+fn serve_mix(
+    session: &mut Session,
+    mix: &QueryMix,
+    ids: &[(RelationId, RelationId)],
+) -> PassReport {
+    let started = std::time::Instant::now();
+    session.engine_mut().reset_stats();
+    let tickets: Vec<Ticket> = mix
+        .queries
+        .iter()
+        .map(|q| {
+            let (larger, smaller) = ids[q.tenant];
+            session
+                .query(larger, smaller)
+                .project(QuerySpec::symmetric(q.project))
+                .submit()
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(tickets.len());
+    let mut cache_hits = 0;
+    let mut open: Vec<Ticket> = tickets;
+    // The async-front loop shape: run a bounded burst of chunk-steps, then
+    // poll — submissions, polls and drives interleave freely.
+    loop {
+        let ran = session.drive(8);
+        open.retain(|t| match t.poll(session) {
+            QueryPoll::Done(report) => {
+                latencies.push(report.stats.wait + report.stats.service);
+                cache_hits += report.stats.cache_hit as usize;
+                false
+            }
+            QueryPoll::Rejected(e) => panic!("query rejected: {e}"),
+            QueryPoll::Queued | QueryPoll::Chunk(_) => true,
+        });
+        if ran == 0 && open.is_empty() {
+            break;
+        }
+    }
+    let stats = session.engine_mut().stats();
+    PassReport {
+        latencies,
+        cache_hits,
+        peak_concurrency: stats.peak_concurrency,
+        peak_bytes: stats.peak_concurrent_bytes,
+        wall: started.elapsed(),
+    }
 }
 
 fn main() {
@@ -65,8 +117,14 @@ fn main() {
     );
 
     // Global budget: a quarter of the hottest tenant's data, split across
-    // up to four admitted queries.
+    // up to four admitted queries.  The tenants' relations are Arc-shared
+    // across all three sessions — registered, never copied.
     let budget = MemoryBudget::bytes(mix.tenant_data_bytes(0) / 4);
+    let relations: Vec<(Arc<DsmRelation>, Arc<DsmRelation>)> = mix
+        .tenants
+        .iter()
+        .map(|w| (Arc::new(w.larger.clone()), Arc::new(w.smaller.clone())))
+        .collect();
     let base = ServeConfig {
         params: CacheParams::paper_pentium4(),
         global_budget: budget,
@@ -76,51 +134,76 @@ fn main() {
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(4),
     };
-
-    let build_requests = |server: &mut RdxServer| -> Vec<ServerRequest> {
-        let ids: Vec<(RelationId, RelationId)> = mix
-            .tenants
+    let register_all = |session: &mut Session| -> Vec<(RelationId, RelationId)> {
+        relations
             .iter()
-            .map(|w| {
+            .map(|(l, s)| {
                 (
-                    server.register(w.larger.clone()),
-                    server.register(w.smaller.clone()),
+                    session.register_arc(l.clone()),
+                    session.register_arc(s.clone()),
                 )
-            })
-            .collect();
-        mix.queries
-            .iter()
-            .map(|q| {
-                let (larger, smaller) = ids[q.tenant];
-                ServerRequest::new(larger, smaller, QuerySpec::symmetric(q.project))
             })
             .collect()
     };
 
     // 1. Serial: one query at a time, no reuse.
-    let mut serial = RdxServer::new(ServeConfig {
+    let mut serial = Session::new(ServeConfig {
         max_concurrent: 1,
         ..base.clone()
     });
-    let requests = build_requests(&mut serial);
-    summarize("serial (no cache)", &serial.run_batch(&requests));
+    let ids = register_all(&mut serial);
+    summarize("serial (no cache)", &serve_mix(&mut serial, &mix, &ids));
 
     // 2. Interleaved: admission + fair chunk scheduling, still cold.
-    let mut interleaved = RdxServer::new(base.clone());
-    let requests = build_requests(&mut interleaved);
-    summarize("interleaved (no cache)", &interleaved.run_batch(&requests));
+    let mut interleaved = Session::new(base.clone());
+    let ids = register_all(&mut interleaved);
+    summarize(
+        "interleaved (no cache)",
+        &serve_mix(&mut interleaved, &mix, &ids),
+    );
 
     // 3. Interleaved + clustered-index cache, cold then warm pass.
-    let mut cached = RdxServer::new(ServeConfig {
+    let mut cached = Session::new(ServeConfig {
         cache_bytes: 256 << 20,
         ..base
     });
-    let requests = build_requests(&mut cached);
-    summarize("interleaved + cache (cold)", &cached.run_batch(&requests));
-    summarize("interleaved + cache (warm)", &cached.run_batch(&requests));
+    let ids = register_all(&mut cached);
+    summarize(
+        "interleaved + cache (cold)",
+        &serve_mix(&mut cached, &mix, &ids),
+    );
+    summarize(
+        "interleaved + cache (warm)",
+        &serve_mix(&mut cached, &mix, &ids),
+    );
     let stats = cached.cache_stats();
     println!(
         "cache after both passes: {} hits / {} misses / {} evictions, {} B resident",
         stats.hits, stats.misses, stats.evictions, stats.resident_bytes
     );
+
+    // 4. The async-front enabler: a latecomer submitted while the warm mix
+    // is mid-flight still gets admitted, interleaved and served.
+    let (l0, s0) = ids[0];
+    let early = cached
+        .query(l0, s0)
+        .project(QuerySpec::symmetric(2))
+        .submit();
+    cached.drive(3);
+    let late = cached
+        .query(l0, s0)
+        .project(QuerySpec::symmetric(2))
+        .submit();
+    while cached.drive(64) > 0 {}
+    match (early.poll(&mut cached), late.poll(&mut cached)) {
+        (QueryPoll::Done(a), QueryPoll::Done(b)) => {
+            assert_eq!(a.result.cardinality(), b.result.cardinality());
+            println!(
+                "late submission joined mid-flight and finished: {} rows each \
+                 (in-flight admission, zero executor changes)",
+                a.stats.rows
+            );
+        }
+        other => panic!("both tickets must finish, got {other:?}"),
+    }
 }

@@ -1,9 +1,13 @@
-//! Quickstart: run one projected join with the paper's recommended strategy
-//! (DSM post-projection with Radix-Decluster) and print the phase breakdown.
+//! Quickstart through the **one front door**: open a [`Session`], register
+//! the relations, and run one projected join with the cost-planned strategy
+//! — then print the phase breakdown the session measured.
 //!
 //! ```text
 //! cargo run --release --example quickstart [cardinality] [projected_columns]
 //! ```
+//!
+//! (The legacy per-crate entry points this used to call directly are pinned
+//! by `examples/legacy_surface.rs`.)
 
 use radix_decluster::prelude::*;
 
@@ -17,25 +21,30 @@ fn main() {
     );
     let workload = JoinWorkloadBuilder::equal(cardinality, pi).seed(7).build();
 
-    let params = CacheParams::paper_pentium4();
-    let spec = QuerySpec::symmetric(pi);
+    // One front door: the session owns the catalog, the cache params every
+    // plan is priced against, and the planner entry every mode resolves
+    // through.
+    let mut session = Session::with_params(CacheParams::paper_pentium4());
+    let larger = session.register(workload.larger);
+    let smaller = session.register(workload.smaller);
 
-    // The planner applies the paper's rule: unsorted processing while the
-    // projection columns fit the cache, partial-cluster + Radix-Decluster
-    // beyond that.
-    let plan = DsmPostProjection::plan(&workload.larger, &workload.smaller, &params);
+    let report = session
+        .query(larger, smaller)
+        .project(QuerySpec::symmetric(pi))
+        .run()
+        .expect("projection query");
+
     println!(
         "Planned DSM post-projection codes (larger/smaller): {}",
-        plan.label()
+        report.stats.plan.label()
     );
 
-    let outcome = plan.execute(&workload.larger, &workload.smaller, &spec, &params);
-    let t = &outcome.timings;
+    let t = &report.stats.timings;
     println!();
     println!(
         "result: {} tuples × {} columns (expected {} matches)",
-        outcome.result.cardinality(),
-        outcome.result.num_columns(),
+        report.result.cardinality(),
+        report.result.num_columns(),
         workload.expected_matches
     );
     println!("phase breakdown:");
@@ -71,5 +80,6 @@ fn main() {
          projection handling must be part of any cache-conscious join.",
         projection_share * 100.0
     );
-    assert_eq!(outcome.result.cardinality(), workload.expected_matches);
+    assert_eq!(report.result.cardinality(), workload.expected_matches);
+    assert_eq!(report.stats.rows, workload.expected_matches);
 }

@@ -29,25 +29,39 @@
 //! * [`serve`] — the cache-aware **multi-query serving layer**: a relation
 //!   catalog, an admission controller splitting one global memory budget
 //!   into per-query shares, a fair (stride) chunk scheduler interleaving
-//!   concurrent queries at chunk boundaries, and a byte-budgeted LRU cache
-//!   of clustered join indexes for cross-query reuse.
+//!   concurrent queries at chunk boundaries, a byte-budgeted LRU cache
+//!   of clustered join indexes for cross-query reuse — and the
+//!   ticket-granular [`serve::QueryEngine`] underneath it all.
+//! * [`api`] — **one front door**: the unified [`api::Session`] /
+//!   [`api::Query`] surface with non-blocking submission tickets.  A
+//!   `Session` owns the catalog, shared cache params, global budget,
+//!   join-index cache and scratch pools; the fluent builder resolves
+//!   through one planner entry to `run()` (one-shot materialise),
+//!   `stream(sink)` (chunked) or `submit()` (a [`api::Ticket`] polled
+//!   without blocking, pumped by [`api::Session::drive`]).  The per-crate
+//!   entry points above remain as documented legacy wrappers.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use radix_decluster::prelude::*;
 //!
-//! // Two relations of equal size that join on `key`, one projection column each.
-//! let workload = workload::JoinWorkloadBuilder::equal(10_000, 1).seed(1).build();
+//! // Two relations of equal size that join on `key`, two projection columns each.
+//! let workload = workload::JoinWorkloadBuilder::equal(10_000, 2).seed(1).build();
 //!
-//! let params = CacheParams::paper_pentium4();
-//! let spec = QuerySpec::symmetric(1);
-//! let plan = DsmPostProjection::plan(&workload.larger, &workload.smaller, &params);
-//! let outcome = plan.execute(&workload.larger, &workload.smaller, &spec, &params);
-//! assert_eq!(outcome.result.num_columns(), 2);
-//! assert_eq!(outcome.result.cardinality(), workload.expected_matches);
+//! let mut session = Session::with_params(CacheParams::paper_pentium4());
+//! let larger = session.register(workload.larger.clone());
+//! let smaller = session.register(workload.smaller.clone());
+//! let report = session
+//!     .query(larger, smaller)
+//!     .project(QuerySpec::symmetric(2))
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.result.num_columns(), 4);
+//! assert_eq!(report.result.cardinality(), workload.expected_matches);
 //! ```
 
+pub use rdx_api as api;
 pub use rdx_cache as cache;
 pub use rdx_core as core;
 pub use rdx_cost as cost;
@@ -59,14 +73,19 @@ pub use rdx_workload as workload;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use rdx_api::{ChunkProgress, Query, QueryPoll, Session, Ticket};
     pub use rdx_cache::{CacheParams, MemorySystem};
     pub use rdx_core::budget::{BudgetError, MemoryBudget};
     pub use rdx_core::cluster::{
-        plan_cluster_passes, radix_cluster, radix_cluster_oids_with_scratch,
-        radix_cluster_with_scratch, scatter_cursor_budget, ClusterScratch, RadixClusterSpec,
-        ScatterMode,
+        plan_cluster_passes, plan_partial_cluster, radix_cluster, radix_cluster_oids,
+        radix_cluster_oids_with_scratch, radix_cluster_with_scratch, scatter_cursor_budget,
+        ClusterScratch, RadixClusterSpec, ScatterMode, ScratchClustered,
     };
-    pub use rdx_core::decluster::{radix_decluster, radix_decluster_into, DeclusterScratch};
+    pub use rdx_core::decluster::{
+        radix_decluster, radix_decluster_into, radix_decluster_windows,
+        radix_decluster_windows_with_scratch, DeclusterScratch,
+    };
+    pub use rdx_core::error::{RdxError, Side};
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{
         plan_streaming, plan_streaming_checked, CountingSink, DsmPostProjection, MaterializeSink,
@@ -76,12 +95,14 @@ pub mod prelude {
     pub use rdx_exec::{
         par_dsm_post_projection, par_nsm_post_projection_decluster, par_partitioned_hash_join,
         par_radix_cluster, par_radix_cluster_oids, par_radix_cluster_oids_with_scratch,
-        par_radix_decluster, par_radix_decluster_into, ChunkScratch, DsmPipelineRun, ExecPolicy,
-        ParClusterScratch, PipelineRun, PreparedProjection, ProjectionPipeline,
+        par_radix_cluster_with_scratch, par_radix_decluster, par_radix_decluster_into,
+        ChunkScratch, DsmPipelineRun, ExecPolicy, ParClusterScratch, PipelineRun,
+        PreparedProjection, ProjectionPipeline,
     };
     pub use rdx_nsm::NsmRelation;
     pub use rdx_serve::{
-        FairnessPolicy, RdxServer, RelationId, ServeConfig, ServeError, ServerRequest,
+        EngineStep, FairnessPolicy, QueryEngine, RdxServer, RelationId, ServeConfig, ServeError,
+        ServerRequest, TicketId, TicketStatus,
     };
     pub use rdx_workload::{
         self as workload, BudgetedWorkload, JoinWorkloadBuilder, MixConfig, QueryMix,
