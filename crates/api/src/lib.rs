@@ -94,7 +94,10 @@ pub use ticket::{ChunkProgress, QueryPoll, Ticket};
 pub use rdx_cache::CacheParams;
 pub use rdx_core::budget::{BudgetError, MemoryBudget};
 pub use rdx_core::error::{RdxError, Side};
-pub use rdx_core::strategy::{QuerySpec, RowChunkSink};
+pub use rdx_core::strategy::{PhaseTimings, QuerySpec, RowChunkSink};
+pub use rdx_obs::{
+    EventKind, HistogramSnapshot, MetricValue, MetricsSnapshot, QueryId, TraceEvent, TraceSnapshot,
+};
 pub use rdx_serve::{
     CacheStats, Catalog, FairnessPolicy, QueryResult, QueryStats, RelationId, ServeConfig, TicketId,
 };
@@ -280,6 +283,97 @@ mod tests {
             QueryPoll::Done(report) => assert_eq!(report.stats.rows, w.expected_matches),
             other => panic!("expected Done, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn phase_timings_and_wall_clock_surface_through_the_front_door() {
+        let w = JoinWorkloadBuilder::equal(1_500, 2).seed(71).build();
+        let mut session = Session::with_params(CacheParams::tiny_for_tests());
+        let larger = session.register(w.larger.clone());
+        let smaller = session.register(w.smaller.clone());
+
+        // Direct run: the phase breakdown of the work it actually did.
+        let report = session
+            .query(larger, smaller)
+            .project(QuerySpec::symmetric(2))
+            .run()
+            .expect("runs");
+        let t = report.stats.timings;
+        assert!(t.join.as_nanos() > 0, "cold run paid the join");
+        assert!(t.total() > std::time::Duration::ZERO);
+        assert!(report.stats.service > std::time::Duration::ZERO);
+        assert_eq!(
+            report.stats.total_wall(),
+            report.stats.wait + report.stats.service
+        );
+
+        // Ticket: queue wait + service + phase breakdown in the Done report.
+        let ticket = session
+            .query(larger, smaller)
+            .project(QuerySpec::symmetric(2))
+            .submit();
+        while session.drive(16) > 0 {}
+        match ticket.poll(&mut session) {
+            QueryPoll::Done(done) => {
+                assert!(done.stats.cache_hit, "prefix warmed by the direct run");
+                // A cache hit never paid the join prefix…
+                assert_eq!(done.stats.timings.join, std::time::Duration::ZERO);
+                // …but the chunk-loop phases are still accounted.
+                assert!(done.stats.timings.total() > std::time::Duration::ZERO);
+                assert!(done.stats.total_wall() >= done.stats.service);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observability_accessors_are_none_when_disabled_and_live_when_enabled() {
+        let w = JoinWorkloadBuilder::equal(900, 1).seed(73).build();
+
+        // Default session: no registry, no trace, no query events.
+        let off = Session::with_params(CacheParams::tiny_for_tests());
+        assert!(!off.observability());
+        assert!(off.metrics().is_none());
+        assert!(off.trace_snapshot().is_none());
+
+        // Observability on: one ticket's full lifecycle is replayable.
+        let mut session = Session::new(ServeConfig {
+            params: CacheParams::tiny_for_tests(),
+            global_budget: MemoryBudget::bytes(1024),
+            plan_shares: Some(1),
+            observability: true,
+            ..ServeConfig::default()
+        });
+        assert!(session.observability());
+        let larger = session.register(w.larger.clone());
+        let smaller = session.register(w.smaller.clone());
+        let ticket = session.query(larger, smaller).submit();
+        while session.drive(16) > 0 {}
+        let report = match ticket.poll(&mut session) {
+            QueryPoll::Done(report) => report,
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        let trace = session.trace_snapshot().expect("enabled");
+        let life = trace.events_for(QueryId(report.stats.query_id));
+        let labels: Vec<_> = life.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(labels[0], "submit");
+        assert_eq!(labels[1], "admit");
+        assert_eq!(labels[2], "cache_lookup");
+        assert_eq!(labels.last(), Some(&"done"));
+        let chunk_events = labels.iter().filter(|l| **l == "chunk_step").count();
+        assert_eq!(chunk_events, report.stats.chunks);
+
+        let metrics = session.metrics().expect("enabled");
+        assert_eq!(metrics.counter("engine.admissions"), Some(1));
+        assert_eq!(metrics.counter("engine.cache_misses"), Some(1));
+        assert_eq!(
+            metrics.counter("engine.chunks_dispatched"),
+            // step() returns Some for each chunk plus a final None step.
+            Some(report.stats.chunks as u64)
+        );
+        let h = metrics.histogram("pipeline.chunk_ns").expect("recorded");
+        assert_eq!(h.count, report.stats.chunks as u64);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::Query;
 use rdx_cache::CacheParams;
 use rdx_core::error::RdxError;
 use rdx_dsm::DsmRelation;
+use rdx_obs::{MetricsSnapshot, TraceSnapshot};
 use rdx_serve::{
     CacheStats, Catalog, EngineStep, QueryEngine, RelationId, ServeConfig, TicketStatus,
 };
@@ -150,6 +151,30 @@ impl Session {
     /// Clustered-join-index cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Whether this session records metrics and trace events
+    /// ([`ServeConfig::observability`]).
+    pub fn observability(&self) -> bool {
+        self.engine.obs().is_enabled()
+    }
+
+    /// A point-in-time copy of the session's metrics registry — engine
+    /// counters and gauges, queue-wait / service-latency histograms, and
+    /// the pipeline's `chunk_ns` / `predicted_vs_observed_permille`
+    /// distributions.  `None` unless the session was built with
+    /// [`ServeConfig::observability`] set.
+    pub fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.engine.obs().metrics_snapshot()
+    }
+
+    /// A point-in-time copy of the session's event trace: every query's
+    /// lifecycle (submit → admit → cache lookup → chunk steps → done),
+    /// keyed by the `query_id` its [`rdx_serve::QueryStats`] reports.
+    /// `None` unless the session was built with
+    /// [`ServeConfig::observability`] set.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.engine.obs().trace_snapshot()
     }
 
     /// The ticket-granular engine underneath, for callers that need the

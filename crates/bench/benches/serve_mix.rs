@@ -108,6 +108,7 @@ fn main() {
         cache_bytes: 0,
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(4),
+        observability: false,
     };
 
     let mut results: Vec<ModeResult> = Vec::new();

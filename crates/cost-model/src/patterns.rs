@@ -75,6 +75,13 @@ impl PatternCost {
         params.cycles_to_seconds(self.cycles(params)) * 1e3
     }
 
+    /// Total predicted nanoseconds under `params` — the granularity the
+    /// observability layer records chunk wall-clock at, so predicted and
+    /// observed land in the same histogram units.
+    pub fn nanos(&self, params: &CacheParams) -> f64 {
+        params.cycles_to_seconds(self.cycles(params)) * 1e9
+    }
+
     /// Predicted misses at the innermost (L1) level.
     pub fn l1_misses(&self) -> f64 {
         self.seq_misses[0] + self.rand_misses[0]

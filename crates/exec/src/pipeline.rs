@@ -58,6 +58,7 @@ use rdx_core::strategy::{
 };
 use rdx_dsm::{DsmRelation, Oid};
 use rdx_nsm::NsmRelation;
+use rdx_obs::{EventKind, Obs, QueryId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -239,6 +240,20 @@ impl ChunkScratch {
     }
 }
 
+/// The per-run observability state a [`PipelineRun`] carries when tracing
+/// is enabled: the query id its chunk events are keyed by, the cost
+/// model's per-chunk prediction, and the two histograms it records into —
+/// resolved **once** at attach time, so the chunk loop's recording is
+/// atomics plus one short trace-ring lock, with no registry lookups and no
+/// allocations.
+struct RunObs {
+    obs: Obs,
+    query: QueryId,
+    predicted_chunk_ns: u64,
+    chunk_ns: rdx_obs::Histogram,
+    ratio_permille: rdx_obs::Histogram,
+}
+
 /// A boxed attribute fetcher `(oid, attr) → value`, the type-erased form the
 /// serving layer uses so runs over different storage models are homogeneous.
 pub type BoxedFetch<'a> = Box<dyn Fn(Oid, usize) -> i32 + Sync + 'a>;
@@ -273,6 +288,7 @@ pub struct PipelineRun<FL, FS> {
     timings: PhaseTimings,
     begun: bool,
     finished: bool,
+    obs: Option<Box<RunObs>>,
 }
 
 impl<FL, FS> PipelineRun<FL, FS>
@@ -335,7 +351,30 @@ where
             timings: PhaseTimings::default(),
             begun: false,
             finished: false,
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle: every subsequent [`Self::step`]
+    /// records a `ChunkStep` trace event keyed by `query` plus the
+    /// `pipeline.chunk_ns` and `pipeline.predicted_vs_observed_permille`
+    /// histograms (observed ns × 1000 / `predicted_chunk_ns` — the Fig. 9
+    /// measured-vs-modeled comparison as a live distribution).  Histogram
+    /// handles are resolved here, once, so the chunk loop itself never
+    /// touches the registry.  A disabled `obs` is a no-op: the run stays
+    /// exactly as cheap as an unobserved one.
+    pub fn attach_obs(&mut self, obs: &Obs, query: QueryId, predicted_chunk_ns: u64) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let metrics = obs.metrics().expect("enabled obs has a registry");
+        self.obs = Some(Box::new(RunObs {
+            obs: obs.clone(),
+            query,
+            predicted_chunk_ns,
+            chunk_ns: metrics.histogram("pipeline.chunk_ns"),
+            ratio_permille: metrics.histogram("pipeline.predicted_vs_observed_permille"),
+        }));
     }
 
     /// Replaces this run's chunk scratch with `scratch` (typically one
@@ -401,6 +440,8 @@ where
         let chunk_end = (emitted + self.streaming.chunk_rows).min(n);
         let rows = chunk_end - emitted;
         let mut chunk_bytes = rows * self.spec.total() * VALUE_WIDTH;
+        // Chunk wall-clock is only measured when an observer is attached.
+        let chunk_start = self.obs.as_ref().map(|_| Instant::now());
 
         // All chunk-local buffers come from the run's scratch: after the
         // first (largest) chunk has grown them, a steady-state step
@@ -477,6 +518,26 @@ where
         sink.emit(emitted, &scratch.columns);
         self.chunks_emitted += 1;
         self.emitted = chunk_end;
+        if let (Some(run_obs), Some(start)) = (self.obs.as_deref(), chunk_start) {
+            let observed_ns = start.elapsed().as_nanos() as u64;
+            run_obs.chunk_ns.record(observed_ns);
+            if let Some(permille) = observed_ns
+                .saturating_mul(1000)
+                .checked_div(run_obs.predicted_chunk_ns)
+            {
+                run_obs.ratio_permille.record(permille);
+            }
+            run_obs.obs.record(
+                run_obs.query,
+                EventKind::ChunkStep {
+                    chunk: (self.chunks_emitted - 1) as u32,
+                    rows: rows as u32,
+                    observed_ns,
+                    predicted_ns: run_obs.predicted_chunk_ns,
+                    working_set_bytes: chunk_bytes as u64,
+                },
+            );
+        }
         Some(rows)
     }
 

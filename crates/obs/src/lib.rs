@@ -1,0 +1,198 @@
+//! # rdx-obs — metrics and structured tracing for the radix-decluster stack
+//!
+//! A zero-dependency observability layer: a lock-free [`MetricsRegistry`]
+//! (counters, gauges, power-of-two latency histograms with p50/p90/p99),
+//! a bounded [`EventTrace`] of per-query lifecycle spans, and text / JSON /
+//! Prometheus exporters.  The serving engine, the streaming pipeline and
+//! the `rdx-api` front door all record through one shared [`Obs`] handle,
+//! so a single snapshot can replay a query's whole life — submit →
+//! admit → cache lookup → chunk steps (observed vs predicted cost) → done.
+//!
+//! ## The `Obs` handle
+//!
+//! [`Obs`] is the thing threaded through the stack.  It is either
+//! *disabled* — a `None`, so every record call is one branch and the hot
+//! chunk loop stays allocation-free and observation-free — or *enabled*,
+//! an `Arc` over a registry + trace that clones cheaply into every layer:
+//!
+//! ```
+//! use rdx_obs::{EventKind, Obs, ObsConfig, QueryId};
+//!
+//! let obs = Obs::enabled(ObsConfig::default());
+//! let query = QueryId::next();
+//! obs.record(query, EventKind::Submit);
+//! obs.record(query, EventKind::CacheLookup { hit: false });
+//! obs.record(query, EventKind::Done { rows: 42, wall_ns: 1_000 });
+//!
+//! let trace = obs.trace_snapshot().unwrap();
+//! let life: Vec<_> = trace.events_for(query).iter().map(|e| e.kind.label()).collect();
+//! assert_eq!(life, ["submit", "cache_lookup", "done"]);
+//!
+//! // Disabled is free: no storage, records are discarded on one branch.
+//! let off = Obs::disabled();
+//! off.record(query, EventKind::Submit);
+//! assert!(off.trace_snapshot().is_none());
+//! ```
+//!
+//! ## Metrics
+//!
+//! Instruments are clone-able handles over atomics — resolve them once
+//! (per engine or per query), record from any thread without locks:
+//!
+//! ```
+//! use rdx_obs::{Obs, ObsConfig};
+//!
+//! let obs = Obs::enabled(ObsConfig::default());
+//! let metrics = obs.metrics().unwrap();
+//! let latency = metrics.histogram("pipeline.chunk_ns");
+//! for ns in [800u64, 950, 1200, 40_000] {
+//!     latency.record(ns);
+//! }
+//! let snap = metrics.snapshot();
+//! let h = snap.histogram("pipeline.chunk_ns").unwrap();
+//! assert_eq!(h.count, 4);
+//! assert!(h.percentile(50.0) < h.percentile(99.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
+    MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{EventKind, EventTrace, QueryId, TraceEvent, TraceSnapshot};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of an enabled [`Obs`] handle.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Maximum events the trace ring retains (oldest overwritten beyond
+    /// this).  Pre-allocated up front.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        // 4096 events ≈ hundreds of queries' lifecycles at typical chunk
+        // counts; ~160 KiB of pre-allocated ring.
+        ObsConfig {
+            trace_capacity: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ObsInner {
+    metrics: MetricsRegistry,
+    trace: EventTrace,
+    epoch: Instant,
+}
+
+/// The shared observability handle threaded through engine, pipeline and
+/// session.  Clones are cheap (`Option<Arc>`); a disabled handle stores
+/// nothing and records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Arc<ObsInner>>);
+
+impl Obs {
+    /// A disabled handle: every record is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        Obs(None)
+    }
+
+    /// An enabled handle with its own registry and trace ring.
+    pub fn enabled(config: ObsConfig) -> Self {
+        Obs(Some(Arc::new(ObsInner {
+            metrics: MetricsRegistry::new(),
+            trace: EventTrace::new(config.trace_capacity),
+            epoch: Instant::now(),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Nanoseconds since this handle was created (0 when disabled).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Records one trace event for `query` (no-op when disabled).
+    #[inline]
+    pub fn record(&self, query: QueryId, kind: EventKind) {
+        if let Some(inner) = &self.0 {
+            inner
+                .trace
+                .record(inner.epoch.elapsed().as_nanos() as u64, query, kind);
+        }
+    }
+
+    /// The metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.0.as_deref().map(|inner| &inner.metrics)
+    }
+
+    /// A point-in-time copy of the registry, when enabled.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.0.as_deref().map(|inner| inner.metrics.snapshot())
+    }
+
+    /// A point-in-time copy of the event trace, when enabled.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.0.as_deref().map(|inner| inner.trace.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.now_ns(), 0);
+        obs.record(QueryId::next(), EventKind::Submit);
+        assert!(obs.metrics().is_none());
+        assert!(obs.metrics_snapshot().is_none());
+        assert!(obs.trace_snapshot().is_none());
+        // Clones of a disabled handle stay disabled.
+        assert!(!obs.clone().is_enabled());
+    }
+
+    #[test]
+    fn enabled_clones_share_one_registry_and_trace() {
+        let obs = Obs::enabled(ObsConfig { trace_capacity: 16 });
+        let clone = obs.clone();
+        let q = QueryId::next();
+        obs.record(q, EventKind::Submit);
+        clone.record(
+            q,
+            EventKind::Done {
+                rows: 1,
+                wall_ns: 5,
+            },
+        );
+        clone.metrics().unwrap().counter("c").inc();
+
+        let trace = obs.trace_snapshot().unwrap();
+        assert_eq!(trace.events_for(q).len(), 2);
+        assert_eq!(obs.metrics_snapshot().unwrap().counter("c"), Some(1));
+        // Timestamps are monotone in record order.
+        let events = trace.events_for(q);
+        assert!(events[0].at_ns <= events[1].at_ns);
+    }
+}

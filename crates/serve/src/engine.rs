@@ -54,6 +54,7 @@ use rdx_core::strategy::planner::{
 use rdx_core::strategy::{DsmPostProjection, MaterializeSink, PhaseTimings, RowChunkSink};
 use rdx_dsm::DsmRelation;
 use rdx_exec::{DsmPipelineRun, ExecPolicy, ProjectionPipeline};
+use rdx_obs::{EventKind, Obs, ObsConfig, QueryId};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -123,6 +124,10 @@ pub enum EngineStep {
 }
 
 /// Cumulative engine counters since the last [`QueryEngine::reset_stats`].
+///
+/// Ticket-granular callers (who never call `reset_stats`) see these as
+/// engine-lifetime totals — the aggregate view `BatchStats` used to be the
+/// only source of; the legacy batch wrapper resets them per batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Peak over time of `Σ` active queries' planned working-set bounds.
@@ -133,6 +138,19 @@ pub struct EngineStats {
     pub chunks_dispatched: u64,
     /// Queries that started on pooled (already warmed) chunk scratch.
     pub scratch_reuses: u64,
+    /// Resolved queries whose prepared prefix came from the
+    /// clustered-index cache.
+    pub cache_hits: u64,
+    /// Resolved queries that had to build their prepared prefix.
+    pub cache_misses: u64,
+    /// Queries granted a budget share and resolved (ticket admissions plus
+    /// direct `resolve` calls).
+    pub admissions: u64,
+    /// Queries refused with a typed error (validation, admission or budget
+    /// failures, on any path).
+    pub rejections: u64,
+    /// Admissions granted less than the fair share (tighter chunking).
+    pub replans: u64,
 }
 
 /// A validated, planned, cache-resolved query, ready to stream chunks —
@@ -182,9 +200,55 @@ impl ResolvedQuery {
     }
 }
 
+/// Mirror instruments the engine records into when observability is on —
+/// handles resolved **once** at construction, so the per-decision cost is
+/// a few relaxed atomics, never a registry lookup.
+struct EngineObs {
+    cache_hits: rdx_obs::Counter,
+    cache_misses: rdx_obs::Counter,
+    admissions: rdx_obs::Counter,
+    rejections: rdx_obs::Counter,
+    replans: rdx_obs::Counter,
+    chunks_dispatched: rdx_obs::Counter,
+    in_flight: rdx_obs::Gauge,
+    queued: rdx_obs::Gauge,
+    queue_wait_ns: rdx_obs::Histogram,
+    service_ns: rdx_obs::Histogram,
+}
+
+impl EngineObs {
+    fn new(obs: &Obs) -> Option<Box<EngineObs>> {
+        let metrics = obs.metrics()?;
+        Some(Box::new(EngineObs {
+            cache_hits: metrics.counter("engine.cache_hits"),
+            cache_misses: metrics.counter("engine.cache_misses"),
+            admissions: metrics.counter("engine.admissions"),
+            rejections: metrics.counter("engine.rejections"),
+            replans: metrics.counter("engine.replans"),
+            chunks_dispatched: metrics.counter("engine.chunks_dispatched"),
+            in_flight: metrics.gauge("engine.in_flight"),
+            queued: metrics.gauge("engine.queued"),
+            queue_wait_ns: metrics.histogram("engine.queue_wait_ns"),
+            service_ns: metrics.histogram("engine.service_ns"),
+        }))
+    }
+}
+
+/// The static label a `Reject` trace event carries for `e`.
+fn reject_reason(e: &RdxError) -> &'static str {
+    match e {
+        RdxError::Budget(_) => "budget",
+        RdxError::UnknownRelation { .. } => "unknown_relation",
+        RdxError::TooManyColumns { .. } => "too_many_columns",
+        RdxError::SelectionMismatch { .. } => "selection_mismatch",
+        RdxError::UnknownTicket { .. } => "unknown_ticket",
+    }
+}
+
 /// One queued (submitted, not yet admitted) ticket.
 struct Pending {
     ticket: TicketId,
+    query: QueryId,
     request: ServerRequest,
     submitted_at: Instant,
 }
@@ -229,6 +293,8 @@ pub struct QueryEngine {
     running: Vec<Running>,
     finished: HashMap<u64, QueryOutcome>,
     stats: EngineStats,
+    obs: Obs,
+    engine_obs: Option<Box<EngineObs>>,
 }
 
 impl QueryEngine {
@@ -244,6 +310,12 @@ impl QueryEngine {
         // states.
         let shares = config.plan_shares.unwrap_or(config.max_concurrent).max(1);
         let shared_params = config.params.per_query_share(shares);
+        let obs = if config.observability {
+            Obs::enabled(ObsConfig::default())
+        } else {
+            Obs::disabled()
+        };
+        let engine_obs = EngineObs::new(&obs);
         QueryEngine {
             shared_params,
             catalog: Catalog::new(),
@@ -255,8 +327,17 @@ impl QueryEngine {
             running: Vec::new(),
             finished: HashMap::new(),
             stats: EngineStats::default(),
+            obs,
+            engine_obs,
             config,
         }
+    }
+
+    /// The engine's observability handle (disabled unless
+    /// [`ServeConfig::observability`] was set) — where the `rdx-api`
+    /// `Session` takes metrics and trace snapshots from.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Registers a relation for querying.
@@ -322,13 +403,22 @@ impl QueryEngine {
     /// immediately (an invalid request never occupies a queue slot).
     pub fn submit(&mut self, request: ServerRequest) -> TicketId {
         let ticket = TicketId(NEXT_TICKET.fetch_add(1, Ordering::Relaxed));
+        let query = QueryId::next();
+        self.obs.record(query, EventKind::Submit);
         match validate(&self.catalog, &request) {
-            Ok(()) => self.queue.push_back(Pending {
-                ticket,
-                request,
-                submitted_at: Instant::now(),
-            }),
+            Ok(()) => {
+                self.queue.push_back(Pending {
+                    ticket,
+                    query,
+                    request,
+                    submitted_at: Instant::now(),
+                });
+                if let Some(eo) = &self.engine_obs {
+                    eo.queued.set(self.queue.len() as i64);
+                }
+            }
             Err(e) => {
+                self.reject(query, &e);
                 self.finished.insert(
                     ticket.0,
                     QueryOutcome {
@@ -339,6 +429,20 @@ impl QueryEngine {
             }
         }
         ticket
+    }
+
+    /// Counts a refusal and records its trace event.
+    fn reject(&mut self, query: QueryId, e: &RdxError) {
+        self.stats.rejections += 1;
+        self.obs.record(
+            query,
+            EventKind::Reject {
+                reason: reject_reason(e),
+            },
+        );
+        if let Some(eo) = &self.engine_obs {
+            eo.rejections.inc();
+        }
     }
 
     /// Where `ticket` is in its state machine, or `None` for a ticket this
@@ -373,6 +477,10 @@ impl QueryEngine {
     /// [`EngineStep::Idle`] means the engine is drained.
     pub fn step(&mut self) -> EngineStep {
         self.admit_from_queue();
+        if let Some(eo) = &self.engine_obs {
+            eo.in_flight.set(self.running.len() as i64);
+            eo.queued.set(self.queue.len() as i64);
+        }
 
         self.stats.peak_concurrency = self.stats.peak_concurrency.max(self.running.len());
         let concurrent_bytes: usize = self
@@ -398,6 +506,9 @@ impl QueryEngine {
         let running = &mut self.running[pos];
         if let Some(rows) = running.rq.run.step(&mut running.sink) {
             self.stats.chunks_dispatched += 1;
+            if let Some(eo) = &self.engine_obs {
+                eo.chunks_dispatched.inc();
+            }
             EngineStep::Chunk {
                 ticket: running.ticket,
                 rows,
@@ -439,8 +550,43 @@ impl QueryEngine {
         request: &ServerRequest,
         budget: MemoryBudget,
     ) -> Result<ResolvedQuery, RdxError> {
+        // Direct runs skip the queue: their lifecycle is submit → admit
+        // (zero wait) → cache lookup → chunks → done, same shape as a
+        // ticket's.
+        let query = QueryId::next();
+        self.obs.record(query, EventKind::Submit);
+        match self.resolve_with(request, budget, query, 0) {
+            Ok(rq) => Ok(rq),
+            Err(e) => {
+                self.reject(query, &e);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`QueryEngine::resolve`] under an already-minted query id and a
+    /// known queue wait — the shared tail of the direct and ticket paths.
+    fn resolve_with(
+        &mut self,
+        request: &ServerRequest,
+        budget: MemoryBudget,
+        query: QueryId,
+        queue_wait_ns: u64,
+    ) -> Result<ResolvedQuery, RdxError> {
         validate(&self.catalog, request)?;
         budget.check_one_row(streaming_bytes_per_row(&request.spec))?;
+        self.stats.admissions += 1;
+        self.obs.record(
+            query,
+            EventKind::Admit {
+                share_bytes: budget.limit_bytes(),
+                queue_wait_ns,
+            },
+        );
+        if let Some(eo) = &self.engine_obs {
+            eo.admissions.inc();
+            eo.queue_wait_ns.record(queue_wait_ns);
+        }
         let larger = self.catalog.get_arc(request.larger).expect("validated");
         let smaller = self.catalog.get_arc(request.smaller).expect("validated");
         let threads = request
@@ -470,6 +616,20 @@ impl QueryEngine {
         let (prepared, cache_hit) = self.cache.get_or_prepare(key, || {
             pipeline.prepare(&larger, &smaller, shared_params, &policy)
         });
+        self.obs
+            .record(query, EventKind::CacheLookup { hit: cache_hit });
+        if cache_hit {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+        }
+        if let Some(eo) = &self.engine_obs {
+            if cache_hit {
+                eo.cache_hits.inc();
+            } else {
+                eo.cache_misses.inc();
+            }
+        }
         let mut run = DsmPipelineRun::over_dsm_arc(
             prepared,
             larger,
@@ -485,6 +645,9 @@ impl QueryEngine {
             &request.spec,
             shared_params,
         ) / run.streaming().num_chunks.max(1) as f64;
+        // The chunk loop records observed-vs-predicted against this same
+        // per-chunk prediction, in nanoseconds.
+        run.attach_obs(&self.obs, query, (predicted_chunk_cost_ms * 1e6) as u64);
         // Warm start: hand down scratch harvested from an earlier query.
         let mut scratch_reused = false;
         if let Some(scratch) = self.scratch_pool.pop() {
@@ -495,6 +658,7 @@ impl QueryEngine {
         Ok(ResolvedQuery {
             run,
             stats: QueryStats {
+                query_id: query.raw(),
                 plan,
                 cache_hit,
                 scratch_reused,
@@ -550,6 +714,17 @@ impl QueryEngine {
         rq.stats.peak_chunk_bytes = run_stats.peak_chunk_bytes;
         rq.stats.timings = run_stats.timings;
         rq.stats.service = rq.started.elapsed();
+        let service_ns = rq.stats.service.as_nanos() as u64;
+        self.obs.record(
+            QueryId(rq.stats.query_id),
+            EventKind::Done {
+                rows: rq.stats.rows as u64,
+                wall_ns: service_ns,
+            },
+        );
+        if let Some(eo) = &self.engine_obs {
+            eo.service_ns.record(service_ns);
+        }
         rq.stats
     }
 
@@ -564,11 +739,13 @@ impl QueryEngine {
             if let Some(hint) = request.budget_hint {
                 if let Err(e) = hint.check_one_row(effective_row_bytes) {
                     let p = self.queue.pop_front().expect("peeked");
+                    let err = RdxError::Budget(e);
+                    self.reject(p.query, &err);
                     self.finished.insert(
                         p.ticket.0,
                         QueryOutcome {
                             request,
-                            outcome: Err(RdxError::Budget(e)),
+                            outcome: Err(err),
                         },
                     );
                     continue;
@@ -578,11 +755,13 @@ impl QueryEngine {
                 AdmissionDecision::Queue => break,
                 AdmissionDecision::Reject(e) => {
                     let p = self.queue.pop_front().expect("peeked");
+                    let err = RdxError::Budget(e);
+                    self.reject(p.query, &err);
                     self.finished.insert(
                         p.ticket.0,
                         QueryOutcome {
                             request,
-                            outcome: Err(RdxError::Budget(e)),
+                            outcome: Err(err),
                         },
                     );
                 }
@@ -595,10 +774,17 @@ impl QueryEngine {
                         Some(hint) if hint.limit_bytes() < share.limit_bytes() => hint,
                         _ => share,
                     };
-                    match self.resolve(&request, effective) {
+                    let wait = p.submitted_at.elapsed();
+                    match self.resolve_with(&request, effective, p.query, wait.as_nanos() as u64) {
                         Ok(mut rq) => {
                             rq.stats.replanned = replanned;
-                            rq.stats.wait = p.submitted_at.elapsed();
+                            rq.stats.wait = wait;
+                            if replanned {
+                                self.stats.replans += 1;
+                                if let Some(eo) = &self.engine_obs {
+                                    eo.replans.inc();
+                                }
+                            }
                             self.scheduler
                                 .add(p.ticket.0 as usize, rq.stats.predicted_chunk_cost_ms);
                             self.running.push(Running {
@@ -611,6 +797,7 @@ impl QueryEngine {
                         }
                         Err(e) => {
                             self.admission.release(share);
+                            self.reject(p.query, &e);
                             self.finished.insert(
                                 p.ticket.0,
                                 QueryOutcome {
@@ -672,6 +859,7 @@ mod tests {
             cache_bytes: 1 << 20,
             fairness: crate::FairnessPolicy::CostWeighted,
             plan_shares: None,
+            observability: false,
         })
     }
 

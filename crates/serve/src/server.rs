@@ -48,6 +48,11 @@ pub struct ServeConfig {
     /// concurrency settings, which is also what lets the conformance grid
     /// compare a serial and a concurrent server byte for byte.
     pub plan_shares: Option<usize>,
+    /// Whether the engine records metrics and per-query trace events
+    /// (`rdx-obs`).  Off by default: a disabled engine carries no registry
+    /// or trace ring and every record site is one branch, so the
+    /// steady-state chunk loop stays allocation-free and observation-free.
+    pub observability: bool,
 }
 
 impl Default for ServeConfig {
@@ -60,7 +65,16 @@ impl Default for ServeConfig {
             cache_bytes: 64 << 20,
             fairness: FairnessPolicy::CostWeighted,
             plan_shares: None,
+            observability: false,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Turns observability on or off (builder form).
+    pub fn with_observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
+        self
     }
 }
 
@@ -129,6 +143,12 @@ pub type ServeError = RdxError;
 /// Per-query execution statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryStats {
+    /// The process-unique observability query id this execution's trace
+    /// events are keyed by — what lets a caller pull one query's lifecycle
+    /// out of a `TraceSnapshot` (`events_for`).  Minted even when
+    /// observability is disabled (one relaxed atomic), so the field is
+    /// always populated.
+    pub query_id: u64,
     /// The projection codes the planner chose (or the request pinned).
     pub plan: DsmPostProjection,
     /// Whether the prepared prefix came from the clustered-index cache.
@@ -160,6 +180,14 @@ pub struct QueryStats {
     pub wait: Duration,
     /// Time from admission to completion (interleaved wall clock).
     pub service: Duration,
+}
+
+impl QueryStats {
+    /// Total wall clock from submission to completion: queue wait plus
+    /// interleaved service time.
+    pub fn total_wall(&self) -> Duration {
+        self.wait + self.service
+    }
 }
 
 /// A completed request: the materialised result plus its statistics.
@@ -197,6 +225,16 @@ pub struct BatchStats {
     pub wall: Duration,
     /// Clustered-index cache counters after the batch.
     pub cache: CacheStats,
+    /// Queries in this batch whose prepared prefix came from the cache.
+    pub cache_hits: u64,
+    /// Queries in this batch that had to build their prepared prefix.
+    pub cache_misses: u64,
+    /// Queries granted a budget share and resolved in this batch.
+    pub admissions: u64,
+    /// Queries refused with a typed error in this batch.
+    pub rejections: u64,
+    /// Admissions granted less than the fair share (tighter chunking).
+    pub replans: u64,
 }
 
 /// A served batch: per-request outcomes (in request order) plus batch stats.
@@ -313,6 +351,11 @@ impl RdxServer {
                 scratch_reuses: engine_stats.scratch_reuses,
                 wall: started.elapsed(),
                 cache: self.engine.cache_stats(),
+                cache_hits: engine_stats.cache_hits,
+                cache_misses: engine_stats.cache_misses,
+                admissions: engine_stats.admissions,
+                rejections: engine_stats.rejections,
+                replans: engine_stats.replans,
             },
         }
     }
@@ -333,6 +376,7 @@ mod tests {
             cache_bytes: 1 << 20,
             fairness: FairnessPolicy::CostWeighted,
             plan_shares: None,
+            observability: false,
         }
     }
 

@@ -133,6 +133,7 @@ fn main() {
         cache_bytes: 0,
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(4),
+        observability: false,
     };
     let register_all = |session: &mut Session| -> Vec<(RelationId, RelationId)> {
         relations

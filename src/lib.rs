@@ -40,6 +40,12 @@
 //!   `stream(sink)` (chunked) or `submit()` (a [`api::Ticket`] polled
 //!   without blocking, pumped by [`api::Session::drive`]).  The per-crate
 //!   entry points above remain as documented legacy wrappers.
+//! * [`obs`] — the zero-dependency **observability layer**: a lock-free
+//!   metrics registry (counters, gauges, power-of-two latency histograms),
+//!   a bounded ring of per-query trace events (submit → admit → cache
+//!   lookup → chunk steps → done), and text / JSON / Prometheus
+//!   exporters.  Enabled per session via `ServeConfig::observability`;
+//!   disabled it costs one branch per record site and nothing else.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +74,7 @@ pub use rdx_cost as cost;
 pub use rdx_dsm as dsm;
 pub use rdx_exec as exec;
 pub use rdx_nsm as nsm;
+pub use rdx_obs as obs;
 pub use rdx_serve as serve;
 pub use rdx_workload as workload;
 
@@ -100,6 +107,10 @@ pub mod prelude {
         PreparedProjection, ProjectionPipeline,
     };
     pub use rdx_nsm::NsmRelation;
+    pub use rdx_obs::{
+        EventKind, MetricsRegistry, MetricsSnapshot, Obs, ObsConfig, QueryId, TraceEvent,
+        TraceSnapshot,
+    };
     pub use rdx_serve::{
         EngineStep, FairnessPolicy, QueryEngine, RdxServer, RelationId, ServeConfig, ServeError,
         ServerRequest, TicketId, TicketStatus,

@@ -142,6 +142,63 @@ fn pipeline_step_allocates_nothing_in_steady_state() {
 }
 
 #[test]
+fn observed_pipeline_step_allocates_nothing_in_steady_state() {
+    let _guard = serialized();
+    let w = JoinWorkloadBuilder::equal(6_000, 2).seed(77).build();
+    let spec = QuerySpec::symmetric(2);
+    let params = CacheParams::tiny_for_tests();
+    let data_bytes = 2 * 6_000 * 2 * 4;
+    let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::fraction_of(data_bytes, 32));
+    let plan =
+        DsmPostProjection::with_codes(ProjectionCode::PartialCluster, SecondSideCode::Decluster);
+    let pipeline = ProjectionPipeline::new(plan);
+    let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+    let mut run = DsmPipelineRun::over_dsm(
+        prepared.clone(),
+        &w.larger,
+        &w.smaller,
+        &spec,
+        &params,
+        &policy,
+    );
+    // Recording on: the handles (registry Arcs, trace ring) are resolved
+    // and sized up-front by `attach_obs`, so the chunk loop itself records
+    // through atomics and a pre-allocated ring only.
+    let obs = Obs::enabled(ObsConfig::default());
+    run.attach_obs(&obs, QueryId::next(), 1_000);
+    let mut sink = NullSink { rows: 0, chunks: 0 };
+
+    // Warm-up: first chunk grows scratch (and instantiates the histograms).
+    assert!(run.step(&mut sink).is_some());
+
+    let mut steady_chunks = 0;
+    loop {
+        let allocs = allocations_during(|| {
+            let _ = run.step(&mut sink);
+        });
+        if run.is_done() {
+            break;
+        }
+        steady_chunks += 1;
+        assert_eq!(
+            allocs, 0,
+            "observed steady-state chunk {steady_chunks} allocated {allocs} times"
+        );
+    }
+    assert!(
+        steady_chunks >= 16,
+        "budget should force many chunks, got {steady_chunks}"
+    );
+    assert_eq!(sink.rows, w.expected_matches);
+    // Every steady chunk landed in the trace and both histograms.
+    let trace = obs.trace_snapshot().expect("enabled");
+    assert_eq!(trace.events.len(), sink.chunks);
+    let metrics = obs.metrics_snapshot().expect("enabled");
+    let h = metrics.histogram("pipeline.chunk_ns").expect("recorded");
+    assert_eq!(h.count, sink.chunks as u64);
+}
+
+#[test]
 fn cluster_with_scratch_allocates_only_the_output() {
     let _guard = serialized();
     let oids: Vec<Oid> = (0..50_000u32).rev().collect();

@@ -165,6 +165,7 @@ fn interleaved_tickets_reproduce_run_batch_chunk_for_chunk() {
         cache_bytes: 1 << 20,
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: None,
+        observability: false,
     };
 
     // Legacy batch shape.
@@ -267,6 +268,7 @@ fn a_submission_lands_between_chunk_steps_of_an_in_flight_query() {
         cache_bytes: 0, // cold: B must redo the prefix, still byte-identical
         fairness: FairnessPolicy::RoundRobin,
         plan_shares: Some(1),
+        observability: false,
     });
     let larger = session.register(w.larger.clone());
     let smaller = session.register(w.smaller.clone());

@@ -1,0 +1,234 @@
+//! Observability conformance: recording must be *invisible* in the bytes.
+//!
+//! The grid replays the same zipfian query mixes through the serving layer
+//! with `ServeConfig::observability` off and on — across cardinalities,
+//! projection widths, thread counts and global budgets — and checks every
+//! query's output is byte-identical.  Companion tests pin the structural
+//! guarantees the trace makes: every query's lifecycle is replayable in
+//! order from one snapshot, the per-query `chunk_step` events sum to
+//! exactly the scheduler's `chunks_dispatched`, and the engine-level
+//! counters agree with the per-query reports they aggregate.
+
+use radix_decluster::prelude::*;
+use radix_decluster::serve::BatchReport;
+
+/// A compact multi-tenant mix parameterised by the grid axes.
+fn mix(rows: usize, width: usize) -> QueryMix {
+    QueryMix::generate(&MixConfig {
+        tenants: vec![(rows, width), (rows / 2, 1), (rows / 4, width)],
+        queries: 9,
+        zipf_exponent: 1.0,
+        seed: 41,
+    })
+}
+
+fn submit(server: &mut RdxServer, mix: &QueryMix) -> Vec<ServerRequest> {
+    let ids: Vec<(RelationId, RelationId)> = mix
+        .tenants
+        .iter()
+        .map(|w| {
+            (
+                server.register(w.larger.clone()),
+                server.register(w.smaller.clone()),
+            )
+        })
+        .collect();
+    mix.queries
+        .iter()
+        .map(|q| {
+            let (larger, smaller) = ids[q.tenant];
+            ServerRequest::new(larger, smaller, QuerySpec::symmetric(q.project))
+        })
+        .collect()
+}
+
+fn result_columns(report: &BatchReport) -> Vec<Vec<Vec<i32>>> {
+    report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let q = o.outcome.as_ref().expect("query served");
+            q.result
+                .columns()
+                .iter()
+                .map(|c| c.as_slice().to_vec())
+                .collect()
+        })
+        .collect()
+}
+
+fn config(budget: MemoryBudget, threads: usize, observability: bool) -> ServeConfig {
+    ServeConfig {
+        params: CacheParams::tiny_for_tests(),
+        global_budget: budget,
+        max_concurrent: 3,
+        threads_per_query: threads,
+        cache_bytes: 1 << 20,
+        fairness: FairnessPolicy::CostWeighted,
+        plan_shares: Some(3),
+        observability,
+    }
+}
+
+/// The byte-identity grid: `(N, ω, threads, budget)` — recording on must
+/// change nothing downstream of the sinks.
+#[test]
+fn observed_results_are_byte_identical_to_unobserved() {
+    for &(rows, width) in &[(2_000usize, 2usize), (4_000, 1)] {
+        let mix = mix(rows, width);
+        for threads in [1usize, 2] {
+            for budget_bytes in [32 * 1024usize, 128 * 1024] {
+                let budget = MemoryBudget::bytes(budget_bytes);
+                let mut plain = RdxServer::new(config(budget, threads, false));
+                let requests = submit(&mut plain, &mix);
+                let expected = result_columns(&plain.run_batch(&requests));
+
+                let mut observed = RdxServer::new(config(budget, threads, true));
+                let requests = submit(&mut observed, &mix);
+                let report = observed.run_batch(&requests);
+                assert_eq!(
+                    result_columns(&report),
+                    expected,
+                    "rows {rows} width {width} threads {threads} budget {budget_bytes}"
+                );
+            }
+        }
+    }
+}
+
+/// Σ per-query `chunk_step` events == the scheduler's `chunks_dispatched`,
+/// and each query's own event count matches the chunks its report claims —
+/// nothing double-counted, nothing dropped (under a sufficient ring).
+#[test]
+fn chunk_step_events_sum_to_scheduler_steps() {
+    let w = JoinWorkloadBuilder::equal(3_000, 2).seed(47).build();
+    let mut session = Session::new(ServeConfig {
+        params: CacheParams::tiny_for_tests(),
+        global_budget: MemoryBudget::bytes(24 * 1024),
+        plan_shares: Some(2),
+        observability: true,
+        ..ServeConfig::default()
+    });
+    let larger = session.register(w.larger.clone());
+    let smaller = session.register(w.smaller.clone());
+
+    // Ticket-only workload: every chunk is stepped by the engine scheduler.
+    let tickets: Vec<Ticket> = (0..4)
+        .map(|_| {
+            session
+                .query(larger, smaller)
+                .project(QuerySpec::symmetric(2))
+                .submit()
+        })
+        .collect();
+    while session.drive(64) > 0 {}
+
+    let mut total_chunks = 0u64;
+    let trace = session.trace_snapshot().expect("observability on");
+    assert_eq!(trace.dropped, 0, "default ring must hold this workload");
+    for ticket in &tickets {
+        let report = match ticket.poll(&mut session) {
+            QueryPoll::Done(report) => report,
+            other => panic!("expected Done, got {other:?}"),
+        };
+        let life = trace.events_for(QueryId(report.stats.query_id));
+        let steps = life
+            .iter()
+            .filter(|e| e.kind.label() == "chunk_step")
+            .count();
+        assert_eq!(steps, report.stats.chunks, "per-query chunk accounting");
+        total_chunks += steps as u64;
+    }
+
+    let stats = session.engine_mut().stats();
+    assert_eq!(total_chunks, stats.chunks_dispatched);
+    let metrics = session.metrics().expect("observability on");
+    assert_eq!(
+        metrics.counter("engine.chunks_dispatched"),
+        Some(stats.chunks_dispatched)
+    );
+    let h = metrics.histogram("pipeline.chunk_ns").expect("recorded");
+    assert_eq!(h.count, total_chunks);
+}
+
+/// Each query's events replay in lifecycle order, and rejected queries get
+/// a `reject` terminal instead of ever being admitted.
+#[test]
+fn trace_replays_each_lifecycle_in_order() {
+    let w = JoinWorkloadBuilder::equal(1_200, 1).seed(53).build();
+    let mut session = Session::new(ServeConfig {
+        params: CacheParams::tiny_for_tests(),
+        observability: true,
+        ..ServeConfig::default()
+    });
+    let larger = session.register(w.larger.clone());
+    let smaller = session.register(w.smaller.clone());
+
+    let ok = session.query(larger, smaller).submit();
+    // A below-one-row budget is a typed rejection — traced, never admitted.
+    let bad = session
+        .query(larger, smaller)
+        .budget(MemoryBudget::bytes(2))
+        .submit();
+    while session.drive(64) > 0 {}
+
+    let done = match ok.poll(&mut session) {
+        QueryPoll::Done(report) => report,
+        other => panic!("expected Done, got {other:?}"),
+    };
+    assert!(matches!(bad.poll(&mut session), QueryPoll::Rejected(_)));
+
+    let trace = session.trace_snapshot().expect("observability on");
+    let labels: Vec<&str> = trace
+        .events_for(QueryId(done.stats.query_id))
+        .iter()
+        .map(|e| e.kind.label())
+        .collect();
+    assert_eq!(labels.first(), Some(&"submit"));
+    assert_eq!(labels.get(1), Some(&"admit"));
+    assert_eq!(labels.get(2), Some(&"cache_lookup"));
+    assert_eq!(labels.last(), Some(&"done"));
+    assert!(labels[3..labels.len() - 1]
+        .iter()
+        .all(|l| *l == "chunk_step"));
+
+    // The rejected query: exactly submit → reject, nothing in between.
+    let rejected: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|e| e.query.raw() != done.stats.query_id)
+        .collect();
+    let labels: Vec<&str> = rejected.iter().map(|e| e.kind.label()).collect();
+    assert_eq!(labels, ["submit", "reject"]);
+
+    let stats = session.engine_mut().stats();
+    assert_eq!(stats.admissions, 1);
+    assert_eq!(stats.rejections, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 0);
+}
+
+/// The cumulative engine counters aggregate what the per-query reports say
+/// — warm reruns turn misses into hits, and both views agree.
+#[test]
+fn engine_counters_agree_with_per_query_reports() {
+    let mix = mix(2_000, 2);
+    let mut server = RdxServer::new(config(MemoryBudget::bytes(48 * 1024), 1, true));
+    let requests = submit(&mut server, &mix);
+    let cold = server.run_batch(&requests);
+    let warm = server.run_batch(&requests);
+
+    let hits = |r: &BatchReport| {
+        r.outcomes
+            .iter()
+            .filter(|o| o.outcome.as_ref().unwrap().stats.cache_hit)
+            .count() as u64
+    };
+    assert_eq!(cold.stats.cache_hits + cold.stats.cache_misses, 9);
+    assert_eq!(cold.stats.cache_hits, hits(&cold));
+    assert_eq!(cold.stats.admissions, 9);
+    assert_eq!(cold.stats.rejections, 0);
+    // Second pass: every prepared prefix is already resident.
+    assert_eq!(warm.stats.cache_hits, hits(&warm));
+    assert_eq!(hits(&warm), 9);
+}

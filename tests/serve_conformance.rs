@@ -82,6 +82,7 @@ fn config(
         // identical plans/cluster specs — the grid then compares pure
         // scheduling, never plan drift.
         plan_shares: Some(4),
+        observability: false,
     }
 }
 
