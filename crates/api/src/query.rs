@@ -4,7 +4,9 @@ use crate::ticket::Ticket;
 use crate::Session;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::error::RdxError;
-use rdx_core::strategy::{DsmPostProjection, MaterializeSink, QuerySpec, RowChunkSink};
+use rdx_core::strategy::{
+    AdaptivePolicy, DsmPostProjection, MaterializeSink, QuerySpec, RowChunkSink,
+};
 use rdx_serve::{QueryResult, QueryStats, RelationId, ServerRequest};
 
 /// A projection query under construction:
@@ -67,6 +69,19 @@ impl<'s> Query<'s> {
     /// planner entry.
     pub fn codes(mut self, codes: DsmPostProjection) -> Self {
         self.request = self.request.with_codes(codes);
+        self
+    }
+
+    /// Arms **runtime-adaptive chunk re-tuning** under `policy` (default
+    /// off): after every emitted chunk the pipeline compares observed
+    /// wall-clock against the cost model's per-chunk prediction and, when
+    /// the EWMA leaves the policy's hysteresis band, re-plans the remaining
+    /// rows — tighter chunks when slower than predicted, back toward the
+    /// full share when faster.  Adaptation moves only chunk boundaries,
+    /// never bytes, so results are unaffected; re-plans show up in
+    /// [`QueryStats::adaptive_replans`] and as `Replan` trace events.
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.request = self.request.with_adaptive(policy);
         self
     }
 

@@ -1,0 +1,491 @@
+//! Runtime-adaptive chunk re-tuning: the predict → observe → re-plan loop.
+//!
+//! Every streaming plan in the workspace is priced exactly once, from static
+//! [`CacheParams`](rdx_cache::CacheParams), before the first chunk runs.  A
+//! Manegold-model misprediction — concurrent cache pressure, a mis-calibrated
+//! hierarchy, a skewed tail — therefore compounds silently for the rest of a
+//! long run.  The observability layer already *measures* the divergence live
+//! (`pipeline.predicted_vs_observed_permille`); this module is the part that
+//! *acts* on it, in the spirit of cache-conscious run-time decomposition
+//! (Paulino & Delgado, arXiv:1511.05778).
+//!
+//! Three pieces, all deterministic and allocation-free after construction:
+//!
+//! * [`FeedbackSource`] — where the per-chunk observation comes from.  The
+//!   production impl ([`WallClockFeedback`]) passes through the chunk
+//!   wall-clock the pipeline measures; [`ScriptedFeedback`] replays an
+//!   injected timing script for deterministic tests; any
+//!   `FnMut(chunk, rows, measured_ns, predicted_ns) -> u64` closure also
+//!   qualifies, which is how a harness can feed simulated miss counts from
+//!   the traced kernels in `crate::trace` instead of wall-clock.
+//! * [`AdaptivePolicy`] — the knobs: EWMA smoothing weight, the hysteresis
+//!   band outside which a re-plan fires, a re-plan budget bounding how often
+//!   adaptation itself may run, and a warm-up/cool-down observation count.
+//! * [`AdaptiveController`] — the state machine.  Its decisions are a *pure
+//!   function* of the observed `(observed_ns, predicted_ns)` sequence:
+//!   integer arithmetic only, no clocks, no randomness — the property the
+//!   conformance suite checks by replaying scripts.
+//!
+//! The executor (`rdx-exec`'s `PipelineRun`) consults the controller after
+//! every emitted chunk; on [`AdaptiveDecision::Replan`] it re-prices only the
+//! *remaining* rows (already-emitted chunks are untouched, so byte-identity
+//! is preserved by construction) under the budget scaled by
+//! [`resplit_budget`], and folds the learned correction into its per-chunk
+//! prediction so an accurate-but-rescaled model settles instead of
+//! re-triggering forever.
+//!
+//! ```
+//! use rdx_core::strategy::adapt::{
+//!     AdaptiveController, AdaptiveDecision, AdaptivePolicy, FeedbackSource, ScriptedFeedback,
+//! };
+//!
+//! // Chunks observed 3x slower than predicted: the EWMA leaves the
+//! // hysteresis band and a bounded number of re-plans fire.
+//! let mut ctl = AdaptiveController::new(AdaptivePolicy::default());
+//! let mut script = ScriptedFeedback::constant(3_000);
+//! let mut replans = 0;
+//! for chunk in 0..16 {
+//!     let observed = script.observe_chunk(chunk, 100, 0, 1_000_000);
+//!     if let AdaptiveDecision::Replan { reason, .. } = ctl.observe(observed, 1_000_000) {
+//!         assert_eq!(reason, "slow");
+//!         replans += 1;
+//!     }
+//! }
+//! assert!(replans >= 1);
+//! assert!(replans <= AdaptivePolicy::default().replan_budget as usize);
+//!
+//! // Accurate feedback: the EWMA stays inside the band, zero re-plans.
+//! let mut ctl = AdaptiveController::new(AdaptivePolicy::default());
+//! for _ in 0..16 {
+//!     assert_eq!(ctl.observe(1_000_000, 1_000_000), AdaptiveDecision::Hold);
+//! }
+//! assert_eq!(ctl.replans(), 0);
+//! ```
+
+use crate::budget::MemoryBudget;
+
+/// Where per-chunk observations come from.
+///
+/// Called by the executor once after every emitted chunk; the return value
+/// is the observed cost of that chunk in nanoseconds, which the
+/// [`AdaptiveController`] compares against `predicted_ns`.  Implementations
+/// must not allocate (the chunk loop's zero-allocation gate covers them).
+pub trait FeedbackSource {
+    /// Observes chunk `chunk` (`rows` result rows): `measured_ns` is the
+    /// wall-clock the pipeline measured (0 when it measured nothing) and
+    /// `predicted_ns` the current per-chunk prediction.  Returns the
+    /// observed cost to feed the controller.
+    fn observe_chunk(
+        &mut self,
+        chunk: usize,
+        rows: usize,
+        measured_ns: u64,
+        predicted_ns: u64,
+    ) -> u64;
+}
+
+/// The production feedback source: the chunk wall-clock, as measured by the
+/// pipeline (the same measurement the `ChunkStep` trace events carry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClockFeedback;
+
+impl FeedbackSource for WallClockFeedback {
+    fn observe_chunk(
+        &mut self,
+        _chunk: usize,
+        _rows: usize,
+        measured_ns: u64,
+        _predicted_ns: u64,
+    ) -> u64 {
+        measured_ns
+    }
+}
+
+/// A deterministic feedback source replaying an injected timing script.
+///
+/// Entry `i` is the observed-vs-predicted ratio of chunk `i` in permille
+/// (1000 = exactly as predicted, 3000 = three times slower); past the end of
+/// the script the last entry repeats, so a constant pathological stream is
+/// one entry long.  The returned observation is `predicted_ns * ratio /
+/// 1000` — scripted runs are a pure function of the script, independent of
+/// wall-clock, machine load or thread scheduling.
+#[derive(Debug, Clone)]
+pub struct ScriptedFeedback {
+    ratios_permille: Vec<u64>,
+    cursor: usize,
+}
+
+impl ScriptedFeedback {
+    /// A script from explicit per-chunk ratios (empty scripts read as
+    /// perfectly accurate: every chunk observes exactly its prediction).
+    pub fn from_ratios(ratios_permille: &[u64]) -> Self {
+        ScriptedFeedback {
+            ratios_permille: ratios_permille.to_vec(),
+            cursor: 0,
+        }
+    }
+
+    /// The constant script: every chunk observes `ratio_permille`.
+    pub fn constant(ratio_permille: u64) -> Self {
+        Self::from_ratios(&[ratio_permille])
+    }
+}
+
+impl FeedbackSource for ScriptedFeedback {
+    fn observe_chunk(
+        &mut self,
+        _chunk: usize,
+        _rows: usize,
+        _measured_ns: u64,
+        predicted_ns: u64,
+    ) -> u64 {
+        let ratio = match self.ratios_permille.get(self.cursor) {
+            Some(&r) => {
+                self.cursor += 1;
+                r
+            }
+            None => *self.ratios_permille.last().unwrap_or(&1000),
+        };
+        predicted_ns.saturating_mul(ratio) / 1000
+    }
+}
+
+/// Closures are feedback sources too — the hook for harnesses that derive
+/// observations from something other than wall-clock (e.g. simulated miss
+/// counts out of the traced kernels in [`crate::trace`], converted to a
+/// modeled nanosecond cost).
+impl<F> FeedbackSource for F
+where
+    F: FnMut(usize, usize, u64, u64) -> u64,
+{
+    fn observe_chunk(
+        &mut self,
+        chunk: usize,
+        rows: usize,
+        measured_ns: u64,
+        predicted_ns: u64,
+    ) -> u64 {
+        self(chunk, rows, measured_ns, predicted_ns)
+    }
+}
+
+/// The adaptive controller's knobs.  All fields are plain integers so the
+/// policy is `Copy + Eq` and rides inside a `ServerRequest` unchanged.
+///
+/// Defaults: EWMA weight 0.4, hysteresis band `[0.5x, 2.0x]`
+/// observed-vs-predicted, at most 2 mid-flight re-plans, 2 observations of
+/// warm-up before (and cool-down between) decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Weight of the newest sample in the EWMA, in permille (`1000` = no
+    /// smoothing, react to every chunk; clamped to `1000`).
+    pub ewma_alpha_permille: u64,
+    /// Upper hysteresis bound: a re-plan (reason `"slow"`) fires once the
+    /// EWMA of observed/predicted exceeds this, in permille.
+    pub upper_permille: u64,
+    /// Lower hysteresis bound: a re-plan (reason `"fast"`) fires once the
+    /// EWMA falls below this, in permille.
+    pub lower_permille: u64,
+    /// Mid-flight re-plans this controller may ever fire — adaptation
+    /// itself is bounded, so a pathological feedback stream cannot make the
+    /// run spend its time re-planning.
+    pub replan_budget: u32,
+    /// Chunks observed before the first decision, and between consecutive
+    /// re-plans (the cool-down that gives a fresh plan time to show up in
+    /// the EWMA before it is judged).
+    pub min_observations: u32,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            ewma_alpha_permille: 400,
+            upper_permille: 2_000,
+            lower_permille: 500,
+            replan_budget: 2,
+            min_observations: 2,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// A hair-trigger policy for tests and experiments: no smoothing, a
+    /// `[0.9x, 1.1x]` band, one observation per decision and a generous
+    /// re-plan budget — fires on nearly any misprediction.
+    pub fn hair_trigger() -> Self {
+        AdaptivePolicy {
+            ewma_alpha_permille: 1_000,
+            upper_permille: 1_100,
+            lower_permille: 900,
+            replan_budget: 16,
+            min_observations: 1,
+        }
+    }
+
+    /// Sets the hysteresis band (builder form).
+    pub fn band(mut self, lower_permille: u64, upper_permille: u64) -> Self {
+        self.lower_permille = lower_permille;
+        self.upper_permille = upper_permille;
+        self
+    }
+
+    /// Sets the re-plan budget (builder form).
+    pub fn replans(mut self, budget: u32) -> Self {
+        self.replan_budget = budget;
+        self
+    }
+
+    /// Sets the EWMA weight in permille (builder form).
+    pub fn alpha(mut self, permille: u64) -> Self {
+        self.ewma_alpha_permille = permille;
+        self
+    }
+
+    /// Sets the warm-up/cool-down observation count (builder form).
+    pub fn observations(mut self, count: u32) -> Self {
+        self.min_observations = count;
+        self
+    }
+}
+
+/// What the controller decided after one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveDecision {
+    /// Stay on the current plan.
+    Hold,
+    /// Re-plan the remaining rows.
+    Replan {
+        /// The EWMA of observed/predicted at the moment of the decision, in
+        /// permille — the correction factor the executor folds into its
+        /// budget scaling ([`resplit_budget`]) and its next prediction.
+        ewma_permille: u64,
+        /// `"slow"` (EWMA above the band) or `"fast"` (below) — the static
+        /// label the `Replan` trace event carries.
+        reason: &'static str,
+    },
+}
+
+/// The EWMA-with-hysteresis state machine.  Decisions are a pure function
+/// of the `(observed_ns, predicted_ns)` sequence fed to
+/// [`AdaptiveController::observe`]: integer arithmetic only, no clocks, no
+/// allocation — replaying the same script always yields the same re-plan
+/// points.
+///
+/// ```
+/// use rdx_core::strategy::adapt::{AdaptiveController, AdaptivePolicy};
+///
+/// let script = [900u64, 3_100, 2_900, 3_000, 1_000];
+/// let run = |_| {
+///     let mut ctl = AdaptiveController::new(AdaptivePolicy::default());
+///     script
+///         .iter()
+///         .map(|&ns| ctl.observe(ns, 1_000))
+///         .collect::<Vec<_>>()
+/// };
+/// assert_eq!(run(0), run(1)); // same script => same decisions
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    policy: AdaptivePolicy,
+    ewma_permille: u64,
+    observations: u32,
+    replans: u32,
+}
+
+impl AdaptiveController {
+    /// A controller starting from a perfectly-trusted model (EWMA at 1000).
+    pub fn new(policy: AdaptivePolicy) -> Self {
+        AdaptiveController {
+            policy,
+            ewma_permille: 1_000,
+            observations: 0,
+            replans: 0,
+        }
+    }
+
+    /// The policy this controller runs under.
+    pub fn policy(&self) -> AdaptivePolicy {
+        self.policy
+    }
+
+    /// Re-plans fired so far (never exceeds
+    /// [`AdaptivePolicy::replan_budget`]).
+    pub fn replans(&self) -> u32 {
+        self.replans
+    }
+
+    /// The current EWMA of observed/predicted, in permille.
+    pub fn ewma_permille(&self) -> u64 {
+        self.ewma_permille
+    }
+
+    /// Feeds one chunk's observation and returns the decision.
+    ///
+    /// A zero prediction holds unconditionally (there is nothing to compare
+    /// against).  On [`AdaptiveDecision::Replan`] the EWMA resets to 1000:
+    /// the caller is expected to fold the returned correction into its next
+    /// prediction, after which the model is trusted again until the
+    /// evidence says otherwise.
+    pub fn observe(&mut self, observed_ns: u64, predicted_ns: u64) -> AdaptiveDecision {
+        if predicted_ns == 0 {
+            return AdaptiveDecision::Hold;
+        }
+        let ratio = observed_ns.saturating_mul(1_000) / predicted_ns;
+        let alpha = self.policy.ewma_alpha_permille.min(1_000);
+        self.ewma_permille = (alpha * ratio + (1_000 - alpha) * self.ewma_permille) / 1_000;
+        self.observations += 1;
+        if self.observations < self.policy.min_observations
+            || self.replans >= self.policy.replan_budget
+        {
+            return AdaptiveDecision::Hold;
+        }
+        let reason = if self.ewma_permille > self.policy.upper_permille {
+            "slow"
+        } else if self.ewma_permille < self.policy.lower_permille {
+            "fast"
+        } else {
+            return AdaptiveDecision::Hold;
+        };
+        self.replans += 1;
+        self.observations = 0;
+        let ewma_permille = self.ewma_permille;
+        self.ewma_permille = 1_000;
+        AdaptiveDecision::Replan {
+            ewma_permille,
+            reason,
+        }
+    }
+}
+
+/// The budget a re-split re-plans the remaining rows under: chunks observed
+/// `ewma_permille / 1000` times slower than predicted get their working set
+/// shrunk by the same factor (the model evidently under-priced the cache
+/// pressure), floored at one byte so the planner's one-row clamp still
+/// applies.  Faster-than-predicted runs (and unbounded budgets) keep the
+/// full budget — the grant is a hard ceiling the adaptive loop may never
+/// raise, so `peak working set <= share` survives adaptation by
+/// construction.
+pub fn resplit_budget(budget: MemoryBudget, ewma_permille: u64) -> MemoryBudget {
+    if !budget.is_bounded() || ewma_permille <= 1_000 {
+        return budget;
+    }
+    MemoryBudget::bytes(
+        (budget.limit_bytes().saturating_mul(1_000) / ewma_permille as usize).max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_feedback_never_replans() {
+        let mut ctl = AdaptiveController::new(AdaptivePolicy::default());
+        for _ in 0..64 {
+            assert_eq!(ctl.observe(5_000, 5_000), AdaptiveDecision::Hold);
+        }
+        assert_eq!(ctl.replans(), 0);
+        assert_eq!(ctl.ewma_permille(), 1_000);
+    }
+
+    #[test]
+    fn slow_feedback_fires_within_the_replan_budget() {
+        let policy = AdaptivePolicy::default();
+        let mut ctl = AdaptiveController::new(policy);
+        let mut decisions = Vec::new();
+        for _ in 0..32 {
+            decisions.push(ctl.observe(3_000, 1_000));
+        }
+        let replans = decisions
+            .iter()
+            .filter(|d| matches!(d, AdaptiveDecision::Replan { .. }))
+            .count();
+        assert!(replans >= 1, "3x-slow stream must trigger a re-plan");
+        assert_eq!(replans as u32, ctl.replans());
+        assert!(ctl.replans() <= policy.replan_budget);
+        // Every firing carries the slow reason and a >1000 correction.
+        for d in &decisions {
+            if let AdaptiveDecision::Replan {
+                ewma_permille,
+                reason,
+            } = d
+            {
+                assert_eq!(*reason, "slow");
+                assert!(*ewma_permille > policy.upper_permille);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_feedback_reports_the_fast_reason() {
+        let mut ctl = AdaptiveController::new(AdaptivePolicy::hair_trigger());
+        let d = ctl.observe(100, 1_000);
+        assert!(matches!(d, AdaptiveDecision::Replan { reason: "fast", .. }));
+    }
+
+    #[test]
+    fn warmup_and_cooldown_gate_decisions() {
+        let policy = AdaptivePolicy::default().observations(3).replans(8);
+        let mut ctl = AdaptiveController::new(policy);
+        // Two observations of a 10x-slow stream: still warming up.
+        assert_eq!(ctl.observe(10_000, 1_000), AdaptiveDecision::Hold);
+        assert_eq!(ctl.observe(10_000, 1_000), AdaptiveDecision::Hold);
+        // Third observation crosses the warm-up and the band.
+        assert!(matches!(
+            ctl.observe(10_000, 1_000),
+            AdaptiveDecision::Replan { .. }
+        ));
+        // Cool-down: the next two observations cannot fire again.
+        assert_eq!(ctl.observe(10_000, 1_000), AdaptiveDecision::Hold);
+        assert_eq!(ctl.observe(10_000, 1_000), AdaptiveDecision::Hold);
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_script() {
+        let script: Vec<u64> = (0..40).map(|i| 500 + (i * 379) % 3_500).collect();
+        let run = || {
+            let mut ctl = AdaptiveController::new(AdaptivePolicy::hair_trigger());
+            script
+                .iter()
+                .map(|&ratio| ctl.observe(ratio * 1_000, 1_000_000))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scripted_feedback_replays_and_repeats_its_tail() {
+        let mut s = ScriptedFeedback::from_ratios(&[1_000, 3_000]);
+        assert_eq!(s.observe_chunk(0, 10, 7, 1_000), 1_000);
+        assert_eq!(s.observe_chunk(1, 10, 7, 1_000), 3_000);
+        // Past the end: the last entry repeats.
+        assert_eq!(s.observe_chunk(2, 10, 7, 1_000), 3_000);
+        // Empty scripts are neutral; wall-clock passes through measurement.
+        let mut empty = ScriptedFeedback::from_ratios(&[]);
+        assert_eq!(empty.observe_chunk(0, 10, 7, 2_000), 2_000);
+        let mut wall = WallClockFeedback;
+        assert_eq!(wall.observe_chunk(0, 10, 1_234, 9_999), 1_234);
+        // Closures qualify as sources too.
+        let mut doubler = |_c: usize, _r: usize, m: u64, _p: u64| m * 2;
+        assert_eq!(doubler.observe_chunk(0, 10, 21, 0), 42);
+    }
+
+    #[test]
+    fn resplit_budget_shrinks_for_slow_and_never_grows() {
+        let b = MemoryBudget::bytes(9_000);
+        assert_eq!(resplit_budget(b, 3_000).limit_bytes(), 3_000);
+        assert_eq!(resplit_budget(b, 1_000), b);
+        // Fast runs keep the ceiling: the grant may never be exceeded.
+        assert_eq!(resplit_budget(b, 500), b);
+        assert_eq!(
+            resplit_budget(MemoryBudget::unbounded(), 5_000),
+            MemoryBudget::unbounded()
+        );
+        // Extreme corrections floor at one byte (the planner's one-row
+        // clamp takes over from there).
+        assert_eq!(
+            resplit_budget(MemoryBudget::bytes(2), u64::MAX).limit_bytes(),
+            1
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! (larger-side attributes first, then smaller-side) plus per-phase wall-clock
 //! timings, which is what the figure harness plots.
 
+pub mod adapt;
 pub mod common;
 pub mod dsm_post;
 pub mod dsm_pre;
@@ -29,6 +30,10 @@ pub mod sink;
 pub mod sparse;
 pub mod strings;
 
+pub use adapt::{
+    resplit_budget, AdaptiveController, AdaptiveDecision, AdaptivePolicy, FeedbackSource,
+    ScriptedFeedback, WallClockFeedback,
+};
 pub use common::{ProjectionCode, SecondSideCode};
 pub use dsm_post::DsmPostProjection;
 pub use dsm_pre::{dsm_pre_projection, try_dsm_pre_projection};

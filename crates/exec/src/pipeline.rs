@@ -1,6 +1,6 @@
 //! The memory-budgeted **streaming projection pipeline** — cluster →
 //! decluster → fetch in chunks sized by an explicit
-//! [`MemoryBudget`](rdx_core::budget::MemoryBudget).
+//! [`MemoryBudget`].
 //!
 //! Every other executor in the workspace (sequential and parallel)
 //! materialises the full projected relation: `O(N · π)` value bytes live in
@@ -47,11 +47,18 @@ use crate::join::par_partitioned_hash_join;
 use crate::pool::{for_each_output_morsel, ExecPolicy};
 use crate::strategy::{par_order_join_index, par_project_columns_into};
 use rdx_cache::CacheParams;
+use rdx_core::budget::MemoryBudget;
 use rdx_core::cluster::{plan_partial_cluster, Clustered, RadixClusterSpec, ScatterMode};
 use rdx_core::decluster::chunks::{ChunkCursorState, ChunkRuns};
 use rdx_core::decluster::DeclusterScratch;
+use rdx_core::error::RdxError;
 use rdx_core::join::join_cluster_spec;
-use rdx_core::strategy::planner::{plan_streaming, StreamingPlan};
+use rdx_core::strategy::adapt::{
+    resplit_budget, AdaptiveController, AdaptiveDecision, AdaptivePolicy, FeedbackSource,
+};
+use rdx_core::strategy::planner::{
+    plan_streaming, plan_streaming_checked, predict_streaming_cost, StreamingPlan,
+};
 use rdx_core::strategy::sink::{MaterializeSink, RowChunkSink};
 use rdx_core::strategy::{
     DsmPostProjection, PhaseTimings, QuerySpec, SecondSideCode, StrategyOutcome,
@@ -192,6 +199,9 @@ pub struct PipelineStats {
     pub rows_emitted: usize,
     /// Largest per-chunk working set observed, in bytes.
     pub peak_chunk_bytes: usize,
+    /// Mid-flight re-splits the adaptive controller fired (0 unless
+    /// [`PipelineRun::attach_adaptive`] was called).
+    pub adaptive_replans: usize,
     /// Phase wall-clock breakdown ([`PhaseTimings`] semantics; chunked
     /// phases accumulate across chunks).
     pub timings: PhaseTimings,
@@ -252,6 +262,43 @@ struct RunObs {
     predicted_chunk_ns: u64,
     chunk_ns: rdx_obs::Histogram,
     ratio_permille: rdx_obs::Histogram,
+    adaptive_replans: rdx_obs::Counter,
+    resplit_delta: rdx_obs::Histogram,
+}
+
+/// The adaptive-execution state a [`PipelineRun`] carries when a policy is
+/// attached: the EWMA controller, the feedback source it listens to, the
+/// cache parameters re-plans re-price against, and the current (possibly
+/// correction-folded) per-chunk prediction.  All of it is allocated once at
+/// [`PipelineRun::attach_adaptive`]; observing a chunk and *holding* — the
+/// steady state — allocates nothing.
+struct RunAdapt {
+    controller: AdaptiveController,
+    source: Box<dyn FeedbackSource + Send>,
+    params: CacheParams,
+    predicted_chunk_ns: u64,
+    /// Cumulative observed-vs-model correction in permille.  Each re-plan's
+    /// EWMA is measured against the *already corrected* prediction, so the
+    /// total mispricing is the product of the fired EWMAs — this is what
+    /// [`resplit_budget`] shrinks the grant by, letting sustained slow
+    /// feedback tighten chunks further on every fired re-plan instead of
+    /// re-deriving the same plan.
+    correction_permille: u64,
+    replans: usize,
+}
+
+/// The cost model's per-chunk prediction for `plan` covering `result_rows`
+/// rows, in nanoseconds — [`predict_streaming_cost`] (whole-run millis)
+/// divided across the plan's chunks.
+fn per_chunk_prediction_ns(
+    plan: &StreamingPlan,
+    smaller_tuples: usize,
+    result_rows: usize,
+    spec: &QuerySpec,
+    params: &CacheParams,
+) -> u64 {
+    let total_ms = predict_streaming_cost(plan, smaller_tuples, result_rows, spec, params);
+    ((total_ms / plan.num_chunks.max(1) as f64) * 1e6) as u64
 }
 
 /// A boxed attribute fetcher `(oid, attr) → value`, the type-erased form the
@@ -289,6 +336,7 @@ pub struct PipelineRun<FL, FS> {
     begun: bool,
     finished: bool,
     obs: Option<Box<RunObs>>,
+    adapt: Option<Box<RunAdapt>>,
 }
 
 impl<FL, FS> PipelineRun<FL, FS>
@@ -352,6 +400,7 @@ where
             begun: false,
             finished: false,
             obs: None,
+            adapt: None,
         }
     }
 
@@ -374,7 +423,122 @@ where
             predicted_chunk_ns,
             chunk_ns: metrics.histogram("pipeline.chunk_ns"),
             ratio_permille: metrics.histogram("pipeline.predicted_vs_observed_permille"),
+            adaptive_replans: metrics.counter("pipeline.adaptive_replans"),
+            resplit_delta: metrics.histogram("pipeline.resplit_chunk_delta"),
         }));
+    }
+
+    /// The cost model's current per-chunk prediction for this run, in
+    /// nanoseconds — [`predict_streaming_cost`] over the run's streaming
+    /// plan, divided across its chunks.  The single pricing rule the
+    /// observability attach, the adaptive controller and mid-flight
+    /// re-plans all share, so they can never disagree about what "as
+    /// predicted" means.
+    pub fn predicted_chunk_ns(&self, params: &CacheParams) -> u64 {
+        per_chunk_prediction_ns(
+            &self.streaming,
+            self.prepared.smaller_cardinality,
+            self.prepared.result_rows(),
+            &self.spec,
+            params,
+        )
+    }
+
+    /// Arms runtime adaptation: after every emitted chunk the run feeds
+    /// `source`'s observation into an EWMA-with-hysteresis controller and,
+    /// when the controller fires, re-prices the **remaining** rows with
+    /// [`plan_streaming`] and resumes from the same cursors.  Already-
+    /// emitted chunks are never touched and the cluster spec never changes,
+    /// so adaptive output is byte-identical to non-adaptive output by
+    /// construction — only chunk boundaries move.  The grant is a ceiling:
+    /// slower-than-predicted feedback *shrinks* the effective budget
+    /// ([`resplit_budget`]); faster-than-predicted feedback restores at
+    /// most the original budget, never more.
+    ///
+    /// All adaptive state (controller, feedback source, prediction) is
+    /// allocated here, once: observing chunks that *hold* allocates
+    /// nothing, preserving the steady-state zero-allocation guarantee.
+    pub fn attach_adaptive(
+        &mut self,
+        policy: AdaptivePolicy,
+        source: Box<dyn FeedbackSource + Send>,
+        params: &CacheParams,
+    ) {
+        self.adapt = Some(Box::new(RunAdapt {
+            controller: AdaptiveController::new(policy),
+            source,
+            params: params.clone(),
+            predicted_chunk_ns: self.predicted_chunk_ns(params).max(1),
+            correction_permille: 1_000,
+            replans: 0,
+        }));
+    }
+
+    /// Swaps the feedback source of an already-armed run (no-op when
+    /// adaptation is off) — how a deterministic harness injects a scripted
+    /// timing sequence into a run the serving layer built with the
+    /// production wall-clock source.
+    pub fn replace_feedback(&mut self, source: Box<dyn FeedbackSource + Send>) {
+        if let Some(adapt) = self.adapt.as_deref_mut() {
+            adapt.source = source;
+        }
+    }
+
+    /// Re-prices the remaining rows under a new budget mid-flight (an
+    /// engine share change), resuming from the current cursors.  Fails with
+    /// the typed [`RdxError::Budget`] — never a silent clamp — when the new
+    /// budget cannot hold even one row; on failure the run is unchanged and
+    /// still streams under its previous plan.
+    pub fn rebudget(&mut self, budget: MemoryBudget, params: &CacheParams) -> Result<(), RdxError> {
+        let remaining = self.prepared.result_rows() - self.emitted;
+        let new_plan = plan_streaming_checked(
+            remaining.max(1),
+            self.prepared.smaller_cardinality,
+            self.prepared.smaller_value_width,
+            &self.spec,
+            params,
+            budget,
+            self.policy.threads,
+        )
+        .map_err(RdxError::Budget)?;
+        debug_assert_eq!(
+            new_plan.cluster_spec, self.streaming.cluster_spec,
+            "mid-flight rebudget drifted the cluster spec"
+        );
+        let old_chunks = remaining.div_ceil(self.streaming.chunk_rows.max(1));
+        let new_chunks = remaining.div_ceil(new_plan.chunk_rows.max(1));
+        self.policy.budget = budget;
+        if remaining > 0 {
+            self.streaming = new_plan;
+        }
+        let corrected = per_chunk_prediction_ns(
+            &self.streaming,
+            self.prepared.smaller_cardinality,
+            remaining.max(1),
+            &self.spec,
+            params,
+        )
+        .max(1);
+        if let Some(adapt) = self.adapt.as_deref_mut() {
+            adapt.predicted_chunk_ns = corrected;
+        }
+        if let Some(run_obs) = self.obs.as_deref_mut() {
+            run_obs.predicted_chunk_ns = corrected;
+            run_obs.obs.record(
+                run_obs.query,
+                EventKind::Replan {
+                    old_chunks: old_chunks as u32,
+                    new_chunks: new_chunks as u32,
+                    reason: "rebudget",
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Mid-flight re-splits the adaptive controller has fired so far.
+    pub fn adaptive_replans(&self) -> usize {
+        self.adapt.as_ref().map_or(0, |a| a.replans)
     }
 
     /// Replaces this run's chunk scratch with `scratch` (typically one
@@ -440,8 +604,9 @@ where
         let chunk_end = (emitted + self.streaming.chunk_rows).min(n);
         let rows = chunk_end - emitted;
         let mut chunk_bytes = rows * self.spec.total() * VALUE_WIDTH;
-        // Chunk wall-clock is only measured when an observer is attached.
-        let chunk_start = self.obs.as_ref().map(|_| Instant::now());
+        // Chunk wall-clock is only measured when someone consumes it: an
+        // observer, an adaptive controller, or both.
+        let chunk_start = (self.obs.is_some() || self.adapt.is_some()).then(Instant::now);
 
         // All chunk-local buffers come from the run's scratch: after the
         // first (largest) chunk has grown them, a steady-state step
@@ -518,8 +683,8 @@ where
         sink.emit(emitted, &scratch.columns);
         self.chunks_emitted += 1;
         self.emitted = chunk_end;
-        if let (Some(run_obs), Some(start)) = (self.obs.as_deref(), chunk_start) {
-            let observed_ns = start.elapsed().as_nanos() as u64;
+        let observed_ns = chunk_start.map(|start| start.elapsed().as_nanos() as u64);
+        if let (Some(run_obs), Some(observed_ns)) = (self.obs.as_deref(), observed_ns) {
             run_obs.chunk_ns.record(observed_ns);
             if let Some(permille) = observed_ns
                 .saturating_mul(1000)
@@ -538,7 +703,99 @@ where
                 },
             );
         }
+        // Feed the adaptive controller last, once the chunk's own event is
+        // recorded: a Replan therefore always trails the ChunkStep that
+        // triggered it, and only fires while rows remain to re-split.
+        if self.adapt.is_some() && self.emitted < n {
+            self.maybe_resplit(rows, observed_ns.unwrap_or(0));
+        }
         Some(rows)
+    }
+
+    /// The between-chunks re-split point: feeds the just-emitted chunk to
+    /// the feedback source and controller; on a `Replan` decision,
+    /// re-prices the remaining rows (under the correction-scaled budget)
+    /// and swaps the streaming plan in place.  The cursors are untouched —
+    /// they accept any non-decreasing chunk end — so the next [`Self::step`]
+    /// simply continues at the new granularity.
+    fn maybe_resplit(&mut self, rows: usize, measured_ns: u64) {
+        let remaining = self.prepared.result_rows() - self.emitted;
+        let (ewma_permille, reason) = {
+            let Some(adapt) = self.adapt.as_deref_mut() else {
+                return;
+            };
+            let predicted = adapt.predicted_chunk_ns;
+            let observed =
+                adapt
+                    .source
+                    .observe_chunk(self.chunks_emitted - 1, rows, measured_ns, predicted);
+            match adapt.controller.observe(observed, predicted) {
+                AdaptiveDecision::Hold => return,
+                AdaptiveDecision::Replan {
+                    ewma_permille,
+                    reason,
+                } => (ewma_permille, reason),
+            }
+        };
+        let Some(adapt) = self.adapt.as_deref_mut() else {
+            return;
+        };
+        // Slower than predicted: the model under-priced the cache pressure,
+        // so re-plan the tail under a proportionally smaller working set.
+        // Faster: restore at most the original grant — never exceed it.
+        // The EWMA is relative to the already-corrected prediction, so the
+        // total mispricing compounds across fired re-plans.
+        adapt.correction_permille = adapt
+            .correction_permille
+            .saturating_mul(ewma_permille)
+            .max(1_000)
+            / 1_000;
+        let effective = resplit_budget(self.policy.budget, adapt.correction_permille);
+        let new_plan = plan_streaming(
+            remaining,
+            self.prepared.smaller_cardinality,
+            self.prepared.smaller_value_width,
+            &self.spec,
+            &adapt.params,
+            effective,
+            self.policy.threads,
+        );
+        debug_assert_eq!(
+            new_plan.cluster_spec, self.streaming.cluster_spec,
+            "adaptive re-split drifted the cluster spec"
+        );
+        let old_chunks = remaining.div_ceil(self.streaming.chunk_rows.max(1));
+        let new_chunks = remaining.div_ceil(new_plan.chunk_rows.max(1));
+        // Fold the learned correction into the prediction: if the world
+        // really is `correction/1000` times the model, the next ratio lands
+        // near 1000 and the controller settles instead of re-firing forever.
+        let model_ns = per_chunk_prediction_ns(
+            &new_plan,
+            self.prepared.smaller_cardinality,
+            remaining,
+            &self.spec,
+            &adapt.params,
+        );
+        adapt.predicted_chunk_ns =
+            (model_ns.saturating_mul(adapt.correction_permille) / 1_000).max(1);
+        adapt.replans += 1;
+        let corrected = adapt.predicted_chunk_ns;
+        self.streaming = new_plan;
+        if let Some(run_obs) = self.obs.as_deref_mut() {
+            run_obs.predicted_chunk_ns = corrected;
+            run_obs.adaptive_replans.inc();
+            run_obs
+                .resplit_delta
+                .record(old_chunks.abs_diff(new_chunks) as u64);
+            run_obs.obs.record(
+                run_obs.query,
+                EventKind::Replan {
+                    old_chunks: old_chunks as u32,
+                    new_chunks: new_chunks as u32,
+                    reason,
+                },
+            );
+        }
     }
 
     /// Steps the run to completion.
@@ -555,6 +812,7 @@ where
             chunks_emitted: self.chunks_emitted,
             rows_emitted: self.emitted,
             peak_chunk_bytes: self.peak_chunk_bytes,
+            adaptive_replans: self.adaptive_replans(),
             timings: self.timings,
         }
     }

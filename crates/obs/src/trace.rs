@@ -82,6 +82,17 @@ pub enum EventKind {
         /// The chunk's measured working set, in bytes.
         working_set_bytes: u64,
     },
+    /// The adaptive controller re-planned the remaining rows mid-query:
+    /// the chunk count covering the un-emitted tail changed from
+    /// `old_chunks` to `new_chunks`.
+    Replan {
+        /// Chunks the old plan needed for the remaining rows.
+        old_chunks: u32,
+        /// Chunks the new plan needs for the same rows.
+        new_chunks: u32,
+        /// Why the controller fired (`"slow"`, `"fast"` or `"rebudget"`).
+        reason: &'static str,
+    },
     /// The query completed and its outcome was parked/returned.
     Done {
         /// Total result rows.
@@ -101,6 +112,7 @@ impl EventKind {
             EventKind::Reject { .. } => "reject",
             EventKind::CacheLookup { .. } => "cache_lookup",
             EventKind::ChunkStep { .. } => "chunk_step",
+            EventKind::Replan { .. } => "replan",
             EventKind::Done { .. } => "done",
         }
     }
@@ -268,6 +280,11 @@ impl TraceSnapshot {
                     out,
                     "chunk   #{chunk} rows={rows} observed={observed_ns}ns predicted={predicted_ns}ns ws={working_set_bytes}B"
                 ),
+                EventKind::Replan {
+                    old_chunks,
+                    new_chunks,
+                    reason,
+                } => writeln!(out, "replan  {reason} chunks {old_chunks}->{new_chunks}"),
                 EventKind::Done { rows, wall_ns } => writeln!(
                     out,
                     "done    rows={rows} wall={:.3}ms",
@@ -317,6 +334,14 @@ impl TraceSnapshot {
                 } => write!(
                     out,
                     ",\"chunk\":{chunk},\"rows\":{rows},\"observed_ns\":{observed_ns},\"predicted_ns\":{predicted_ns},\"working_set_bytes\":{working_set_bytes}"
+                ),
+                EventKind::Replan {
+                    old_chunks,
+                    new_chunks,
+                    reason,
+                } => write!(
+                    out,
+                    ",\"old_chunks\":{old_chunks},\"new_chunks\":{new_chunks},\"reason\":\"{reason}\""
                 ),
                 EventKind::Done { rows, wall_ns } => {
                     write!(out, ",\"rows\":{rows},\"wall_ns\":{wall_ns}")

@@ -48,8 +48,9 @@ use crate::server::{QueryOutcome, QueryResult, QueryStats, ServeConfig, ServerRe
 use rdx_cache::CacheParams;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::error::{RdxError, Side};
+use rdx_core::strategy::adapt::WallClockFeedback;
 use rdx_core::strategy::planner::{
-    plan_by_cost_with_threads, predict_streaming_cost, streaming_bytes_per_row, StreamingPlan,
+    plan_by_cost_with_threads, streaming_bytes_per_row, StreamingPlan,
 };
 use rdx_core::strategy::{DsmPostProjection, MaterializeSink, PhaseTimings, RowChunkSink};
 use rdx_dsm::DsmRelation;
@@ -151,6 +152,10 @@ pub struct EngineStats {
     pub rejections: u64,
     /// Admissions granted less than the fair share (tighter chunking).
     pub replans: u64,
+    /// Mid-flight re-splits fired by per-query adaptive controllers —
+    /// counted apart from [`EngineStats::replans`], which is an *admission*
+    /// decision: an adaptive query re-plans after it started running.
+    pub adaptive_replans: u64,
 }
 
 /// A validated, planned, cache-resolved query, ready to stream chunks —
@@ -198,6 +203,17 @@ impl ResolvedQuery {
     pub fn is_done(&self) -> bool {
         self.run.is_done()
     }
+
+    /// Swaps the feedback source of an adaptive query (no-op when the
+    /// request did not enable adaptation) — how a deterministic harness
+    /// replaces the production wall-clock source with a scripted timing
+    /// sequence on an engine-resolved run.
+    pub fn replace_feedback(
+        &mut self,
+        source: Box<dyn rdx_core::strategy::adapt::FeedbackSource + Send>,
+    ) {
+        self.run.replace_feedback(source)
+    }
 }
 
 /// Mirror instruments the engine records into when observability is on —
@@ -209,6 +225,7 @@ struct EngineObs {
     admissions: rdx_obs::Counter,
     rejections: rdx_obs::Counter,
     replans: rdx_obs::Counter,
+    adaptive_replans: rdx_obs::Counter,
     chunks_dispatched: rdx_obs::Counter,
     in_flight: rdx_obs::Gauge,
     queued: rdx_obs::Gauge,
@@ -225,6 +242,7 @@ impl EngineObs {
             admissions: metrics.counter("engine.admissions"),
             rejections: metrics.counter("engine.rejections"),
             replans: metrics.counter("engine.replans"),
+            adaptive_replans: metrics.counter("engine.adaptive_replans"),
             chunks_dispatched: metrics.counter("engine.chunks_dispatched"),
             in_flight: metrics.gauge("engine.in_flight"),
             queued: metrics.gauge("engine.queued"),
@@ -638,16 +656,15 @@ impl QueryEngine {
             shared_params,
             &policy,
         );
-        let predicted_chunk_cost_ms = predict_streaming_cost(
-            run.streaming(),
-            smaller.cardinality(),
-            run.prepared().result_rows(),
-            &request.spec,
-            shared_params,
-        ) / run.streaming().num_chunks.max(1) as f64;
-        // The chunk loop records observed-vs-predicted against this same
-        // per-chunk prediction, in nanoseconds.
-        run.attach_obs(&self.obs, query, (predicted_chunk_cost_ms * 1e6) as u64);
+        // One pricing rule for everyone: the scheduler's stride weight, the
+        // chunk loop's observed-vs-predicted recording, and the adaptive
+        // controller all read the same per-chunk prediction.
+        let predicted_chunk_ns = run.predicted_chunk_ns(shared_params);
+        let predicted_chunk_cost_ms = predicted_chunk_ns as f64 / 1e6;
+        run.attach_obs(&self.obs, query, predicted_chunk_ns);
+        if let Some(policy) = request.adaptive {
+            run.attach_adaptive(policy, Box::new(WallClockFeedback), shared_params);
+        }
         // Warm start: hand down scratch harvested from an earlier query.
         let mut scratch_reused = false;
         if let Some(scratch) = self.scratch_pool.pop() {
@@ -667,6 +684,7 @@ impl QueryEngine {
                 chunks: 0,
                 rows: 0,
                 peak_chunk_bytes: 0,
+                adaptive_replans: 0,
                 predicted_chunk_cost_ms,
                 timings: PhaseTimings::default(),
                 wait: Duration::ZERO,
@@ -712,6 +730,13 @@ impl QueryEngine {
         rq.stats.chunks = run_stats.chunks_emitted;
         rq.stats.rows = run_stats.rows_emitted;
         rq.stats.peak_chunk_bytes = run_stats.peak_chunk_bytes;
+        rq.stats.adaptive_replans = run_stats.adaptive_replans;
+        self.stats.adaptive_replans += run_stats.adaptive_replans as u64;
+        if run_stats.adaptive_replans > 0 {
+            if let Some(eo) = &self.engine_obs {
+                eo.adaptive_replans.add(run_stats.adaptive_replans as u64);
+            }
+        }
         rq.stats.timings = run_stats.timings;
         rq.stats.service = rq.started.elapsed();
         let service_ns = rq.stats.service.as_nanos() as u64;

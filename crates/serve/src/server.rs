@@ -22,7 +22,7 @@ use crate::scheduler::FairnessPolicy;
 use rdx_cache::CacheParams;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::error::RdxError;
-use rdx_core::strategy::{DsmPostProjection, PhaseTimings, QuerySpec};
+use rdx_core::strategy::{AdaptivePolicy, DsmPostProjection, PhaseTimings, QuerySpec};
 use rdx_dsm::{DsmRelation, ResultRelation};
 use std::time::{Duration, Instant};
 
@@ -98,6 +98,12 @@ pub struct ServerRequest {
     /// (what the conformance grid uses to drive every `u/s/c × u/d` cell
     /// through the one planner entry).
     pub codes: Option<DsmPostProjection>,
+    /// Optional runtime-adaptive re-tuning policy.  `None` — the default —
+    /// trusts the one-shot plan; `Some` arms the per-chunk
+    /// observe→re-plan loop (wall-clock feedback, EWMA + hysteresis, see
+    /// `rdx_core::strategy::adapt`).  Adaptation moves only chunk
+    /// boundaries, never bytes, so this cannot affect results.
+    pub adaptive: Option<AdaptivePolicy>,
 }
 
 impl ServerRequest {
@@ -110,6 +116,7 @@ impl ServerRequest {
             budget_hint: None,
             threads_hint: None,
             codes: None,
+            adaptive: None,
         }
     }
 
@@ -128,6 +135,12 @@ impl ServerRequest {
     /// Pins the projection codes instead of cost-based planning.
     pub fn with_codes(mut self, codes: DsmPostProjection) -> Self {
         self.codes = Some(codes);
+        self
+    }
+
+    /// Arms runtime-adaptive chunk re-tuning under `policy` (default off).
+    pub fn with_adaptive(mut self, policy: AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
         self
     }
 }
@@ -167,6 +180,10 @@ pub struct QueryStats {
     pub rows: usize,
     /// Largest observed per-chunk working set, bytes.
     pub peak_chunk_bytes: usize,
+    /// Mid-flight re-splits this query's adaptive controller fired (0 when
+    /// [`ServerRequest::adaptive`] was off — the default — or when the
+    /// hysteresis band held).
+    pub adaptive_replans: usize,
     /// Predicted *per-chunk* second-side streaming cost at this query's
     /// cache share, in modeled milliseconds (the total streaming prediction
     /// divided by the planned chunk count) — the stride the cost-weighted
@@ -235,6 +252,8 @@ pub struct BatchStats {
     pub rejections: u64,
     /// Admissions granted less than the fair share (tighter chunking).
     pub replans: u64,
+    /// Mid-flight re-splits fired by adaptive queries in this batch.
+    pub adaptive_replans: u64,
 }
 
 /// A served batch: per-request outcomes (in request order) plus batch stats.
@@ -356,6 +375,7 @@ impl RdxServer {
                 admissions: engine_stats.admissions,
                 rejections: engine_stats.rejections,
                 replans: engine_stats.replans,
+                adaptive_replans: engine_stats.adaptive_replans,
             },
         }
     }

@@ -95,8 +95,10 @@ pub mod prelude {
     pub use rdx_core::error::{RdxError, Side};
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{
-        plan_streaming, plan_streaming_checked, CountingSink, DsmPostProjection, MaterializeSink,
-        PagedSink, ProjectionCode, QuerySpec, RowChunkSink, SecondSideCode, StreamingPlan,
+        plan_streaming, plan_streaming_checked, resplit_budget, AdaptiveController,
+        AdaptiveDecision, AdaptivePolicy, CountingSink, DsmPostProjection, FeedbackSource,
+        MaterializeSink, PagedSink, ProjectionCode, QuerySpec, RowChunkSink, ScriptedFeedback,
+        SecondSideCode, StreamingPlan, WallClockFeedback,
     };
     pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
     pub use rdx_exec::{
