@@ -85,6 +85,19 @@ impl<'s> Query<'s> {
         self
     }
 
+    /// Arms **cache-truth profiling** (default off): every emitted chunk's
+    /// memory-access pattern is replayed through the session's simulated
+    /// cache hierarchy, recording per-phase spans, per-chunk miss counts
+    /// (`profile.*` metrics) and `ChunkProfile` trace events — deterministic
+    /// numbers that survive any container, unlike wall-clock.  Combined with
+    /// [`Query::adaptive`], the controller is fed simulated stall time
+    /// instead of wall-clock.  Output stays byte-identical by construction;
+    /// requires the session's observability to be on to take effect.
+    pub fn profiled(mut self) -> Self {
+        self.request = self.request.with_profiled();
+        self
+    }
+
     /// **One-shot materialise**: resolves, streams every chunk into a
     /// [`MaterializeSink`] and returns the full result with its
     /// statistics — the front-door replacement for

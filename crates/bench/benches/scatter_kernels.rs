@@ -16,9 +16,16 @@
 //! Every variant is checked byte-identical to `seed` before timing.  Emits
 //! `BENCH_kernels.json` next to `BENCH_serve.json`.
 //!
-//! Run with `cargo bench -p rdx-bench --bench scatter_kernels [samples]`
-//! (default 9 samples per cell; the median is reported).
+//! Run with `cargo bench -p rdx-bench --bench scatter_kernels [samples]
+//! [seed]` (default 9 samples per cell, key-mix seed 17; the median is
+//! reported).  With `samples >= 30` each cell additionally carries bootstrap
+//! 95% CIs for the seed and planned kernels plus a CI-overlap verdict, so
+//! the committed improvement claim is statistical, not a single median.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdx_bench::stats::{bootstrap_median_ci, classify, BootstrapCi, MIN_SAMPLES};
+use rdx_bench::EnvMeta;
 use rdx_cache::{CacheLevel, CacheParams};
 use rdx_core::cluster::{
     plan_cluster_passes, radix_cluster_with_scratch, ClusterScratch, Clustered, RadixClusterSpec,
@@ -143,9 +150,13 @@ fn median(mut samples: Vec<Duration>) -> Duration {
 }
 
 /// Times every variant once per round, rounds interleaved, and returns the
-/// per-variant medians — interleaving keeps slow machine-wide drift (this
-/// is a shared single-CPU container) from landing on one variant's samples.
-fn time_interleaved(samples: usize, variants: &mut [&mut dyn FnMut() -> usize]) -> Vec<Duration> {
+/// per-variant sample series — interleaving keeps slow machine-wide drift
+/// (this is a shared single-CPU container) from landing on one variant's
+/// samples.
+fn time_interleaved(
+    samples: usize,
+    variants: &mut [&mut dyn FnMut() -> usize],
+) -> Vec<Vec<Duration>> {
     let mut times: Vec<Vec<Duration>> = variants.iter().map(|_| Vec::new()).collect();
     let mut sink = 0usize;
     for _ in 0..samples {
@@ -156,7 +167,17 @@ fn time_interleaved(samples: usize, variants: &mut [&mut dyn FnMut() -> usize]) 
         }
     }
     assert!(sink != usize::MAX, "keep the optimizer honest");
-    times.into_iter().map(median).collect()
+    times
+}
+
+/// Bootstrap CI over a timing series in milliseconds, only when the series
+/// is long enough to mean anything (see [`MIN_SAMPLES`]).
+fn series_ci(series: &[Duration]) -> Option<BootstrapCi> {
+    if series.len() < MIN_SAMPLES {
+        return None;
+    }
+    let ms: Vec<f64> = series.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    Some(bootstrap_median_ci(&ms, 1_000, 0.95, 23))
 }
 
 struct Cell {
@@ -171,6 +192,8 @@ struct Cell {
     scratch_plain: Duration,
     scratch_buffered: Duration,
     planned: Duration,
+    seed_ci: Option<BootstrapCi>,
+    planned_ci: Option<BootstrapCi>,
 }
 
 impl Cell {
@@ -186,6 +209,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(9);
+    let key_seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(17);
     let params = host_params();
     println!(
         "host hierarchy: {} data-cache levels, last-level {} KiB ({} B lines)",
@@ -197,10 +224,11 @@ fn main() {
 
     for &n in &[1_000_000usize, 4_000_000] {
         // A key mix with realistic duplication (join keys, hashed by the
-        // kernel itself — the hot path the acceptance gate names).
-        let keys: Vec<u64> = (0..n as u64)
-            .map(|i| i.wrapping_mul(0x9E37_79B9) % (n as u64))
-            .collect();
+        // kernel itself — the hot path the acceptance gate names), drawn
+        // from the explicit seed so two runs can be made to agree or differ
+        // on purpose.
+        let mut rng = StdRng::seed_from_u64(key_seed);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..n as u64)).collect();
         let payloads: Vec<u32> = (0..n as u32).collect();
         for &bits in &[6u32, 10, 14] {
             // The seed pass rule: two passes beyond 2^11 cursors.
@@ -295,7 +323,7 @@ fn main() {
                 )
                 .len()
             };
-            let medians = time_interleaved(
+            let series = time_interleaved(
                 samples,
                 &mut [
                     &mut seed_f,
@@ -306,6 +334,8 @@ fn main() {
                     &mut planned_f,
                 ],
             );
+            let (seed_ci, planned_ci) = (series_ci(&series[0]), series_ci(&series[5]));
+            let medians: Vec<Duration> = series.into_iter().map(median).collect();
             let (seed, plain, buffered, scratch_plain, scratch_buffered, planned) = (
                 medians[0], medians[1], medians[2], medians[3], medians[4], medians[5],
             );
@@ -322,6 +352,8 @@ fn main() {
                 scratch_plain,
                 scratch_buffered,
                 planned,
+                seed_ci,
+                planned_ci,
             };
             println!(
                 "n={:>9} B={:>2}  seed(P={}) {:>8.2?}  plain {:>8.2?}  buffered {:>8.2?}  scratch_p {:>8.2?}  scratch_b {:>8.2?}  planned(P={},{:?}) {:>8.2?}  -{:.1}%",
@@ -352,11 +384,26 @@ fn main() {
     println!("hot-path (B >= 10) worst-cell improvement vs seed: {worst:.1}%");
 
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let ci_json = |ci: &Option<BootstrapCi>| match ci {
+        Some(ci) => format!(
+            "{{\"point\": {:.3}, \"lo\": {:.3}, \"hi\": {:.3}, \"level\": {:.2}}}",
+            ci.point, ci.lo, ci.hi, ci.level
+        ),
+        None => "null".to_string(),
+    };
     let mut json = String::from("{\n  \"bench\": \"scatter_kernels\",\n");
-    json.push_str(&format!("  \"samples\": {samples},\n  \"cells\": [\n"));
+    json.push_str(&EnvMeta::capture(&params, samples).to_json("  "));
+    json.push_str(",\n");
+    json.push_str(&format!(
+        "  \"samples\": {samples},\n  \"seed\": {key_seed},\n  \"cells\": [\n"
+    ));
     for (i, c) in cells.iter().enumerate() {
+        let verdict = match (&c.seed_ci, &c.planned_ci) {
+            (Some(s), Some(p)) => format!("\"{}\"", classify(s, p).label()),
+            _ => "null".to_string(),
+        };
         json.push_str(&format!(
-            "    {{\"tuples\": {}, \"bits\": {}, \"seed_passes\": {}, \"planned_passes\": {}, \"planned_mode\": \"{:?}\", \"seed_ms\": {:.3}, \"plain_ms\": {:.3}, \"buffered_ms\": {:.3}, \"scratch_plain_ms\": {:.3}, \"scratch_buffered_ms\": {:.3}, \"planned_ms\": {:.3}, \"planned_improvement_pct\": {:.1}}}{}\n",
+            "    {{\"tuples\": {}, \"bits\": {}, \"seed_passes\": {}, \"planned_passes\": {}, \"planned_mode\": \"{:?}\", \"seed_ms\": {:.3}, \"plain_ms\": {:.3}, \"buffered_ms\": {:.3}, \"scratch_plain_ms\": {:.3}, \"scratch_buffered_ms\": {:.3}, \"planned_ms\": {:.3}, \"planned_improvement_pct\": {:.1}, \"seed_ci\": {}, \"planned_ci\": {}, \"planned_vs_seed\": {}}}{}\n",
             c.n,
             c.bits,
             c.seed_passes,
@@ -369,6 +416,9 @@ fn main() {
             ms(c.scratch_buffered),
             ms(c.planned),
             c.improvement_pct(),
+            ci_json(&c.seed_ci),
+            ci_json(&c.planned_ci),
+            verdict,
             if i + 1 == cells.len() { "" } else { "," },
         ));
     }

@@ -4,9 +4,13 @@
 //! plus a machine-readable `BENCH_serve.json` (throughput, p50/p99) so the
 //! serving perf trajectory can be tracked across commits.
 //!
-//! Run with `cargo bench -p rdx-bench --bench serve_mix [queries]`
-//! (default 32).
+//! Run with `cargo bench -p rdx-bench --bench serve_mix [queries] [seed]`
+//! (default 32 queries, seed 11).  The seed drives the zipfian mix draw and
+//! is stamped into the JSON alongside the env metadata, so a trajectory
+//! file always says which workload, which machine shape and which commit
+//! produced it.
 
+use rdx_bench::EnvMeta;
 use rdx_cache::CacheParams;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::strategy::QuerySpec;
@@ -87,11 +91,15 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(32);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(11);
     let mix = QueryMix::generate(&MixConfig {
         tenants: vec![(1_000_000, 2), (300_000, 4), (100_000, 1), (30_000, 2)],
         queries,
         zipf_exponent: 1.0,
-        seed: 11,
+        seed,
     });
     println!(
         "serve_mix: {queries} queries over 4 tenants, popularity {:?}, repeat factor {:.1}x",
@@ -109,8 +117,10 @@ fn main() {
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(4),
         observability: false,
+        profiled: false,
     };
 
+    let env = EnvMeta::capture(&base.params, 1);
     let mut results: Vec<ModeResult> = Vec::new();
 
     let mut serial = RdxServer::new(ServeConfig {
@@ -155,7 +165,9 @@ fn main() {
 
     // Machine-readable output for the perf trajectory.
     let mut json = String::from("{\n  \"bench\": \"serve_mix\",\n");
-    json.push_str(&format!("  \"queries\": {queries},\n"));
+    json.push_str(&env.to_json("  "));
+    json.push_str(",\n");
+    json.push_str(&format!("  \"queries\": {queries},\n  \"seed\": {seed},\n"));
     json.push_str(&format!(
         "  \"global_budget_bytes\": {},\n  \"modes\": {{\n",
         budget.limit_bytes()

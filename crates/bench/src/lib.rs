@@ -11,10 +11,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod measure;
 pub mod scale;
+pub mod stats;
 pub mod table;
 
+pub use baseline::{Baseline, BaselineMetric, EnvMeta, BASELINE_SCHEMA};
 pub use measure::*;
 pub use scale::Scale;
+pub use stats::{bootstrap_median_ci, classify, BootstrapCi, Comparison, MIN_SAMPLES};
 pub use table::Table;

@@ -596,6 +596,124 @@ pub fn default_join_bits(n: usize, params: &CacheParams) -> u32 {
     join_cluster_spec(n, params.cache_capacity()).bits
 }
 
+/// One cell of the deterministic perf-proxy gate: a named simulated count.
+///
+/// Unlike wall-clock, these values are pure functions of the code and the
+/// simulated cache geometry — byte-identical across containers, load levels
+/// and CPU generations — so a committed baseline can gate on them exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissProxyCell {
+    /// Stable metric name, e.g. `"decluster.n16384.b6.l2_misses"`.
+    pub name: String,
+    /// Unit label (`"misses"`, `"accesses"` or `"cycles"`).
+    pub unit: &'static str,
+    /// The simulated count.
+    pub value: f64,
+}
+
+fn push_counts(
+    out: &mut Vec<MissProxyCell>,
+    prefix: &str,
+    counts: &rdx_cache::EventCounts,
+    params: &CacheParams,
+) {
+    let cell = |name: &str, unit: &'static str, value: f64| MissProxyCell {
+        name: format!("{prefix}.{name}"),
+        unit,
+        value,
+    };
+    out.push(cell("accesses", "accesses", counts.accesses as f64));
+    out.push(cell("l1_misses", "misses", counts.l1_misses as f64));
+    out.push(cell("l2_misses", "misses", counts.l2_misses as f64));
+    out.push(cell("tlb_misses", "misses", counts.tlb_misses as f64));
+    out.push(cell(
+        "stall_cycles",
+        "cycles",
+        counts.stall_cycles(params).round(),
+    ));
+}
+
+/// The deterministic miss-count measurement mode: replays the Radix-Decluster
+/// kernel and a profiled end-to-end pipeline through the cache simulator and
+/// reports every count as a named cell.
+///
+/// `detune_window` deliberately runs the kernel cells with the insertion
+/// window collapsed to a single last-level cache line — the left edge of
+/// paper Fig. 7a, where every window of output costs a fresh scan over all
+/// cluster heads.  The gate's comparator must classify those cells as
+/// regressed against a tuned baseline, which is how the harness proves the
+/// gate can actually fail.
+pub fn miss_count_proxies(params: &CacheParams, detune_window: bool) -> Vec<MissProxyCell> {
+    let mut cells = Vec::new();
+
+    // Kernel cells: the traced Radix-Decluster at two (N, bits) shapes.
+    for &(n, bits) in &[(1usize << 14, 6u32), (1 << 16, 8)] {
+        let input = make_decluster_input(n, bits, 17);
+        let tuned = choose_window_bytes(4, input.bounds.len(), params);
+        let window = if detune_window {
+            params.last_level().line_size
+        } else {
+            tuned
+        };
+        let mut mem = MemorySystem::new(params);
+        let (_, counts) = radix_decluster_traced(
+            &input.values,
+            &input.positions,
+            &input.bounds,
+            window,
+            &mut mem,
+        );
+        push_counts(
+            &mut cells,
+            &format!("decluster.n{n}.b{bits}"),
+            &counts,
+            params,
+        );
+    }
+
+    // End-to-end cell: a profiled pipeline run through the front door, with
+    // the per-chunk replay totals read back from the `profile.*` counters.
+    let w = JoinWorkloadBuilder::equal(4_000, 2).seed(7).build();
+    let mut session = rdx_api::Session::new(rdx_serve::ServeConfig {
+        params: params.clone(),
+        global_budget: rdx_core::budget::MemoryBudget::bytes(64 * 1024),
+        max_concurrent: 1,
+        threads_per_query: 1,
+        observability: true,
+        profiled: true,
+        ..rdx_serve::ServeConfig::default()
+    });
+    let larger = session.register(w.larger.clone());
+    let smaller = session.register(w.smaller.clone());
+    session
+        .query(larger, smaller)
+        .project(QuerySpec::symmetric(2))
+        .codes(DsmPostProjection::with_codes(
+            ProjectionCode::PartialCluster,
+            SecondSideCode::Decluster,
+        ))
+        .run()
+        .expect("profiled proxy query");
+    let metrics = session.metrics().expect("observability on");
+    for (name, unit) in [
+        ("accesses", "accesses"),
+        ("l1_misses", "misses"),
+        ("l2_misses", "misses"),
+        ("tlb_misses", "misses"),
+        ("stall_cycles", "cycles"),
+    ] {
+        let value = metrics
+            .counter(&format!("profile.{name}"))
+            .expect("profile counters recorded") as f64;
+        cells.push(MissProxyCell {
+            name: format!("pipeline.e2e.{name}"),
+            unit,
+            value,
+        });
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

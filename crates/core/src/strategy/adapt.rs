@@ -1,7 +1,7 @@
 //! Runtime-adaptive chunk re-tuning: the predict → observe → re-plan loop.
 //!
 //! Every streaming plan in the workspace is priced exactly once, from static
-//! [`CacheParams`](rdx_cache::CacheParams), before the first chunk runs.  A
+//! [`CacheParams`], before the first chunk runs.  A
 //! Manegold-model misprediction — concurrent cache pressure, a mis-calibrated
 //! hierarchy, a skewed tail — therefore compounds silently for the rest of a
 //! long run.  The observability layer already *measures* the divergence live
@@ -63,6 +63,9 @@
 //! ```
 
 use crate::budget::MemoryBudget;
+use rdx_cache::{CacheParams, EventCounts};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Where per-chunk observations come from.
 ///
@@ -147,6 +150,122 @@ impl FeedbackSource for ScriptedFeedback {
             None => *self.ratios_permille.last().unwrap_or(&1000),
         };
         predicted_ns.saturating_mul(ratio) / 1000
+    }
+}
+
+/// A lock-free mailbox carrying the latest chunk's **simulated miss
+/// counts** from a profiled pipeline run to a [`MissCountFeedback`].
+///
+/// The profiled executor replays each chunk's access pattern through the
+/// traced kernels (`crate::trace`, `crate::decluster::traced`) right after
+/// emitting it, converts the resulting [`EventCounts`] to modeled stall
+/// nanoseconds under the profiling [`CacheParams`], and publishes them
+/// here; the feedback source attached to the same run reads them on the
+/// very next `observe_chunk` call.  Clones share one mailbox (publisher
+/// and reader sides), stores and loads are relaxed atomics — no locks, no
+/// allocation after construction.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMissCounts {
+    inner: Arc<MissCountMailbox>,
+}
+
+#[derive(Debug, Default)]
+struct MissCountMailbox {
+    accesses: AtomicU64,
+    l1_misses: AtomicU64,
+    l2_misses: AtomicU64,
+    tlb_misses: AtomicU64,
+    stall_ns: AtomicU64,
+}
+
+impl SharedMissCounts {
+    /// An empty mailbox (reads as zero until the first publish).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes one chunk's simulated counts, converting the implied
+    /// stall cycles to modeled nanoseconds under `params`.
+    pub fn publish(&self, counts: &EventCounts, params: &CacheParams) {
+        let stall_ns = (counts.stall_millis(params) * 1e6).round() as u64;
+        self.inner
+            .accesses
+            .store(counts.accesses, Ordering::Relaxed);
+        self.inner
+            .l1_misses
+            .store(counts.l1_misses, Ordering::Relaxed);
+        self.inner
+            .l2_misses
+            .store(counts.l2_misses, Ordering::Relaxed);
+        self.inner
+            .tlb_misses
+            .store(counts.tlb_misses, Ordering::Relaxed);
+        self.inner.stall_ns.store(stall_ns, Ordering::Relaxed);
+    }
+
+    /// The last published counts (all zero before the first publish).
+    pub fn last(&self) -> EventCounts {
+        EventCounts {
+            accesses: self.inner.accesses.load(Ordering::Relaxed),
+            l1_misses: self.inner.l1_misses.load(Ordering::Relaxed),
+            l2_misses: self.inner.l2_misses.load(Ordering::Relaxed),
+            tlb_misses: self.inner.tlb_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The last published modeled stall time in nanoseconds (0 before the
+    /// first publish).
+    pub fn last_stall_ns(&self) -> u64 {
+        self.inner.stall_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Cache-pressure feedback: observations come from **simulated miss
+/// counts**, not wall-clock.
+///
+/// Each chunk's observation is the modeled stall time the profiled run
+/// published to its [`SharedMissCounts`] mailbox — a pure function of the
+/// chunk's memory-access pattern, so the adaptive loop's decisions become
+/// fully deterministic: same data, same plan, same decisions, in any
+/// container, under any load.  Before the first publish (or when profiling
+/// is off) the source is neutral, returning `predicted_ns` so the
+/// controller holds rather than reacting to a phantom zero.
+///
+/// The controller compares the observation against the Manegold-model
+/// per-chunk prediction; the hysteresis band absorbs the constant offset
+/// between "memory stalls only" and "total chunk cost", and a re-plan
+/// fires when *cache pressure itself* diverges — the shared-cache squeeze
+/// the static plan priced wrong.
+#[derive(Debug, Clone, Default)]
+pub struct MissCountFeedback {
+    shared: SharedMissCounts,
+}
+
+impl MissCountFeedback {
+    /// A feedback source reading from `shared` (the executor publishes the
+    /// profiled counts into the same mailbox).
+    pub fn new(shared: SharedMissCounts) -> Self {
+        MissCountFeedback { shared }
+    }
+
+    /// The mailbox this source reads from.
+    pub fn shared(&self) -> &SharedMissCounts {
+        &self.shared
+    }
+}
+
+impl FeedbackSource for MissCountFeedback {
+    fn observe_chunk(
+        &mut self,
+        _chunk: usize,
+        _rows: usize,
+        _measured_ns: u64,
+        predicted_ns: u64,
+    ) -> u64 {
+        match self.shared.last_stall_ns() {
+            0 => predicted_ns,
+            stall_ns => stall_ns,
+        }
     }
 }
 
@@ -468,6 +587,60 @@ mod tests {
         // Closures qualify as sources too.
         let mut doubler = |_c: usize, _r: usize, m: u64, _p: u64| m * 2;
         assert_eq!(doubler.observe_chunk(0, 10, 21, 0), 42);
+    }
+
+    #[test]
+    fn miss_count_feedback_is_neutral_until_published() {
+        let shared = SharedMissCounts::new();
+        let mut feedback = MissCountFeedback::new(shared.clone());
+        // Nothing published yet: neutral (returns the prediction).
+        assert_eq!(feedback.observe_chunk(0, 100, 123_456, 5_000), 5_000);
+
+        let params = CacheParams::tiny_for_tests();
+        let counts = EventCounts {
+            accesses: 1_000,
+            l1_misses: 100,
+            l2_misses: 10,
+            tlb_misses: 5,
+        };
+        shared.publish(&counts, &params);
+        assert_eq!(shared.last(), counts);
+        // 100×10 + 10×100 + 5×20 = 2100 cycles at 1 GHz = 2100 ns, and the
+        // observation ignores wall-clock entirely.
+        assert_eq!(shared.last_stall_ns(), 2_100);
+        assert_eq!(feedback.observe_chunk(1, 100, 999_999_999, 5_000), 2_100);
+    }
+
+    #[test]
+    fn miss_count_feedback_drives_the_controller_deterministically() {
+        let params = CacheParams::tiny_for_tests();
+        let run = || {
+            let shared = SharedMissCounts::new();
+            let mut feedback = MissCountFeedback::new(shared.clone());
+            let mut ctl = AdaptiveController::new(AdaptivePolicy::hair_trigger());
+            let mut decisions = Vec::new();
+            for chunk in 0..8usize {
+                // A rising miss stream, as a thrashing window would produce.
+                let counts = EventCounts {
+                    accesses: 1_000,
+                    l1_misses: 50 * (chunk as u64 + 1),
+                    l2_misses: 20 * (chunk as u64 + 1),
+                    tlb_misses: 0,
+                };
+                shared.publish(&counts, &params);
+                let observed = feedback.observe_chunk(chunk, 100, 0, 1_000);
+                decisions.push(ctl.observe(observed, 1_000));
+            }
+            decisions
+        };
+        let first = run();
+        assert_eq!(first, run(), "simulated feedback must replay identically");
+        assert!(
+            first
+                .iter()
+                .any(|d| matches!(d, AdaptiveDecision::Replan { reason: "slow", .. })),
+            "sustained miss pressure must trigger a re-plan"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod strings;
 
 pub use adapt::{
     resplit_budget, AdaptiveController, AdaptiveDecision, AdaptivePolicy, FeedbackSource,
-    ScriptedFeedback, WallClockFeedback,
+    MissCountFeedback, ScriptedFeedback, SharedMissCounts, WallClockFeedback,
 };
 pub use common::{ProjectionCode, SecondSideCode};
 pub use dsm_post::DsmPostProjection;

@@ -46,15 +46,17 @@ use crate::decluster::par_radix_decluster_into;
 use crate::join::par_partitioned_hash_join;
 use crate::pool::{for_each_output_morsel, ExecPolicy};
 use crate::strategy::{par_order_join_index, par_project_columns_into};
-use rdx_cache::CacheParams;
+use rdx_cache::{AddressSpace, CacheParams, EventCounts, MemorySystem, Region};
 use rdx_core::budget::MemoryBudget;
 use rdx_core::cluster::{plan_partial_cluster, Clustered, RadixClusterSpec, ScatterMode};
 use rdx_core::decluster::chunks::{ChunkCursorState, ChunkRuns};
+use rdx_core::decluster::traced::radix_decluster_traced;
 use rdx_core::decluster::DeclusterScratch;
 use rdx_core::error::RdxError;
 use rdx_core::join::join_cluster_spec;
 use rdx_core::strategy::adapt::{
     resplit_budget, AdaptiveController, AdaptiveDecision, AdaptivePolicy, FeedbackSource,
+    SharedMissCounts,
 };
 use rdx_core::strategy::planner::{
     plan_streaming, plan_streaming_checked, predict_streaming_cost, StreamingPlan,
@@ -65,7 +67,7 @@ use rdx_core::strategy::{
 };
 use rdx_dsm::{DsmRelation, Oid};
 use rdx_nsm::NsmRelation;
-use rdx_obs::{EventKind, Obs, QueryId};
+use rdx_obs::{EventKind, MissCounts, Obs, Phase, QueryId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -287,6 +289,155 @@ struct RunAdapt {
     replans: usize,
 }
 
+/// The cache-truth profiling state a [`PipelineRun`] carries when the
+/// profiled mode is on: a persistent [`MemorySystem`] the run replays every
+/// chunk's memory-access pattern through, the simulated regions standing
+/// for the operand arrays, the pre-resolved [`rdx_obs::Profile`]
+/// instruments, and the [`SharedMissCounts`] mailbox a
+/// [`MissCountFeedback`](rdx_core::strategy::adapt::MissCountFeedback)
+/// reads from.
+///
+/// Profiling never touches the output path — the chunk is computed by the
+/// normal kernels and the replay only *simulates* the same accesses — so
+/// profiled output is byte-identical to unprofiled output by construction.
+/// The replay allocates (the traced decluster builds its reference result),
+/// which is why profiling is opt-in: the unprofiled steady state keeps its
+/// zero-allocation guarantee untouched.
+struct RunProfile {
+    profile: rdx_obs::Profile,
+    obs: Obs,
+    query: QueryId,
+    mem: MemorySystem,
+    shared: SharedMissCounts,
+    space: AddressSpace,
+    first_oids_region: Region,
+    second_oids_region: Region,
+    larger_cols: Vec<Region>,
+    smaller_cols: Vec<Region>,
+    chunk_oids: Region,
+    chunk_out: Region,
+    chunk_capacity: usize,
+}
+
+/// What the second side of one chunk did, for the profiled replay.
+enum SecondSideReplay<'a> {
+    /// Straight positional fetch from `second_oids[emitted..]`.
+    Unsorted { rows: usize },
+    /// Cluster-side gather + windowed decluster over the chunk-local
+    /// arrays (the Fig. 5 access pattern).
+    Decluster {
+        local_oids: &'a [Oid],
+        local_positions: &'a [Oid],
+        local_bounds: &'a [usize],
+        staged: &'a [i32],
+        window_bytes: usize,
+        declustered: &'a [i32],
+    },
+}
+
+impl RunProfile {
+    /// Grows the chunk-local regions to hold `rows` elements (fresh
+    /// addresses model a re-grown scratch buffer; reached only when a
+    /// re-plan raises the chunk size past every previous chunk).
+    fn ensure_chunk_capacity(&mut self, rows: usize) {
+        if rows > self.chunk_capacity {
+            self.chunk_oids = self.space.alloc(rows, 4);
+            self.chunk_out = self.space.alloc(rows, VALUE_WIDTH);
+            self.chunk_capacity = rows;
+        }
+    }
+
+    /// Replays one emitted chunk's logical memory accesses through the
+    /// simulator and returns the miss counts it charged: per projected
+    /// column, the sequential oid-stream read, the random positional read
+    /// into the base relation and the sequential staging write; plus, for
+    /// declustering chunks, one traced windowed decluster scaled to the
+    /// smaller-side column count (the decluster's address pattern is
+    /// value-independent, so every column replays identically).
+    fn replay_chunk(
+        &mut self,
+        emitted: usize,
+        chunk_first_oids: &[Oid],
+        second: SecondSideReplay<'_>,
+    ) -> EventCounts {
+        let rows = chunk_first_oids.len();
+        self.ensure_chunk_capacity(rows);
+        let before = self.mem.counts();
+        for col in 0..self.larger_cols.len() {
+            let region = self.larger_cols[col];
+            for (i, &oid) in chunk_first_oids.iter().enumerate() {
+                self.mem.read(self.first_oids_region.addr(emitted + i), 4);
+                self.mem
+                    .read(region.addr(oid as usize), region.elem_width());
+                self.mem.write(self.chunk_out.addr(i), VALUE_WIDTH);
+            }
+        }
+        let mut scaled = EventCounts::zero();
+        match second {
+            SecondSideReplay::Unsorted { rows } => {
+                for col in 0..self.smaller_cols.len() {
+                    let region = self.smaller_cols[col];
+                    for i in 0..rows {
+                        self.mem.read(self.second_oids_region.addr(emitted + i), 4);
+                        // The replay charges the average positional read; the
+                        // oid itself is irrelevant to the address *pattern*
+                        // class (uniform random into the column), so we model
+                        // it with the stream position folded into the region.
+                        self.mem
+                            .read(region.addr(i % region.elems()), region.elem_width());
+                        self.mem.write(self.chunk_out.addr(i), VALUE_WIDTH);
+                    }
+                }
+            }
+            SecondSideReplay::Decluster {
+                local_oids,
+                local_positions,
+                local_bounds,
+                staged,
+                window_bytes,
+                declustered,
+            } => {
+                for col in 0..self.smaller_cols.len() {
+                    let region = self.smaller_cols[col];
+                    for (i, &oid) in local_oids.iter().enumerate() {
+                        self.mem.read(self.chunk_oids.addr(i), 4);
+                        self.mem
+                            .read(region.addr(oid as usize), region.elem_width());
+                        self.mem.write(self.chunk_out.addr(i), VALUE_WIDTH);
+                    }
+                }
+                if !self.smaller_cols.is_empty() {
+                    let (replayed, counts) = radix_decluster_traced(
+                        staged,
+                        local_positions,
+                        local_bounds,
+                        window_bytes,
+                        &mut self.mem,
+                    );
+                    debug_assert_eq!(
+                        replayed, declustered,
+                        "traced decluster diverged from the emitted chunk"
+                    );
+                    // Columns beyond the first replay the identical address
+                    // pattern; charge them without re-running the kernel.
+                    for _ in 1..self.smaller_cols.len() {
+                        scaled.accumulate(&counts);
+                    }
+                }
+            }
+        }
+        let after = self.mem.counts();
+        let mut delta = EventCounts {
+            accesses: after.accesses - before.accesses,
+            l1_misses: after.l1_misses - before.l1_misses,
+            l2_misses: after.l2_misses - before.l2_misses,
+            tlb_misses: after.tlb_misses - before.tlb_misses,
+        };
+        delta.accumulate(&scaled);
+        delta
+    }
+}
+
 /// The cost model's per-chunk prediction for `plan` covering `result_rows`
 /// rows, in nanoseconds — [`predict_streaming_cost`] (whole-run millis)
 /// divided across the plan's chunks.
@@ -337,6 +488,7 @@ pub struct PipelineRun<FL, FS> {
     finished: bool,
     obs: Option<Box<RunObs>>,
     adapt: Option<Box<RunAdapt>>,
+    profile: Option<Box<RunProfile>>,
 }
 
 impl<FL, FS> PipelineRun<FL, FS>
@@ -401,6 +553,7 @@ where
             finished: false,
             obs: None,
             adapt: None,
+            profile: None,
         }
     }
 
@@ -426,6 +579,78 @@ where
             adaptive_replans: metrics.counter("pipeline.adaptive_replans"),
             resplit_delta: metrics.histogram("pipeline.resplit_chunk_delta"),
         }));
+    }
+
+    /// Arms cache-truth profiling: every subsequent [`Self::step`] replays
+    /// the emitted chunk's memory-access pattern through a simulated
+    /// [`MemorySystem`] under `params`, records per-phase spans and
+    /// per-chunk [`rdx_obs::MissCounts`] into `obs` (`ChunkProfile` trace
+    /// events adjacent to each `ChunkStep`, `profile.*` metrics), and
+    /// publishes the raw counts to a [`SharedMissCounts`] mailbox
+    /// ([`Self::profile_shared`]) so an adaptive controller can react to
+    /// simulated cache pressure instead of wall-clock.  Output is untouched
+    /// — the replay only simulates — so a profiled run stays byte-identical
+    /// to an unprofiled one by construction.  A disabled `obs` is a no-op:
+    /// the run stays exactly as cheap as an unprofiled one.
+    pub fn attach_profile(&mut self, obs: &Obs, query: QueryId, params: &CacheParams) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let profile = obs.profile().expect("enabled obs has a registry");
+        // The shared prefix's cluster build is accounted once, at attach —
+        // prepare_keys books its wall-clock under the decluster phase.
+        profile.record_span(
+            Phase::Cluster,
+            self.prepared.timings.decluster.as_nanos() as u64,
+        );
+        let mut space = AddressSpace::new();
+        let n = self.prepared.result_rows();
+        let first_oids_region = space.alloc(n.max(1), 4);
+        let second_oids_region = space.alloc(n.max(1), 4);
+        let larger_rows = self
+            .prepared
+            .first_oids
+            .iter()
+            .map(|&oid| oid as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let larger_cols = (0..self.spec.project_larger)
+            .map(|_| space.alloc(larger_rows, VALUE_WIDTH))
+            .collect();
+        let smaller_cols = (0..self.spec.project_smaller)
+            .map(|_| {
+                space.alloc(
+                    self.prepared.smaller_cardinality.max(1),
+                    self.prepared.smaller_value_width.max(1),
+                )
+            })
+            .collect();
+        let chunk_capacity = self.streaming.chunk_rows.min(n).max(1);
+        let chunk_oids = space.alloc(chunk_capacity, 4);
+        let chunk_out = space.alloc(chunk_capacity, VALUE_WIDTH);
+        self.profile = Some(Box::new(RunProfile {
+            profile,
+            obs: obs.clone(),
+            query,
+            mem: MemorySystem::new(params),
+            shared: SharedMissCounts::new(),
+            space,
+            first_oids_region,
+            second_oids_region,
+            larger_cols,
+            smaller_cols,
+            chunk_oids,
+            chunk_out,
+            chunk_capacity,
+        }));
+    }
+
+    /// The profiled run's miss-count mailbox — what a
+    /// [`MissCountFeedback`](rdx_core::strategy::adapt::MissCountFeedback)
+    /// handed to [`Self::attach_adaptive`] reads from.  `None` unless
+    /// [`Self::attach_profile`] armed profiling.
+    pub fn profile_shared(&self) -> Option<SharedMissCounts> {
+        self.profile.as_deref().map(|p| p.shared.clone())
     }
 
     /// The cost model's current per-chunk prediction for this run, in
@@ -622,9 +847,12 @@ where
             &self.policy,
             &mut scratch.columns[..self.spec.project_larger],
         );
-        self.timings.project_larger += t.elapsed();
+        let first_elapsed = t.elapsed();
+        self.timings.project_larger += first_elapsed;
 
         // Second side.
+        let mut second_fetch_elapsed = None;
+        let mut decluster_elapsed = None;
         let t = Instant::now();
         match (&self.prepared.clustered, &mut self.cursors) {
             (Some(clustered), Some(cursors)) => {
@@ -666,7 +894,9 @@ where
                         column,
                     );
                 }
-                self.timings.decluster += t.elapsed();
+                let elapsed = t.elapsed();
+                self.timings.decluster += elapsed;
+                decluster_elapsed = Some(elapsed);
             }
             _ => {
                 par_project_columns_into(
@@ -675,7 +905,9 @@ where
                     &self.policy,
                     &mut scratch.columns[self.spec.project_larger..],
                 );
-                self.timings.project_smaller += t.elapsed();
+                let elapsed = t.elapsed();
+                self.timings.project_smaller += elapsed;
+                second_fetch_elapsed = Some(elapsed);
             }
         }
 
@@ -701,6 +933,57 @@ where
                     predicted_ns: run_obs.predicted_chunk_ns,
                     working_set_bytes: chunk_bytes as u64,
                 },
+            );
+        }
+        // Profiled mode: replay this chunk's memory-access pattern through
+        // the simulator and publish the counts BEFORE the adaptive
+        // controller observes the chunk, so a MissCountFeedback sees the
+        // very chunk it is asked about.  Output was already emitted above —
+        // the replay only simulates.
+        if self.profile.is_some() {
+            let chunk_first_oids = &self.prepared.first_oids[emitted..chunk_end];
+            let scratch = &self.scratch;
+            let declustered: &[i32] = scratch.columns[self.spec.project_larger..]
+                .last()
+                .map(|c| c.as_slice())
+                .unwrap_or(&[]);
+            let second = if self.prepared.clustered.is_some() {
+                SecondSideReplay::Decluster {
+                    local_oids: &scratch.local_oids,
+                    local_positions: &scratch.local_positions,
+                    local_bounds: &scratch.local_bounds,
+                    staged: &scratch.staged,
+                    window_bytes: self.streaming.window_bytes,
+                    declustered,
+                }
+            } else {
+                SecondSideReplay::Unsorted { rows }
+            };
+            let prof = self.profile.as_deref_mut().expect("checked above");
+            prof.profile
+                .record_span(Phase::Fetch, first_elapsed.as_nanos() as u64);
+            if let Some(d) = second_fetch_elapsed {
+                prof.profile.record_span(Phase::Fetch, d.as_nanos() as u64);
+            }
+            if let Some(d) = decluster_elapsed {
+                prof.profile
+                    .record_span(Phase::Decluster, d.as_nanos() as u64);
+            }
+            let counts = prof.replay_chunk(emitted, chunk_first_oids, second);
+            let params = prof.mem.params();
+            let miss = MissCounts {
+                accesses: counts.accesses,
+                l1_misses: counts.l1_misses,
+                l2_misses: counts.l2_misses,
+                tlb_misses: counts.tlb_misses,
+                stall_cycles: counts.stall_cycles(params).round() as u64,
+            };
+            prof.shared.publish(&counts, params);
+            prof.profile.record_chunk(
+                &prof.obs,
+                prof.query,
+                (self.chunks_emitted - 1) as u32,
+                miss,
             );
         }
         // Feed the adaptive controller last, once the chunk's own event is
@@ -1378,6 +1661,102 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(cols(sink_a), cols(sink_b));
+    }
+
+    #[test]
+    fn profiled_run_is_byte_identical_and_counts_are_deterministic() {
+        use rdx_core::strategy::adapt::MissCountFeedback;
+        use rdx_obs::{Obs, ObsConfig, QueryId};
+
+        let w = JoinWorkloadBuilder::equal(2_000, 2).seed(11).build();
+        let spec = QuerySpec::symmetric(2);
+        let params = CacheParams::tiny_for_tests();
+        let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::bytes(1024));
+        for second in [SecondSideCode::Unsorted, SecondSideCode::Decluster] {
+            let plan = DsmPostProjection::with_codes(ProjectionCode::PartialCluster, second);
+            let pipeline = ProjectionPipeline::new(plan);
+            let (expected, _) =
+                pipeline.execute_materialized(&w.larger, &w.smaller, &spec, &params, &policy);
+            let expected = raw_columns(&expected);
+
+            let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+            let mut totals = Vec::new();
+            for _ in 0..2 {
+                let obs = Obs::enabled(ObsConfig::default());
+                let query = QueryId::next();
+                let mut run = DsmPipelineRun::over_dsm(
+                    prepared.clone(),
+                    &w.larger,
+                    &w.smaller,
+                    &spec,
+                    &params,
+                    &policy,
+                );
+                run.attach_profile(&obs, query, &params);
+                let shared = run.profile_shared().expect("profiling armed");
+                run.attach_adaptive(
+                    AdaptivePolicy::default(),
+                    Box::new(MissCountFeedback::new(shared.clone())),
+                    &params,
+                );
+                let mut sink = MaterializeSink::new();
+                run.run_to_completion(&mut sink);
+                let cols: Vec<Vec<i32>> = sink
+                    .into_result()
+                    .columns()
+                    .iter()
+                    .map(|c| c.as_slice().to_vec())
+                    .collect();
+                assert_eq!(cols, expected, "profiled output drifted ({second:?})");
+                // The mailbox saw the last chunk's counts.
+                assert!(shared.last().accesses > 0);
+
+                let snap = obs.metrics_snapshot().unwrap();
+                let total = [
+                    "profile.accesses",
+                    "profile.l1_misses",
+                    "profile.l2_misses",
+                    "profile.tlb_misses",
+                    "profile.stall_cycles",
+                ]
+                .map(|m| snap.counter(m).unwrap());
+                assert!(total[0] > 0, "no accesses charged");
+                assert!(total[1] > 0, "no L1 misses charged");
+                // One ChunkProfile event per emitted chunk, adjacent to steps.
+                let events = obs.trace_snapshot().unwrap().events_for(query);
+                let profiles = events
+                    .iter()
+                    .filter(|e| e.kind.label() == "chunk_profile")
+                    .count();
+                assert_eq!(profiles, run.run_stats().chunks_emitted);
+                assert_eq!(snap.histogram("profile.phase.cluster_ns").unwrap().count, 1);
+                totals.push(total);
+            }
+            // Two identical profiled runs charge identical simulated counts.
+            assert_eq!(totals[0], totals[1], "simulated counts not deterministic");
+        }
+    }
+
+    #[test]
+    fn unprofiled_run_has_no_profile_state_and_disabled_obs_is_inert() {
+        use rdx_obs::{Obs, QueryId};
+        let w = JoinWorkloadBuilder::equal(400, 1).seed(2).build();
+        let spec = QuerySpec::symmetric(1);
+        let params = CacheParams::tiny_for_tests();
+        let policy = ExecPolicy::with_threads(1).budget(MemoryBudget::bytes(512));
+        let pipeline = ProjectionPipeline::new(DsmPostProjection::with_codes(
+            ProjectionCode::Unsorted,
+            SecondSideCode::Decluster,
+        ));
+        let prepared = Arc::new(pipeline.prepare(&w.larger, &w.smaller, &params, &policy));
+        let mut run =
+            DsmPipelineRun::over_dsm(prepared, &w.larger, &w.smaller, &spec, &params, &policy);
+        assert!(run.profile_shared().is_none());
+        run.attach_profile(&Obs::disabled(), QueryId::next(), &params);
+        assert!(run.profile_shared().is_none(), "disabled obs must not arm");
+        let mut sink = MaterializeSink::new();
+        run.run_to_completion(&mut sink);
+        assert_eq!(run.rows_emitted(), w.expected_matches);
     }
 
     #[test]

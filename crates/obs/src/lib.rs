@@ -58,12 +58,14 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod profile;
 mod trace;
 
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue,
     MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
+pub use profile::{MissCounts, Phase, Profile};
 pub use trace::{EventKind, EventTrace, QueryId, TraceEvent, TraceSnapshot};
 
 use std::sync::Arc;
@@ -153,6 +155,14 @@ impl Obs {
     /// A point-in-time copy of the event trace, when enabled.
     pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
         self.0.as_deref().map(|inner| inner.trace.snapshot())
+    }
+
+    /// Pre-resolved [`Profile`] instruments for cache-truth accounting,
+    /// when enabled (see the [`profile`](crate::Profile) subsystem).
+    pub fn profile(&self) -> Option<Profile> {
+        self.0
+            .as_deref()
+            .map(|inner| Profile::resolve(&inner.metrics))
     }
 }
 

@@ -200,6 +200,23 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The exact power-of-two bucket bounds as **cumulative** `(upper_bound,
+    /// cumulative_count)` pairs, up to the highest non-empty bucket — the
+    /// exposition form external scrapers can re-aggregate, unlike the
+    /// derived p50/p90/p99.  Empty histogram ⇒ empty vec.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let Some(last) = self.buckets.iter().rposition(|&c| c > 0) else {
+            return Vec::new();
+        };
+        let mut cumulative = 0u64;
+        (0..=last)
+            .map(|i| {
+                cumulative += self.buckets[i];
+                (bucket_upper_bound(i), cumulative)
+            })
+            .collect()
+    }
 }
 
 /// One named instrument's frozen value, as a snapshot reports it.
@@ -395,13 +412,20 @@ impl MetricsSnapshot {
                 MetricValue::Histogram(h) => {
                     let _ = write!(
                         out,
-                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
                         h.count,
                         h.sum,
                         h.percentile(50.0),
                         h.percentile(90.0),
                         h.percentile(99.0),
                     );
+                    for (j, (le, cumulative)) in h.cumulative_buckets().into_iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{{\"le\":{le},\"count\":{cumulative}}}");
+                    }
+                    out.push_str("]}");
                 }
             }
         }
@@ -410,8 +434,11 @@ impl MetricsSnapshot {
     }
 
     /// A Prometheus text-exposition string: counters and gauges as-is,
-    /// histograms as summaries with `quantile` labels.  Metric names have
-    /// `.` replaced by `_` and an `rdx_` prefix.
+    /// histograms as native `histogram` metrics with **cumulative `le`
+    /// buckets** at the exact power-of-two bounds (inclusive upper bounds,
+    /// matching Prometheus `le` semantics), capped by the mandatory
+    /// `le="+Inf"` bucket.  Metric names have `.` replaced by `_` and an
+    /// `rdx_` prefix.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
         let mangle = |name: &str| format!("rdx_{}", name.replace('.', "_"));
@@ -426,10 +453,15 @@ impl MetricsSnapshot {
                     let _ = writeln!(out, "# TYPE {m} gauge\n{m} {v}");
                 }
                 MetricValue::Histogram(h) => {
-                    let _ = writeln!(out, "# TYPE {m} summary");
-                    for (q, p) in [(0.5, 50.0), (0.9, 90.0), (0.99, 99.0)] {
-                        let _ = writeln!(out, "{m}{{quantile=\"{q}\"}} {}", h.percentile(p));
+                    let _ = writeln!(out, "# TYPE {m} histogram");
+                    for (le, cumulative) in h.cumulative_buckets() {
+                        // The saturated top bucket is covered by +Inf below.
+                        if le == u64::MAX {
+                            continue;
+                        }
+                        let _ = writeln!(out, "{m}_bucket{{le=\"{le}\"}} {cumulative}");
                     }
+                    let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", h.count);
                     let _ = writeln!(out, "{m}_sum {}\n{m}_count {}", h.sum, h.count);
                 }
             }
@@ -534,12 +566,43 @@ mod tests {
         assert!(json.starts_with("{\"metrics\":["));
         assert!(json.contains("\"name\":\"engine.served\",\"type\":\"counter\",\"value\":7"));
         assert!(json.contains("\"type\":\"histogram\",\"count\":2,\"sum\":1100"));
+        // 100 lands in [64,127], 1000 in [512,1023]: the bucket array is
+        // cumulative and ends at the highest non-empty bound.
+        assert!(json.contains("{\"le\":127,\"count\":1}"));
+        assert!(json.contains("{\"le\":1023,\"count\":2}]"));
 
         let prom = snap.to_prometheus();
         assert!(prom.contains("# TYPE rdx_engine_served counter"));
         assert!(prom.contains("rdx_engine_served 7"));
-        assert!(prom.contains("rdx_pipeline_chunk_ns{quantile=\"0.5\"}"));
+        assert!(prom.contains("# TYPE rdx_pipeline_chunk_ns histogram"));
+        assert!(prom.contains("rdx_pipeline_chunk_ns_bucket{le=\"127\"} 1"));
+        assert!(prom.contains("rdx_pipeline_chunk_ns_bucket{le=\"1023\"} 2"));
+        assert!(prom.contains("rdx_pipeline_chunk_ns_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("rdx_pipeline_chunk_ns_count 2"));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_exact_and_reaggregatable() {
+        let h = Histogram::default();
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        h.record(5);
+        let buckets = h.snapshot().cumulative_buckets();
+        // 0 → bucket 0 (le=0); 1 → bucket 1 (le=1); 5,5 → bucket 3 (le=7).
+        assert_eq!(buckets, vec![(0, 1), (1, 2), (3, 2), (7, 4)]);
+        // Cumulative counts are monotone and end at the total count.
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(buckets.last().unwrap().1, 4);
+
+        // The saturated top bucket defers to +Inf in the Prometheus form.
+        let registry = MetricsRegistry::new();
+        let big = registry.histogram("big");
+        big.record(u64::MAX);
+        let prom = registry.snapshot().to_prometheus();
+        assert!(!prom.contains(&format!("le=\"{}\"", u64::MAX)));
+        assert!(prom.contains("rdx_big_bucket{le=\"+Inf\"} 1"));
     }
 
     #[test]

@@ -82,6 +82,26 @@ pub enum EventKind {
         /// The chunk's measured working set, in bytes.
         working_set_bytes: u64,
     },
+    /// Simulated cache truth for one streaming chunk, recorded right after
+    /// its [`EventKind::ChunkStep`] when the profiled pipeline mode is on:
+    /// the chunk's accesses were replayed through the traced kernels and
+    /// these are the resulting miss counts (deterministic — a pure function
+    /// of the access pattern, independent of wall-clock).
+    ChunkProfile {
+        /// Zero-based chunk index within this query (matches the adjacent
+        /// `ChunkStep`).
+        chunk: u32,
+        /// Memory accesses issued by the replayed chunk.
+        accesses: u64,
+        /// Simulated L1 data-cache misses.
+        l1_misses: u64,
+        /// Simulated L2 cache misses.
+        l2_misses: u64,
+        /// Simulated TLB misses.
+        tlb_misses: u64,
+        /// Modeled stall cycles under the profiling cache parameters.
+        stall_cycles: u64,
+    },
     /// The adaptive controller re-planned the remaining rows mid-query:
     /// the chunk count covering the un-emitted tail changed from
     /// `old_chunks` to `new_chunks`.
@@ -112,6 +132,7 @@ impl EventKind {
             EventKind::Reject { .. } => "reject",
             EventKind::CacheLookup { .. } => "cache_lookup",
             EventKind::ChunkStep { .. } => "chunk_step",
+            EventKind::ChunkProfile { .. } => "chunk_profile",
             EventKind::Replan { .. } => "replan",
             EventKind::Done { .. } => "done",
         }
@@ -280,6 +301,17 @@ impl TraceSnapshot {
                     out,
                     "chunk   #{chunk} rows={rows} observed={observed_ns}ns predicted={predicted_ns}ns ws={working_set_bytes}B"
                 ),
+                EventKind::ChunkProfile {
+                    chunk,
+                    accesses,
+                    l1_misses,
+                    l2_misses,
+                    tlb_misses,
+                    stall_cycles,
+                } => writeln!(
+                    out,
+                    "profile #{chunk} accesses={accesses} l1={l1_misses} l2={l2_misses} tlb={tlb_misses} stall={stall_cycles}cy"
+                ),
                 EventKind::Replan {
                     old_chunks,
                     new_chunks,
@@ -334,6 +366,17 @@ impl TraceSnapshot {
                 } => write!(
                     out,
                     ",\"chunk\":{chunk},\"rows\":{rows},\"observed_ns\":{observed_ns},\"predicted_ns\":{predicted_ns},\"working_set_bytes\":{working_set_bytes}"
+                ),
+                EventKind::ChunkProfile {
+                    chunk,
+                    accesses,
+                    l1_misses,
+                    l2_misses,
+                    tlb_misses,
+                    stall_cycles,
+                } => write!(
+                    out,
+                    ",\"chunk\":{chunk},\"accesses\":{accesses},\"l1_misses\":{l1_misses},\"l2_misses\":{l2_misses},\"tlb_misses\":{tlb_misses},\"stall_cycles\":{stall_cycles}"
                 ),
                 EventKind::Replan {
                     old_chunks,
@@ -418,6 +461,18 @@ mod tests {
         trace.record(
             5,
             a,
+            EventKind::ChunkProfile {
+                chunk: 0,
+                accesses: 4096,
+                l1_misses: 300,
+                l2_misses: 40,
+                tlb_misses: 12,
+                stall_cycles: 9500,
+            },
+        );
+        trace.record(
+            6,
+            a,
             EventKind::Done {
                 rows: 128,
                 wall_ns: 12_000,
@@ -428,7 +483,14 @@ mod tests {
         let life: Vec<&'static str> = snap.events_for(a).iter().map(|e| e.kind.label()).collect();
         assert_eq!(
             life,
-            vec!["submit", "admit", "cache_lookup", "chunk_step", "done"]
+            vec![
+                "submit",
+                "admit",
+                "cache_lookup",
+                "chunk_step",
+                "chunk_profile",
+                "done"
+            ]
         );
         assert_eq!(snap.events_for(b).len(), 1);
 
@@ -437,10 +499,14 @@ mod tests {
         assert!(text.contains("share=1024B"));
         assert!(text.contains("reject  unknown_relation"));
         assert!(text.contains("chunk   #0 rows=128"));
+        assert!(text.contains("profile #0 accesses=4096 l1=300 l2=40 tlb=12 stall=9500cy"));
 
         let json = snap.to_json();
         assert!(json.starts_with("{\"dropped\":0,\"events\":["));
         assert!(json.contains("\"kind\":\"chunk_step\",\"chunk\":0,\"rows\":128"));
+        assert!(json.contains(
+            "\"kind\":\"chunk_profile\",\"chunk\":0,\"accesses\":4096,\"l1_misses\":300,\"l2_misses\":40,\"tlb_misses\":12,\"stall_cycles\":9500"
+        ));
         assert!(json.contains("\"kind\":\"done\",\"rows\":128,\"wall_ns\":12000"));
     }
 }

@@ -48,7 +48,7 @@ use crate::server::{QueryOutcome, QueryResult, QueryStats, ServeConfig, ServerRe
 use rdx_cache::CacheParams;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::error::{RdxError, Side};
-use rdx_core::strategy::adapt::WallClockFeedback;
+use rdx_core::strategy::adapt::{FeedbackSource, MissCountFeedback, WallClockFeedback};
 use rdx_core::strategy::planner::{
     plan_by_cost_with_threads, streaming_bytes_per_row, StreamingPlan,
 };
@@ -662,8 +662,19 @@ impl QueryEngine {
         let predicted_chunk_ns = run.predicted_chunk_ns(shared_params);
         let predicted_chunk_cost_ms = predicted_chunk_ns as f64 / 1e6;
         run.attach_obs(&self.obs, query, predicted_chunk_ns);
+        if request.profiled || self.config.profiled {
+            run.attach_profile(&self.obs, query, shared_params);
+        }
         if let Some(policy) = request.adaptive {
-            run.attach_adaptive(policy, Box::new(WallClockFeedback), shared_params);
+            // A profiled adaptive query reacts to simulated cache pressure —
+            // deterministic stall time from the miss-count mailbox — instead
+            // of wall-clock.  Falls back to wall-clock when profiling did
+            // not arm (observability off).
+            let source: Box<dyn FeedbackSource + Send> = match run.profile_shared() {
+                Some(shared) => Box::new(MissCountFeedback::new(shared)),
+                None => Box::new(WallClockFeedback),
+            };
+            run.attach_adaptive(policy, source, shared_params);
         }
         // Warm start: hand down scratch harvested from an earlier query.
         let mut scratch_reused = false;
@@ -885,6 +896,7 @@ mod tests {
             fairness: crate::FairnessPolicy::CostWeighted,
             plan_shares: None,
             observability: false,
+            profiled: false,
         })
     }
 

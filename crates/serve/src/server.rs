@@ -53,6 +53,16 @@ pub struct ServeConfig {
     /// or trace ring and every record site is one branch, so the
     /// steady-state chunk loop stays allocation-free and observation-free.
     pub observability: bool,
+    /// Whether every query runs in cache-truth **profiled** mode: each
+    /// emitted chunk's memory-access pattern is replayed through the
+    /// simulated [`CacheParams`] hierarchy, recording per-phase spans,
+    /// per-chunk miss counts (`profile.*` metrics, `ChunkProfile` trace
+    /// events) and feeding adaptive queries *simulated stall time* instead
+    /// of wall-clock.  Requires [`ServeConfig::observability`]; output is
+    /// byte-identical to unprofiled runs by construction.  Off by default —
+    /// the replay costs simulator time, so it is a measurement mode, not a
+    /// serving mode.  Per-request opt-in: [`ServerRequest::with_profiled`].
+    pub profiled: bool,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +76,7 @@ impl Default for ServeConfig {
             fairness: FairnessPolicy::CostWeighted,
             plan_shares: None,
             observability: false,
+            profiled: false,
         }
     }
 }
@@ -74,6 +85,13 @@ impl ServeConfig {
     /// Turns observability on or off (builder form).
     pub fn with_observability(mut self, enabled: bool) -> Self {
         self.observability = enabled;
+        self
+    }
+
+    /// Turns cache-truth profiling on for every query (builder form);
+    /// implies nothing unless observability is also on.
+    pub fn with_profiled(mut self, enabled: bool) -> Self {
+        self.profiled = enabled;
         self
     }
 }
@@ -104,6 +122,10 @@ pub struct ServerRequest {
     /// `rdx_core::strategy::adapt`).  Adaptation moves only chunk
     /// boundaries, never bytes, so this cannot affect results.
     pub adaptive: Option<AdaptivePolicy>,
+    /// Runs this query in cache-truth profiled mode (see
+    /// [`ServeConfig::profiled`] for semantics); `false` — the default —
+    /// can still be overridden engine-wide by the config flag.
+    pub profiled: bool,
 }
 
 impl ServerRequest {
@@ -117,6 +139,7 @@ impl ServerRequest {
             threads_hint: None,
             codes: None,
             adaptive: None,
+            profiled: false,
         }
     }
 
@@ -141,6 +164,15 @@ impl ServerRequest {
     /// Arms runtime-adaptive chunk re-tuning under `policy` (default off).
     pub fn with_adaptive(mut self, policy: AdaptivePolicy) -> Self {
         self.adaptive = Some(policy);
+        self
+    }
+
+    /// Arms cache-truth profiling for this query (default off).  When the
+    /// query is also adaptive, the controller is fed simulated miss-count
+    /// stall time instead of wall-clock — deterministic feedback that
+    /// survives any container.  Needs engine observability to take effect.
+    pub fn with_profiled(mut self) -> Self {
+        self.profiled = true;
         self
     }
 }
@@ -397,6 +429,7 @@ mod tests {
             fairness: FairnessPolicy::CostWeighted,
             plan_shares: None,
             observability: false,
+            profiled: false,
         }
     }
 

@@ -134,6 +134,7 @@ fn main() {
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(4),
         observability: false,
+        profiled: false,
     };
     let register_all = |session: &mut Session| -> Vec<(RelationId, RelationId)> {
         relations

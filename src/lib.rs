@@ -97,8 +97,8 @@ pub mod prelude {
     pub use rdx_core::strategy::{
         plan_streaming, plan_streaming_checked, resplit_budget, AdaptiveController,
         AdaptiveDecision, AdaptivePolicy, CountingSink, DsmPostProjection, FeedbackSource,
-        MaterializeSink, PagedSink, ProjectionCode, QuerySpec, RowChunkSink, ScriptedFeedback,
-        SecondSideCode, StreamingPlan, WallClockFeedback,
+        MaterializeSink, MissCountFeedback, PagedSink, ProjectionCode, QuerySpec, RowChunkSink,
+        ScriptedFeedback, SecondSideCode, SharedMissCounts, StreamingPlan, WallClockFeedback,
     };
     pub use rdx_dsm::{Column, DsmRelation, JoinIndex, Oid, ResultRelation};
     pub use rdx_exec::{
@@ -110,8 +110,8 @@ pub mod prelude {
     };
     pub use rdx_nsm::NsmRelation;
     pub use rdx_obs::{
-        EventKind, MetricsRegistry, MetricsSnapshot, Obs, ObsConfig, QueryId, TraceEvent,
-        TraceSnapshot,
+        EventKind, MetricsRegistry, MetricsSnapshot, MissCounts, Obs, ObsConfig, Phase, Profile,
+        QueryId, TraceEvent, TraceSnapshot,
     };
     pub use rdx_serve::{
         EngineStep, FairnessPolicy, QueryEngine, RdxServer, RelationId, ServeConfig, ServeError,

@@ -230,6 +230,7 @@ fn adaptive_grid_is_byte_identical_through_the_server() {
                     fairness: FairnessPolicy::CostWeighted,
                     plan_shares: Some(3),
                     observability: false,
+                    profiled: false,
                 };
                 let w = JoinWorkloadBuilder::equal(rows, width)
                     .seed(rows as u64)
@@ -295,6 +296,7 @@ fn engine_counts_adaptive_replans_distinct_from_admission_replans() {
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(1),
         observability: false,
+        profiled: false,
     });
     let larger = engine.register(w.larger.clone());
     let smaller = engine.register(w.smaller.clone());

@@ -166,6 +166,7 @@ fn interleaved_tickets_reproduce_run_batch_chunk_for_chunk() {
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: None,
         observability: false,
+        profiled: false,
     };
 
     // Legacy batch shape.
@@ -269,6 +270,7 @@ fn a_submission_lands_between_chunk_steps_of_an_in_flight_query() {
         fairness: FairnessPolicy::RoundRobin,
         plan_shares: Some(1),
         observability: false,
+        profiled: false,
     });
     let larger = session.register(w.larger.clone());
     let smaller = session.register(w.smaller.clone());

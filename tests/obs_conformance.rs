@@ -67,6 +67,7 @@ fn config(budget: MemoryBudget, threads: usize, observability: bool) -> ServeCon
         fairness: FairnessPolicy::CostWeighted,
         plan_shares: Some(3),
         observability,
+        profiled: false,
     }
 }
 
@@ -285,6 +286,124 @@ fn adaptive_replans_keep_chunk_accounting_and_lifecycle_order() {
         .histogram("pipeline.resplit_chunk_delta")
         .expect("recorded");
     assert_eq!(delta.count, replans as u64);
+}
+
+/// Cache-truth profiling is a pure observer: a profiled session (engine-wide
+/// `profiled` plus a miss-count-adaptive query) returns bytes identical to an
+/// unprofiled one on both second-side codes, two profiled runs charge
+/// identical simulated miss counts, and an unprofiled run charges none.
+#[test]
+fn profiled_execution_is_byte_identical_and_deterministic() {
+    let w = JoinWorkloadBuilder::equal(2_000, 2).seed(61).build();
+    let spec = QuerySpec::symmetric(2);
+    for second in [SecondSideCode::Unsorted, SecondSideCode::Decluster] {
+        let codes = DsmPostProjection::with_codes(ProjectionCode::PartialCluster, second);
+        let run = |profiled: bool| {
+            let mut session = Session::new(ServeConfig {
+                params: CacheParams::tiny_for_tests(),
+                global_budget: MemoryBudget::bytes(4 * 1024),
+                plan_shares: Some(1),
+                observability: true,
+                profiled,
+                ..ServeConfig::default()
+            });
+            let larger = session.register(w.larger.clone());
+            let smaller = session.register(w.smaller.clone());
+            let out = session
+                .query(larger, smaller)
+                .project(spec)
+                .codes(codes)
+                .adaptive(AdaptivePolicy::default())
+                .run()
+                .expect("serves");
+            let cols: Vec<Vec<i32>> = out
+                .result
+                .columns()
+                .iter()
+                .map(|c| c.as_slice().to_vec())
+                .collect();
+            let metrics = session.metrics().expect("observability on");
+            let counts = [
+                "profile.accesses",
+                "profile.l1_misses",
+                "profile.l2_misses",
+                "profile.tlb_misses",
+                "profile.stall_cycles",
+            ]
+            .map(|m| metrics.counter(m));
+            (cols, counts)
+        };
+        let (plain, unprofiled_counts) = run(false);
+        assert!(
+            unprofiled_counts.iter().all(|c| c.is_none()),
+            "unprofiled run must charge nothing ({second:?})"
+        );
+        let (a, counts_a) = run(true);
+        let (b, counts_b) = run(true);
+        assert_eq!(a, plain, "profiled bytes drifted ({second:?})");
+        assert_eq!(b, plain, "second profiled run drifted ({second:?})");
+        assert!(counts_a[0].unwrap() > 0, "no accesses charged ({second:?})");
+        assert!(
+            counts_a[1].unwrap() > 0,
+            "no L1 misses charged ({second:?})"
+        );
+        assert_eq!(
+            counts_a, counts_b,
+            "simulated counts must be deterministic ({second:?})"
+        );
+    }
+}
+
+/// The per-request `profiled` flag works through the `Query` front door —
+/// one profiled query in an otherwise unprofiled session records
+/// `ChunkProfile` trace events adjacent to its chunk steps, while its
+/// unprofiled neighbour records none.
+#[test]
+fn per_query_profiled_flag_traces_only_that_query() {
+    let w = JoinWorkloadBuilder::equal(1_500, 1).seed(67).build();
+    let mut session = Session::new(ServeConfig {
+        params: CacheParams::tiny_for_tests(),
+        global_budget: MemoryBudget::bytes(4 * 1024),
+        plan_shares: Some(1),
+        observability: true,
+        ..ServeConfig::default()
+    });
+    let larger = session.register(w.larger.clone());
+    let smaller = session.register(w.smaller.clone());
+    let profiled = session
+        .query(larger, smaller)
+        .profiled()
+        .run()
+        .expect("serves");
+    let plain = session.query(larger, smaller).run().expect("serves");
+
+    let trace = session.trace_snapshot().expect("observability on");
+    let profile_events = |query_id: u64| {
+        trace
+            .events_for(QueryId(query_id))
+            .iter()
+            .filter(|e| e.kind.label() == "chunk_profile")
+            .count()
+    };
+    assert_eq!(
+        profile_events(profiled.stats.query_id),
+        profiled.stats.chunks,
+        "one ChunkProfile per chunk"
+    );
+    assert_eq!(profile_events(plain.stats.query_id), 0);
+    assert_eq!(
+        raw(&profiled.result),
+        raw(&plain.result),
+        "profiling changed bytes"
+    );
+}
+
+fn raw(result: &ResultRelation) -> Vec<Vec<i32>> {
+    result
+        .columns()
+        .iter()
+        .map(|c| c.as_slice().to_vec())
+        .collect()
 }
 
 /// The cumulative engine counters aggregate what the per-query reports say

@@ -83,6 +83,7 @@ fn config(
         // scheduling, never plan drift.
         plan_shares: Some(4),
         observability: false,
+        profiled: false,
     }
 }
 
