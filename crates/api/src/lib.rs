@@ -93,7 +93,8 @@ pub use ticket::{ChunkProgress, QueryPoll, Ticket};
 // front door.
 pub use rdx_cache::CacheParams;
 pub use rdx_core::budget::{BudgetError, MemoryBudget};
-pub use rdx_core::error::{RdxError, Side};
+pub use rdx_core::error::{DeadlineError, RdxError, Side};
+pub use rdx_core::fault::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
 pub use rdx_core::strategy::{PhaseTimings, QuerySpec, RowChunkSink};
 pub use rdx_obs::{
     EventKind, HistogramSnapshot, MetricValue, MetricsSnapshot, QueryId, TraceEvent, TraceSnapshot,

@@ -4,6 +4,7 @@ use crate::ticket::Ticket;
 use crate::Session;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::error::RdxError;
+use rdx_core::fault::RetryPolicy;
 use rdx_core::strategy::{
     AdaptivePolicy, DsmPostProjection, MaterializeSink, QuerySpec, RowChunkSink,
 };
@@ -95,6 +96,51 @@ impl<'s> Query<'s> {
     /// requires the session's observability to be on to take effect.
     pub fn profiled(mut self) -> Self {
         self.request = self.request.with_profiled();
+        self
+    }
+
+    /// Gives this query a **deadline**: at most `deadline_ns` nanoseconds
+    /// of service time from admission.  Two enforcement points, both
+    /// deterministic in what they decide (only *when* wall-clock trips the
+    /// second varies):
+    ///
+    /// 1. **Admission** — the Appendix-A cost model predicts the streaming
+    ///    cost at this query's cache share; an infeasible deadline is
+    ///    rejected with [`rdx_core::error::DeadlineError::Infeasible`]
+    ///    *before a single chunk runs*, so a doomed query never holds a
+    ///    grant.
+    /// 2. **Chunk boundaries** — consumed service time (chunk wall-clock
+    ///    plus any injected slowdowns) is checked between chunk steps; an
+    ///    overrun tears the run down with
+    ///    [`rdx_core::error::DeadlineError::Exceeded`] and reclaims its
+    ///    grant.
+    ///
+    /// Admitted deadline queries also run *sooner*: remaining slack scales
+    /// the stride-scheduler weight (EDF-flavored), so tight deadlines win
+    /// more dispatches without starving the rest.  Deadline failures are
+    /// never retried — the clock that rejected them keeps running.
+    pub fn deadline(mut self, deadline_ns: u64) -> Self {
+        self.request = self.request.with_deadline(deadline_ns);
+        self
+    }
+
+    /// Sets scheduling **priority** (default 1; 0 is treated as 1).
+    /// Priority divides the stride weight: priority 4 is dispatched four
+    /// times as often as priority 1, on top of any deadline urgency.
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.request = self.request.with_priority(priority);
+        self
+    }
+
+    /// Arms a capped **retry policy** for submitted queries: a
+    /// budget-rejected or worker-panicked attempt is re-queued after a
+    /// deterministic backoff measured in [`Session::drive`] steps (doubling
+    /// per attempt), up to [`RetryPolicy::max_retries`] times.  Deadline
+    /// failures and below-floor budget hints are permanent and never
+    /// retried.  Only [`Query::submit`] consults the policy — `run` /
+    /// `stream` surface their first error.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.request = self.request.with_retry(policy);
         self
     }
 

@@ -106,16 +106,41 @@ impl Session {
                 QueryPoll::Chunk(ChunkProgress { chunks, rows })
             }
             Some(TicketStatus::Finished) => {
-                let outcome = self
-                    .engine
-                    .take_outcome(ticket.id())
-                    .expect("finished outcome parked");
+                // Finished status and a parked outcome are written together,
+                // so the take always succeeds; report the typed unknown-
+                // ticket error rather than trusting that with a panic.
+                let Some(outcome) = self.engine.take_outcome(ticket.id()) else {
+                    return QueryPoll::Rejected(RdxError::UnknownTicket {
+                        ticket: ticket.id().raw(),
+                    });
+                };
                 match outcome.outcome {
                     Ok(report) => QueryPoll::Done(report),
                     Err(e) => QueryPoll::Rejected(e),
                 }
             }
         }
+    }
+
+    /// Cancels a submitted query wherever it is — queued, parked for
+    /// retry, or mid-flight (torn down at the next chunk boundary, its
+    /// grant reclaimed immediately).  Returns `true` if the ticket was
+    /// live; the cancelled ticket's next poll observes
+    /// [`QueryPoll::Rejected`] with [`RdxError::Cancelled`], exactly once.
+    /// Already-finished or unknown tickets return `false` untouched.
+    pub fn cancel(&mut self, ticket: &Ticket) -> bool {
+        self.engine.cancel(ticket.id())
+    }
+
+    /// Replaces the session's **fault-injection script** (see
+    /// [`rdx_core::fault::FaultPlan`]): scripted worker panics, slowdowns,
+    /// grant denials and cache evictions fire at exact `(query ordinal,
+    /// chunk step)` points, making every degradation path a pure function
+    /// of the plan.  Queries are addressed by 0-based submission ordinal.
+    /// The default plan is empty — production sessions never consult it
+    /// beyond a per-probe bounds check.
+    pub fn inject_faults(&mut self, plan: rdx_core::fault::FaultPlan) {
+        self.engine.inject_faults(plan);
     }
 
     /// Queries waiting for admission.

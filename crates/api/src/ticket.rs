@@ -30,6 +30,14 @@ impl Ticket {
     pub fn poll(&self, session: &mut Session) -> QueryPoll {
         session.poll(self)
     }
+
+    /// Cancels this query — sugar for [`Session::cancel`].  Queued queries
+    /// never run; running queries are torn down at the next chunk boundary
+    /// and their grant reclaimed.  The next poll observes
+    /// [`RdxError::Cancelled`], exactly once.
+    pub fn cancel(&self, session: &mut Session) -> bool {
+        session.cancel(self)
+    }
 }
 
 /// Live progress of an admitted, still-running query.

@@ -16,6 +16,57 @@
 
 use crate::budget::BudgetError;
 
+/// Why a query's deadline could not be met.
+///
+/// Both variants carry the two numbers an operator needs to tell
+/// *infeasibility* (the model said no before a single chunk ran) from a
+/// *miss* (the engine tore the query down at a chunk boundary after its
+/// clock ran out).  All fields are nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadlineError {
+    /// Rejected at admission: the Appendix-A streaming prediction at the
+    /// query's granted cache share already exceeds the deadline, so running
+    /// it would only waste the grant.  The query never ran a chunk.
+    Infeasible {
+        /// Predicted total streaming cost at the granted share.
+        predicted_ns: u64,
+        /// The deadline the request carried.
+        deadline_ns: u64,
+    },
+    /// Torn down mid-flight: the query's consumed service time passed its
+    /// deadline, and the engine cancelled it at the next chunk boundary
+    /// (reclaiming its budget grant).
+    Exceeded {
+        /// Service time consumed when the engine enforced the deadline.
+        consumed_ns: u64,
+        /// The deadline the request carried.
+        deadline_ns: u64,
+    },
+}
+
+impl std::fmt::Display for DeadlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeadlineError::Infeasible {
+                predicted_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "infeasible: predicted {predicted_ns}ns exceeds the {deadline_ns}ns deadline"
+            ),
+            DeadlineError::Exceeded {
+                consumed_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "exceeded: consumed {consumed_ns}ns against a {deadline_ns}ns deadline"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeadlineError {}
+
 /// Which join input an error refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
@@ -69,6 +120,21 @@ pub enum RdxError {
         /// The raw ticket number.
         ticket: u64,
     },
+    /// The query's deadline could not (or can no longer) be met: rejected
+    /// at admission as infeasible, or torn down at a chunk boundary after
+    /// its service clock ran out.
+    Deadline(DeadlineError),
+    /// The query was cancelled by its caller; its budget grant was
+    /// reclaimed at the next chunk boundary.
+    Cancelled,
+    /// A morsel-pool worker panicked while running one of this query's
+    /// chunks.  Only the owning run is poisoned — concurrent queries
+    /// complete unaffected — and the grant is reclaimed.
+    WorkerPanicked {
+        /// Zero-based index of the worker whose unwind was caught (0 when
+        /// the panic could not be attributed to a specific worker).
+        worker: usize,
+    },
 }
 
 impl std::fmt::Display for RdxError {
@@ -97,6 +163,11 @@ impl std::fmt::Display for RdxError {
                 "ticket#{ticket} was never issued by this session (or its \
                  outcome was already taken)"
             ),
+            RdxError::Deadline(e) => write!(f, "deadline {e}"),
+            RdxError::Cancelled => write!(f, "query cancelled by its caller"),
+            RdxError::WorkerPanicked { worker } => {
+                write!(f, "worker {worker} panicked while running a chunk")
+            }
         }
     }
 }
@@ -105,6 +176,7 @@ impl std::error::Error for RdxError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RdxError::Budget(e) => Some(e),
+            RdxError::Deadline(e) => Some(e),
             _ => None,
         }
     }
@@ -113,6 +185,12 @@ impl std::error::Error for RdxError {
 impl From<BudgetError> for RdxError {
     fn from(e: BudgetError) -> Self {
         RdxError::Budget(e)
+    }
+}
+
+impl From<DeadlineError> for RdxError {
+    fn from(e: DeadlineError) -> Self {
+        RdxError::Deadline(e)
     }
 }
 
@@ -186,5 +264,25 @@ mod tests {
         assert!(std::error::Error::source(&mismatch).is_none());
         assert_eq!(Side::Larger.to_string(), "larger");
         assert_eq!(Side::Smaller.to_string(), "smaller");
+    }
+
+    #[test]
+    fn robustness_variants_display_and_chain() {
+        let infeasible = RdxError::from(DeadlineError::Infeasible {
+            predicted_ns: 5_000,
+            deadline_ns: 1_000,
+        });
+        assert!(infeasible.to_string().contains("infeasible"));
+        assert!(infeasible.to_string().contains("5000"));
+        assert!(std::error::Error::source(&infeasible).is_some());
+        let exceeded = RdxError::Deadline(DeadlineError::Exceeded {
+            consumed_ns: 9_000,
+            deadline_ns: 1_000,
+        });
+        assert!(exceeded.to_string().contains("exceeded"));
+        assert!(RdxError::Cancelled.to_string().contains("cancelled"));
+        let panicked = RdxError::WorkerPanicked { worker: 3 };
+        assert!(panicked.to_string().contains("worker 3"));
+        assert!(std::error::Error::source(&panicked).is_none());
     }
 }

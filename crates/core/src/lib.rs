@@ -24,7 +24,12 @@
 //!   (Radix-Decluster and Jive-Join).
 //! * [`error`] — the workspace-wide [`RdxError`] hierarchy: every fallible
 //!   path (budget checks, catalog lookups, projection-spec validation, the
-//!   ticket front) reports this one type.
+//!   ticket front, deadlines, cancellation, worker panics) reports this one
+//!   type.
+//! * [`fault`] — the deterministic fault-injection harness
+//!   ([`FaultPlan`] / [`FaultInjector`]) and the drive-step-measured
+//!   [`RetryPolicy`]: scripted panics, slowdowns, grant denials and cache
+//!   evictions, so every degradation path is a pure function of a script.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,7 @@ pub mod budget;
 pub mod cluster;
 pub mod decluster;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod jive;
 pub mod join;
@@ -51,6 +57,7 @@ pub use decluster::{
     choose_window_bytes, radix_decluster, radix_decluster_into, radix_decluster_windows,
     radix_decluster_windows_with_scratch, window_elems, DeclusterScratch,
 };
-pub use error::{RdxError, Side};
+pub use error::{DeadlineError, RdxError, Side};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

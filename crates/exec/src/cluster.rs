@@ -170,7 +170,11 @@ where
     });
     let locals: Vec<ScratchClustered<'_, K, P>> = scratch.workers[..threads]
         .iter()
-        .map(|w| w.view().expect("worker clustered its shard"))
+        .map(|w| match w.view() {
+            Some(v) => v,
+            // The scope above ran cluster_by_in_scratch on every worker.
+            None => unreachable!("worker clustered its shard"),
+        })
         .collect();
 
     // Phase 2 — prefix sum of the per-shard cluster sizes into global borders.

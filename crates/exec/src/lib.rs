@@ -62,5 +62,5 @@ pub use pipeline::{
     cluster_plan_for, cluster_spec_for, dsm_cluster_spec, BoxedFetch, ChunkScratch, DsmPipelineRun,
     PipelineRun, PipelineStats, PreparedProjection, ProjectionPipeline,
 };
-pub use pool::{ExecPolicy, MorselQueue};
+pub use pool::{ExecPolicy, MorselQueue, WorkerPanic};
 pub use strategy::{par_dsm_post_projection, par_nsm_post_projection_decluster};

@@ -566,10 +566,9 @@ where
     /// touches the registry.  A disabled `obs` is a no-op: the run stays
     /// exactly as cheap as an unobserved one.
     pub fn attach_obs(&mut self, obs: &Obs, query: QueryId, predicted_chunk_ns: u64) {
-        if !obs.is_enabled() {
-            return;
-        }
-        let metrics = obs.metrics().expect("enabled obs has a registry");
+        let Some(metrics) = obs.metrics() else {
+            return; // disabled obs: stay as cheap as an unobserved run
+        };
         self.obs = Some(Box::new(RunObs {
             obs: obs.clone(),
             query,
@@ -593,10 +592,9 @@ where
     /// to an unprofiled one by construction.  A disabled `obs` is a no-op:
     /// the run stays exactly as cheap as an unprofiled one.
     pub fn attach_profile(&mut self, obs: &Obs, query: QueryId, params: &CacheParams) {
-        if !obs.is_enabled() {
-            return;
-        }
-        let profile = obs.profile().expect("enabled obs has a registry");
+        let Some(profile) = obs.profile() else {
+            return; // disabled obs: stay as cheap as an unprofiled run
+        };
         // The shared prefix's cluster build is accounted once, at attach —
         // prepare_keys books its wall-clock under the decluster phase.
         profile.record_span(
@@ -940,7 +938,10 @@ where
         // controller observes the chunk, so a MissCountFeedback sees the
         // very chunk it is asked about.  Output was already emitted above —
         // the replay only simulates.
-        if self.profile.is_some() {
+        if let Some(prof) = self.profile.as_deref_mut() {
+            // `profile` is a distinct field from `prepared`/`scratch`/
+            // `spec`/`streaming`, so these immutable borrows coexist with
+            // the `&mut` taken above.
             let chunk_first_oids = &self.prepared.first_oids[emitted..chunk_end];
             let scratch = &self.scratch;
             let declustered: &[i32] = scratch.columns[self.spec.project_larger..]
@@ -959,7 +960,6 @@ where
             } else {
                 SecondSideReplay::Unsorted { rows }
             };
-            let prof = self.profile.as_deref_mut().expect("checked above");
             prof.profile
                 .record_span(Phase::Fetch, first_elapsed.as_nanos() as u64);
             if let Some(d) = second_fetch_elapsed {

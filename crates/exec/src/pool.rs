@@ -137,28 +137,84 @@ impl MorselQueue {
     }
 }
 
-/// Runs `worker(worker_index)` on `threads` scoped threads and returns the
-/// per-worker results in worker order.  With `threads == 1` the closure runs
-/// inline on the caller's thread.
-pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+/// A caught worker panic: which worker's unwind the pool intercepted.
+///
+/// [`try_run_workers`] returns this instead of aborting the pool, and
+/// [`run_workers`] re-raises it via [`std::panic::panic_any`] so upstream
+/// unwind-catchers (the serving engine's per-chunk isolation) can downcast
+/// the payload back to the worker index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Zero-based index of the worker that panicked (the lowest-indexed one
+    /// when several panicked in the same scope).
+    pub worker: usize,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rdx-exec worker {} panicked", self.worker)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Runs `worker(worker_index)` on `threads` scoped threads, catching worker
+/// unwinds: `Ok` carries the per-worker results in worker order, `Err`
+/// reports the first worker (by index) that panicked.  With `threads == 1`
+/// the closure runs inline on the caller's thread, its unwind caught the
+/// same way, so the panic surface is identical at every thread count.
+pub fn try_run_workers<R, F>(threads: usize, worker: F) -> Result<Vec<R>, WorkerPanic>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     assert!(threads >= 1, "at least one worker thread is required");
     if threads == 1 {
-        return vec![worker(0)];
+        return match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker(0))) {
+            Ok(r) => Ok(vec![r]),
+            Err(_) => Err(WorkerPanic { worker: 0 }),
+        };
     }
     std::thread::scope(|scope| {
         let worker = &worker;
         let handles: Vec<_> = (0..threads)
             .map(|t| scope.spawn(move || worker(t)))
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rdx-exec worker panicked"))
-            .collect()
+        // Join *every* handle before reporting, so no worker outlives the
+        // scope and the first panicking worker (by index) wins.
+        let mut results = Vec::with_capacity(threads);
+        let mut panicked: Option<usize> = None;
+        for (t, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(_) => panicked = panicked.or(Some(t)),
+            }
+        }
+        match panicked {
+            None => Ok(results),
+            Some(worker) => Err(WorkerPanic { worker }),
+        }
     })
+}
+
+/// Runs `worker(worker_index)` on `threads` scoped threads and returns the
+/// per-worker results in worker order.  With `threads == 1` the closure runs
+/// inline on the caller's thread.
+///
+/// # Panics
+/// If a worker panics, re-raises the failure as a [`WorkerPanic`] payload
+/// (via [`std::panic::panic_any`]) after all workers have been joined —
+/// callers that need to survive worker crashes use [`try_run_workers`] or
+/// catch the unwind and downcast the payload.
+pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_run_workers(threads, worker) {
+        Ok(results) => results,
+        Err(wp) => std::panic::panic_any(wp),
+    }
 }
 
 /// Morsel-driven parallel fill of an output slice: `fill(offset, chunk)` is
@@ -201,7 +257,7 @@ where
 pub fn split_by_bounds<'a, T>(mut data: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
     assert!(!bounds.is_empty(), "bounds need at least one offset");
     assert_eq!(
-        *bounds.last().unwrap(),
+        bounds[bounds.len() - 1],
         data.len(),
         "bounds must cover the data"
     );
@@ -274,6 +330,32 @@ mod tests {
         });
         assert_eq!(ids, vec![0, 10, 20, 30, 40, 50, 60, 70]);
         assert_eq!(calls.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_is_caught_not_fatal() {
+        // A real panicking worker on a real multi-thread scope: the pool
+        // joins every handle and reports the panicking worker's index.
+        let err = try_run_workers(4, |w| {
+            if w == 2 {
+                panic!("scripted worker crash");
+            }
+            w
+        })
+        .unwrap_err();
+        assert_eq!(err, WorkerPanic { worker: 2 });
+        assert!(err.to_string().contains("worker 2"));
+        // The inline single-thread path catches the same way.
+        let err = try_run_workers(1, |_| -> usize { panic!("inline crash") }).unwrap_err();
+        assert_eq!(err.worker, 0);
+        // Healthy workers still come back in order through the Ok arm.
+        assert_eq!(try_run_workers(3, |w| w * 2), Ok(vec![0, 2, 4]));
+        // run_workers re-raises as a downcastable WorkerPanic payload.
+        let unwind = std::panic::catch_unwind(|| run_workers(2, |w| -> usize { panic!("w{w}") }))
+            .unwrap_err();
+        let wp = unwind.downcast_ref::<WorkerPanic>();
+        assert!(wp.is_some(), "payload must downcast to WorkerPanic");
+        assert_eq!(wp.map(|w| w.worker), Some(0));
     }
 
     #[test]

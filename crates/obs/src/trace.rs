@@ -113,6 +113,24 @@ pub enum EventKind {
         /// Why the controller fired (`"slow"`, `"fast"` or `"rebudget"`).
         reason: &'static str,
     },
+    /// The query's consumed service time passed its deadline: the engine
+    /// tore it down at the next chunk boundary (an adjacent
+    /// [`EventKind::Cancel`] with reason `"deadline"` records the
+    /// teardown itself).
+    DeadlineMiss {
+        /// The deadline the request carried, in nanoseconds.
+        deadline_ns: u64,
+        /// Service time consumed when the engine enforced it.
+        consumed_ns: u64,
+    },
+    /// An in-flight (or queued) query was torn down before completion and
+    /// its budget grant reclaimed.
+    Cancel {
+        /// Why: `"user"` (caller cancellation), `"deadline"` (timeout
+        /// enforcement) or `"worker_panic"` (a morsel worker crashed while
+        /// running one of this query's chunks).
+        reason: &'static str,
+    },
     /// The query completed and its outcome was parked/returned.
     Done {
         /// Total result rows.
@@ -134,6 +152,8 @@ impl EventKind {
             EventKind::ChunkStep { .. } => "chunk_step",
             EventKind::ChunkProfile { .. } => "chunk_profile",
             EventKind::Replan { .. } => "replan",
+            EventKind::DeadlineMiss { .. } => "deadline_miss",
+            EventKind::Cancel { .. } => "cancel",
             EventKind::Done { .. } => "done",
         }
     }
@@ -317,6 +337,14 @@ impl TraceSnapshot {
                     new_chunks,
                     reason,
                 } => writeln!(out, "replan  {reason} chunks {old_chunks}->{new_chunks}"),
+                EventKind::DeadlineMiss {
+                    deadline_ns,
+                    consumed_ns,
+                } => writeln!(
+                    out,
+                    "miss    deadline={deadline_ns}ns consumed={consumed_ns}ns"
+                ),
+                EventKind::Cancel { reason } => writeln!(out, "cancel  {reason}"),
                 EventKind::Done { rows, wall_ns } => writeln!(
                     out,
                     "done    rows={rows} wall={:.3}ms",
@@ -386,6 +414,14 @@ impl TraceSnapshot {
                     out,
                     ",\"old_chunks\":{old_chunks},\"new_chunks\":{new_chunks},\"reason\":\"{reason}\""
                 ),
+                EventKind::DeadlineMiss {
+                    deadline_ns,
+                    consumed_ns,
+                } => write!(
+                    out,
+                    ",\"deadline_ns\":{deadline_ns},\"consumed_ns\":{consumed_ns}"
+                ),
+                EventKind::Cancel { reason } => write!(out, ",\"reason\":\"{reason}\""),
                 EventKind::Done { rows, wall_ns } => {
                     write!(out, ",\"rows\":{rows},\"wall_ns\":{wall_ns}")
                 }
@@ -508,5 +544,40 @@ mod tests {
             "\"kind\":\"chunk_profile\",\"chunk\":0,\"accesses\":4096,\"l1_misses\":300,\"l2_misses\":40,\"tlb_misses\":12,\"stall_cycles\":9500"
         ));
         assert!(json.contains("\"kind\":\"done\",\"rows\":128,\"wall_ns\":12000"));
+    }
+
+    #[test]
+    fn robustness_events_label_and_export() {
+        let trace = EventTrace::new(16);
+        let q = QueryId::next();
+        trace.record(
+            0,
+            q,
+            EventKind::DeadlineMiss {
+                deadline_ns: 1_000,
+                consumed_ns: 2_500,
+            },
+        );
+        trace.record(1, q, EventKind::Cancel { reason: "deadline" });
+        trace.record(2, q, EventKind::Cancel { reason: "user" });
+        trace.record(
+            3,
+            q,
+            EventKind::Cancel {
+                reason: "worker_panic",
+            },
+        );
+        let snap = trace.snapshot();
+        let labels: Vec<&'static str> = snap.events_for(q).iter().map(|e| e.kind.label()).collect();
+        assert_eq!(labels, vec!["deadline_miss", "cancel", "cancel", "cancel"]);
+        let text = snap.to_text();
+        assert!(text.contains("miss    deadline=1000ns consumed=2500ns"));
+        assert!(text.contains("cancel  user"));
+        assert!(text.contains("cancel  worker_panic"));
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"kind\":\"deadline_miss\",\"deadline_ns\":1000,\"consumed_ns\":2500")
+        );
+        assert!(json.contains("\"kind\":\"cancel\",\"reason\":\"deadline\""));
     }
 }

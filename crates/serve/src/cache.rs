@@ -140,10 +140,23 @@ impl ClusterCache {
             let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, s)| s.last_used) else {
                 break;
             };
-            let slot = self.slots.remove(&victim).expect("victim vanished");
+            let Some(slot) = self.slots.remove(&victim) else {
+                break; // key just came out of this very map; defend anyway
+            };
             self.stats.resident_bytes -= slot.bytes;
             self.stats.evictions += 1;
         }
+    }
+
+    /// Evicts **everything** — the fault-injection hook behind
+    /// [`rdx_core::fault::FaultAction::EvictCache`], and a sharp tool for
+    /// operators shedding memory.  Counts each dropped entry as an eviction.
+    /// In-flight runs holding `Arc`s to a dropped prefix keep streaming from
+    /// it unaffected; only the cache's references are released.
+    pub fn clear(&mut self) {
+        self.stats.evictions += self.slots.len() as u64;
+        self.stats.resident_bytes = 0;
+        self.slots.clear();
     }
 }
 
@@ -227,6 +240,22 @@ mod tests {
         let (_, hit) = off.get_or_prepare(key(0, 1), || prepared_for(256, 6));
         assert!(!hit);
         assert_eq!(off.stats().misses, 2);
+    }
+
+    #[test]
+    fn clear_evicts_everything_but_live_arcs_survive() {
+        let mut cache = ClusterCache::new(1 << 20);
+        let (held, _) = cache.get_or_prepare(key(0, 1), || prepared_for(128, 8));
+        cache.get_or_prepare(key(2, 3), || prepared_for(128, 9));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.stats().resident_bytes, 0);
+        // The held Arc still streams; the next lookup rebuilds.
+        assert!(held.result_rows() > 0);
+        let (_, hit) = cache.get_or_prepare(key(0, 1), || prepared_for(128, 8));
+        assert!(!hit);
     }
 
     #[test]

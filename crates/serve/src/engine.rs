@@ -46,11 +46,13 @@ use crate::registry::{Catalog, RelationId};
 use crate::scheduler::ChunkScheduler;
 use crate::server::{QueryOutcome, QueryResult, QueryStats, ServeConfig, ServerRequest};
 use rdx_cache::CacheParams;
-use rdx_core::budget::MemoryBudget;
-use rdx_core::error::{RdxError, Side};
+use rdx_core::budget::{BudgetError, MemoryBudget};
+use rdx_core::error::{DeadlineError, RdxError, Side};
+use rdx_core::fault::{FaultInjector, FaultPlan, RetryPolicy};
 use rdx_core::strategy::adapt::{FeedbackSource, MissCountFeedback, WallClockFeedback};
 use rdx_core::strategy::planner::{
-    plan_by_cost_with_threads, streaming_bytes_per_row, StreamingPlan,
+    plan_by_cost_with_threads, plan_streaming, predict_streaming_cost, streaming_bytes_per_row,
+    StreamingPlan,
 };
 use rdx_core::strategy::{DsmPostProjection, MaterializeSink, PhaseTimings, RowChunkSink};
 use rdx_dsm::DsmRelation;
@@ -120,6 +122,11 @@ pub enum EngineStep {
         /// The query that completed.
         ticket: TicketId,
     },
+    /// Nothing was dispatchable this step, but work is still pending —
+    /// queries parked for retry backoff, or a queue head waiting for
+    /// budget freed by a teardown this same step.  The engine is **not**
+    /// idle: keep stepping (each step advances the retry clock).
+    Waiting,
     /// Nothing queued and nothing running: the engine is drained.
     Idle,
 }
@@ -156,6 +163,22 @@ pub struct EngineStats {
     /// counted apart from [`EngineStats::replans`], which is an *admission*
     /// decision: an adaptive query re-plans after it started running.
     pub adaptive_replans: u64,
+    /// Of [`EngineStats::rejections`]: refused because the budget could
+    /// not admit them (load shedding).
+    pub budget_rejects: u64,
+    /// Of [`EngineStats::rejections`]: refused at admission because their
+    /// deadline was infeasible at the granted share — the query never ran
+    /// a chunk.
+    pub deadline_rejects: u64,
+    /// Queries torn down before completion — caller cancellations plus
+    /// mid-flight deadline enforcement — with their grants reclaimed.
+    pub cancellations: u64,
+    /// Queries whose chunk crashed a morsel worker (the unwind was caught;
+    /// only the owning run was poisoned).
+    pub worker_panics: u64,
+    /// Retry attempts re-queued under a request's
+    /// [`rdx_core::fault::RetryPolicy`].
+    pub retries: u64,
 }
 
 /// A validated, planned, cache-resolved query, ready to stream chunks —
@@ -227,6 +250,11 @@ struct EngineObs {
     replans: rdx_obs::Counter,
     adaptive_replans: rdx_obs::Counter,
     chunks_dispatched: rdx_obs::Counter,
+    budget_rejects: rdx_obs::Counter,
+    deadline_rejects: rdx_obs::Counter,
+    cancellations: rdx_obs::Counter,
+    worker_panics: rdx_obs::Counter,
+    retries: rdx_obs::Counter,
     in_flight: rdx_obs::Gauge,
     queued: rdx_obs::Gauge,
     queue_wait_ns: rdx_obs::Histogram,
@@ -244,6 +272,11 @@ impl EngineObs {
             replans: metrics.counter("engine.replans"),
             adaptive_replans: metrics.counter("engine.adaptive_replans"),
             chunks_dispatched: metrics.counter("engine.chunks_dispatched"),
+            budget_rejects: metrics.counter("engine.budget_rejects"),
+            deadline_rejects: metrics.counter("engine.deadline_rejects"),
+            cancellations: metrics.counter("engine.cancellations"),
+            worker_panics: metrics.counter("engine.worker_panics"),
+            retries: metrics.counter("engine.retries"),
             in_flight: metrics.gauge("engine.in_flight"),
             queued: metrics.gauge("engine.queued"),
             queue_wait_ns: metrics.histogram("engine.queue_wait_ns"),
@@ -260,6 +293,9 @@ fn reject_reason(e: &RdxError) -> &'static str {
         RdxError::TooManyColumns { .. } => "too_many_columns",
         RdxError::SelectionMismatch { .. } => "selection_mismatch",
         RdxError::UnknownTicket { .. } => "unknown_ticket",
+        RdxError::Deadline(_) => "deadline",
+        RdxError::Cancelled => "cancelled",
+        RdxError::WorkerPanicked { .. } => "worker_panic",
     }
 }
 
@@ -269,6 +305,11 @@ struct Pending {
     query: QueryId,
     request: ServerRequest,
     submitted_at: Instant,
+    /// 0-based submission ordinal — how the fault injector addresses this
+    /// query.  Stable across retries.
+    ordinal: usize,
+    /// Retry attempts already consumed (0 on first submission).
+    attempt: u32,
 }
 
 /// One admitted, in-flight ticket.
@@ -280,6 +321,28 @@ struct Running {
     /// The admission grant (released on completion; may exceed the
     /// effective budget when a hint tightened it).
     share: MemoryBudget,
+    /// Submission ordinal (see [`Pending::ordinal`]).
+    ordinal: usize,
+    /// Retry attempts already consumed.
+    attempt: u32,
+    /// Service time charged against the deadline so far: wall-clock of
+    /// this query's chunk steps (measured only when a deadline is armed)
+    /// plus any injected artificial slowdowns.
+    consumed_ns: u64,
+}
+
+/// One query parked between retry attempts, waiting out its backoff in
+/// engine drive steps.
+struct RetryParked {
+    ticket: TicketId,
+    query: QueryId,
+    request: ServerRequest,
+    submitted_at: Instant,
+    ordinal: usize,
+    /// Retry attempts consumed *including* the one this parking pays for.
+    attempt: u32,
+    /// The engine step count at which this query re-enters the queue.
+    ready_at_step: u64,
 }
 
 /// The persistent, ticket-granular serving core.
@@ -309,10 +372,17 @@ pub struct QueryEngine {
     scheduler: ChunkScheduler,
     queue: VecDeque<Pending>,
     running: Vec<Running>,
+    retry_parked: Vec<RetryParked>,
     finished: HashMap<u64, QueryOutcome>,
     stats: EngineStats,
     obs: Obs,
     engine_obs: Option<Box<EngineObs>>,
+    /// Monotone count of [`QueryEngine::step`] calls — the deterministic
+    /// clock retry backoffs are measured against.
+    step_count: u64,
+    /// Next submission ordinal (fault-injection addressing).
+    next_ordinal: usize,
+    faults: FaultInjector,
 }
 
 impl QueryEngine {
@@ -343,12 +413,32 @@ impl QueryEngine {
             scheduler: ChunkScheduler::new(config.fairness),
             queue: VecDeque::new(),
             running: Vec::new(),
+            retry_parked: Vec::new(),
             finished: HashMap::new(),
             stats: EngineStats::default(),
             obs,
             engine_obs,
+            step_count: 0,
+            next_ordinal: 0,
+            faults: FaultInjector::new(FaultPlan::new()),
             config,
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: scripted worker panics,
+    /// slowdowns, grant denials and cache evictions will fire at their
+    /// pinned points (query submission ordinals × chunk steps) as the
+    /// engine reaches them.  Replaces any previously armed plan.  Intended
+    /// for tests and chaos drills; the default plan is empty.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = FaultInjector::new(plan);
+    }
+
+    /// `Σ` bytes currently granted to admitted queries — the left side of
+    /// the `Σ grants ≤ global` admission invariant, exposed so robustness
+    /// tests can assert the invariant across cancellations and panics.
+    pub fn committed_bytes(&self) -> usize {
+        self.admission.committed_bytes()
     }
 
     /// The engine's observability handle (disabled unless
@@ -398,10 +488,10 @@ impl QueryEngine {
         self.running.len()
     }
 
-    /// `true` when nothing is queued or running (finished outcomes may
-    /// still be parked).
+    /// `true` when nothing is queued, running, or parked for retry
+    /// (finished outcomes may still be parked).
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.running.is_empty()
+        self.queue.is_empty() && self.running.is_empty() && self.retry_parked.is_empty()
     }
 
     /// Cumulative counters since the last [`QueryEngine::reset_stats`].
@@ -423,6 +513,8 @@ impl QueryEngine {
         let ticket = TicketId(NEXT_TICKET.fetch_add(1, Ordering::Relaxed));
         let query = QueryId::next();
         self.obs.record(query, EventKind::Submit);
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
         match validate(&self.catalog, &request) {
             Ok(()) => {
                 self.queue.push_back(Pending {
@@ -430,6 +522,8 @@ impl QueryEngine {
                     query,
                     request,
                     submitted_at: Instant::now(),
+                    ordinal,
+                    attempt: 0,
                 });
                 if let Some(eo) = &self.engine_obs {
                     eo.queued.set(self.queue.len() as i64);
@@ -449,9 +543,24 @@ impl QueryEngine {
         ticket
     }
 
-    /// Counts a refusal and records its trace event.
+    /// Counts a refusal (per-reason) and records its trace event.
     fn reject(&mut self, query: QueryId, e: &RdxError) {
         self.stats.rejections += 1;
+        match e {
+            RdxError::Budget(_) => {
+                self.stats.budget_rejects += 1;
+                if let Some(eo) = &self.engine_obs {
+                    eo.budget_rejects.inc();
+                }
+            }
+            RdxError::Deadline(_) => {
+                self.stats.deadline_rejects += 1;
+                if let Some(eo) = &self.engine_obs {
+                    eo.deadline_rejects.inc();
+                }
+            }
+            _ => {}
+        }
         self.obs.record(
             query,
             EventKind::Reject {
@@ -460,6 +569,14 @@ impl QueryEngine {
         );
         if let Some(eo) = &self.engine_obs {
             eo.rejections.inc();
+        }
+    }
+
+    /// Counts a teardown (cancellation or deadline enforcement).
+    fn count_cancellation(&mut self) {
+        self.stats.cancellations += 1;
+        if let Some(eo) = &self.engine_obs {
+            eo.cancellations.inc();
         }
     }
 
@@ -476,6 +593,12 @@ impl QueryEngine {
                 rows: s.rows_emitted,
             });
         }
+        if let Some(idx) = self.retry_parked.iter().position(|p| p.ticket == ticket) {
+            // Parked retries re-enter behind the live queue.
+            return Some(TicketStatus::Queued {
+                position: self.queue.len() + idx,
+            });
+        }
         if self.finished.contains_key(&ticket.0) {
             return Some(TicketStatus::Finished);
         }
@@ -489,11 +612,17 @@ impl QueryEngine {
         self.finished.remove(&ticket.0)
     }
 
-    /// Pumps the engine by one scheduler decision: admit from the queue
-    /// head while budget and concurrency slots allow, then run **one chunk
-    /// of one query** under the fairness policy.  Returns what happened;
-    /// [`EngineStep::Idle`] means the engine is drained.
+    /// Pumps the engine by one scheduler decision: re-queue retries whose
+    /// backoff expired, admit from the queue head while budget and
+    /// concurrency slots allow, enforce deadlines at the chunk boundary,
+    /// then run **one chunk of one query** under the fairness policy.
+    /// Returns what happened; [`EngineStep::Idle`] means the engine is
+    /// drained, [`EngineStep::Waiting`] means pending work could not run
+    /// *this* step (retry backoff, or budget freed mid-step) — keep
+    /// stepping.
     pub fn step(&mut self) -> EngineStep {
+        self.step_count += 1;
+        self.requeue_ready_retries();
         self.admit_from_queue();
         if let Some(eo) = &self.engine_obs {
             eo.in_flight.set(self.running.len() as i64);
@@ -511,45 +640,290 @@ impl QueryEngine {
             debug_assert!(concurrent_bytes <= self.config.global_budget.limit_bytes());
         }
 
+        // Deadlines are enforced at chunk boundaries: any run whose
+        // consumed service time passed its deadline is torn down (grant
+        // reclaimed) before the next chunk is dispatched.
+        self.enforce_deadlines();
+
         // One chunk of one query, per the fairness policy.
         let Some(id) = self.scheduler.dispatch() else {
-            debug_assert!(self.queue.is_empty(), "queued work with nothing admitted");
+            if !self.queue.is_empty() || !self.retry_parked.is_empty() {
+                // A teardown this step freed budget the queue head will
+                // claim next step, or retries are waiting out backoff.
+                return EngineStep::Waiting;
+            }
             return EngineStep::Idle;
         };
-        let pos = self
-            .running
-            .iter()
-            .position(|r| r.ticket.0 as usize == id)
-            .expect("scheduled ticket vanished");
-        let running = &mut self.running[pos];
-        if let Some(rows) = running.rq.run.step(&mut running.sink) {
-            self.stats.chunks_dispatched += 1;
-            if let Some(eo) = &self.engine_obs {
-                eo.chunks_dispatched.inc();
-            }
-            EngineStep::Chunk {
-                ticket: running.ticket,
-                rows,
-            }
-        } else {
-            // Completed: release the grant, free the slot, park the outcome.
+        let Some(pos) = self.running.iter().position(|r| r.ticket.0 as usize == id) else {
+            // Unreachable by construction: every scheduled id has a
+            // running slot.  Degrade to a lost turn instead of panicking.
+            debug_assert!(false, "scheduled ticket vanished");
             self.scheduler.remove(id);
-            self.admission.release(running.share);
-            let r = self.running.swap_remove(pos);
-            let ticket = r.ticket;
-            let (rq, sink) = (r.rq, r.sink);
-            let stats = self.retire(rq);
+            return EngineStep::Waiting;
+        };
+        let ordinal = self.running[pos].ordinal;
+        let chunk_index = self.running[pos].rq.run.run_stats().chunks_emitted;
+        // Scripted worker panic?  Raised *inside* the catch below with the
+        // exact payload a real crashed worker produces, so the injected
+        // path and the real path are one recovery path.
+        let injected_panic = self.faults.panic_at(ordinal, chunk_index);
+        let chunk_started = self.running[pos]
+            .request
+            .deadline_ns
+            .map(|_| Instant::now());
+        let stepped = {
+            let running = &mut self.running[pos];
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(worker) = injected_panic {
+                    std::panic::panic_any(rdx_exec::WorkerPanic { worker });
+                }
+                running.rq.run.step(&mut running.sink)
+            }))
+        };
+        match stepped {
+            Ok(Some(rows)) => {
+                let wall_ns = chunk_started
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                let slow_ns = self.faults.slowdown_ns(ordinal, chunk_index);
+                let running = &mut self.running[pos];
+                running.consumed_ns = running
+                    .consumed_ns
+                    .saturating_add(wall_ns)
+                    .saturating_add(slow_ns);
+                let ticket = running.ticket;
+                self.stats.chunks_dispatched += 1;
+                if let Some(eo) = &self.engine_obs {
+                    eo.chunks_dispatched.inc();
+                }
+                EngineStep::Chunk { ticket, rows }
+            }
+            Ok(None) => {
+                // Completed: release the grant, free the slot, park the
+                // outcome.
+                self.scheduler.remove(id);
+                let r = self.running.swap_remove(pos);
+                self.admission.release(r.share);
+                let ticket = r.ticket;
+                let (rq, sink) = (r.rq, r.sink);
+                let stats = self.retire(rq);
+                self.finished.insert(
+                    ticket.0,
+                    QueryOutcome {
+                        request: r.request,
+                        outcome: Ok(QueryResult {
+                            result: sink.into_result(),
+                            stats,
+                        }),
+                    },
+                );
+                EngineStep::Finished { ticket }
+            }
+            Err(payload) => {
+                // A worker panicked mid-chunk.  Poison *only this run*:
+                // reclaim its grant, drop its (possibly half-written) sink
+                // and scratch, and surface a typed error — concurrent
+                // queries keep their slots, grants and bytes untouched.
+                let worker = payload
+                    .downcast_ref::<rdx_exec::WorkerPanic>()
+                    .map(|wp| wp.worker)
+                    .unwrap_or(0);
+                self.scheduler.remove(id);
+                let r = self.running.swap_remove(pos);
+                self.admission.release(r.share);
+                self.stats.worker_panics += 1;
+                if let Some(eo) = &self.engine_obs {
+                    eo.worker_panics.inc();
+                }
+                let query = QueryId(r.rq.stats.query_id);
+                self.obs.record(
+                    query,
+                    EventKind::Cancel {
+                        reason: "worker_panic",
+                    },
+                );
+                let ticket = r.ticket;
+                match r.request.retry {
+                    Some(policy) if r.attempt < policy.max_retries => {
+                        self.park_retry(ticket, query, r.request, r.ordinal, r.attempt + 1, policy);
+                        EngineStep::Waiting
+                    }
+                    _ => {
+                        self.count_cancellation();
+                        self.finished.insert(
+                            ticket.0,
+                            QueryOutcome {
+                                request: r.request,
+                                outcome: Err(RdxError::WorkerPanicked { worker }),
+                            },
+                        );
+                        EngineStep::Finished { ticket }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cancels `ticket` wherever it is — queued, retry-parked, or running
+    /// mid-flight — parking [`RdxError::Cancelled`] as its outcome and
+    /// reclaiming its budget grant (the `Σ grants ≤ global` invariant
+    /// holds through cancellation).  A running query is torn down at the
+    /// current chunk boundary: parked runs are plain values between
+    /// chunks, so teardown is just dropping the run (its warmed scratch is
+    /// harvested back into the pool first).  Returns `false` for tickets
+    /// that are already finished or were never issued — their outcome (if
+    /// any) is untouched.
+    pub fn cancel(&mut self, ticket: TicketId) -> bool {
+        if let Some(idx) = self.queue.iter().position(|p| p.ticket == ticket) {
+            let Some(p) = self.queue.remove(idx) else {
+                return false;
+            };
+            self.obs
+                .record(p.query, EventKind::Cancel { reason: "user" });
+            self.count_cancellation();
+            self.finished.insert(
+                ticket.0,
+                QueryOutcome {
+                    request: p.request,
+                    outcome: Err(RdxError::Cancelled),
+                },
+            );
+            return true;
+        }
+        if let Some(idx) = self.retry_parked.iter().position(|p| p.ticket == ticket) {
+            let p = self.retry_parked.remove(idx);
+            self.obs
+                .record(p.query, EventKind::Cancel { reason: "user" });
+            self.count_cancellation();
+            self.finished.insert(
+                ticket.0,
+                QueryOutcome {
+                    request: p.request,
+                    outcome: Err(RdxError::Cancelled),
+                },
+            );
+            return true;
+        }
+        if let Some(pos) = self.running.iter().position(|r| r.ticket == ticket) {
+            self.scheduler.remove(ticket.0 as usize);
+            let mut r = self.running.swap_remove(pos);
+            self.admission.release(r.share);
+            // Between chunks the run's scratch is consistent — harvest it
+            // for the next query before dropping the run.
+            if self.scratch_pool.len() < self.config.max_concurrent {
+                self.scratch_pool.push(r.rq.run.take_scratch());
+            }
+            let query = QueryId(r.rq.stats.query_id);
+            self.obs.record(query, EventKind::Cancel { reason: "user" });
+            self.count_cancellation();
             self.finished.insert(
                 ticket.0,
                 QueryOutcome {
                     request: r.request,
-                    outcome: Ok(QueryResult {
-                        result: sink.into_result(),
-                        stats,
-                    }),
+                    outcome: Err(RdxError::Cancelled),
                 },
             );
-            EngineStep::Finished { ticket }
+            return true;
+        }
+        false
+    }
+
+    /// Tears down every running query whose consumed service time passed
+    /// its deadline, parking [`DeadlineError::Exceeded`] and reclaiming
+    /// the grant.  Runs at chunk boundaries only (the engine never
+    /// preempts inside a chunk).  Deadline teardowns are never retried: an
+    /// expired clock cannot be cured by waiting.
+    fn enforce_deadlines(&mut self) {
+        let mut pos = 0;
+        while pos < self.running.len() {
+            let r = &self.running[pos];
+            let expired = match r.request.deadline_ns {
+                Some(deadline_ns) => r.consumed_ns > deadline_ns,
+                None => false,
+            };
+            if !expired {
+                pos += 1;
+                continue;
+            }
+            let ticket = r.ticket;
+            let deadline_ns = r.request.deadline_ns.unwrap_or(0);
+            let consumed_ns = r.consumed_ns;
+            self.scheduler.remove(ticket.0 as usize);
+            let mut r = self.running.swap_remove(pos);
+            self.admission.release(r.share);
+            if self.scratch_pool.len() < self.config.max_concurrent {
+                self.scratch_pool.push(r.rq.run.take_scratch());
+            }
+            let query = QueryId(r.rq.stats.query_id);
+            self.obs.record(
+                query,
+                EventKind::DeadlineMiss {
+                    deadline_ns,
+                    consumed_ns,
+                },
+            );
+            self.obs
+                .record(query, EventKind::Cancel { reason: "deadline" });
+            self.count_cancellation();
+            self.finished.insert(
+                ticket.0,
+                QueryOutcome {
+                    request: r.request,
+                    outcome: Err(RdxError::Deadline(DeadlineError::Exceeded {
+                        consumed_ns,
+                        deadline_ns,
+                    })),
+                },
+            );
+            // `swap_remove` moved another entry into `pos`: re-examine it.
+        }
+    }
+
+    /// Parks a query for retry: charges one attempt, computes its
+    /// ready-step from the policy's exponential backoff, and counts it.
+    fn park_retry(
+        &mut self,
+        ticket: TicketId,
+        query: QueryId,
+        request: ServerRequest,
+        ordinal: usize,
+        attempt: u32,
+        policy: RetryPolicy,
+    ) {
+        self.stats.retries += 1;
+        if let Some(eo) = &self.engine_obs {
+            eo.retries.inc();
+        }
+        let ready_at_step = self.step_count.saturating_add(policy.delay_before(attempt));
+        self.retry_parked.push(RetryParked {
+            ticket,
+            query,
+            request,
+            submitted_at: Instant::now(),
+            ordinal,
+            attempt,
+            ready_at_step,
+        });
+    }
+
+    /// Moves retries whose backoff expired back to the admission queue, in
+    /// park order (deterministic).
+    fn requeue_ready_retries(&mut self) {
+        let mut i = 0;
+        while i < self.retry_parked.len() {
+            if self.retry_parked[i].ready_at_step <= self.step_count {
+                let rp = self.retry_parked.remove(i);
+                self.queue.push_back(Pending {
+                    ticket: rp.ticket,
+                    query: rp.query,
+                    request: rp.request,
+                    submitted_at: rp.submitted_at,
+                    ordinal: rp.ordinal,
+                    attempt: rp.attempt,
+                });
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -570,10 +944,13 @@ impl QueryEngine {
     ) -> Result<ResolvedQuery, RdxError> {
         // Direct runs skip the queue: their lifecycle is submit → admit
         // (zero wait) → cache lookup → chunks → done, same shape as a
-        // ticket's.
+        // ticket's.  They consume a submission ordinal like any ticket, so
+        // fault plans address both paths with one numbering.
         let query = QueryId::next();
         self.obs.record(query, EventKind::Submit);
-        match self.resolve_with(request, budget, query, 0) {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        match self.resolve_with(request, budget, query, 0, ordinal) {
             Ok(rq) => Ok(rq),
             Err(e) => {
                 self.reject(query, &e);
@@ -590,9 +967,47 @@ impl QueryEngine {
         budget: MemoryBudget,
         query: QueryId,
         queue_wait_ns: u64,
+        ordinal: usize,
     ) -> Result<ResolvedQuery, RdxError> {
         validate(&self.catalog, request)?;
         budget.check_one_row(streaming_bytes_per_row(&request.spec))?;
+        let Some(larger) = self.catalog.get_arc(request.larger) else {
+            return Err(RdxError::UnknownRelation {
+                id: request.larger.raw(),
+            });
+        };
+        let Some(smaller) = self.catalog.get_arc(request.smaller) else {
+            return Err(RdxError::UnknownRelation {
+                id: request.smaller.raw(),
+            });
+        };
+        let threads = request
+            .threads_hint
+            .unwrap_or(self.config.threads_per_query);
+        // Deadline-aware admission: price the *whole* streaming phase at
+        // this query's granted share with the Appendix-A model before
+        // spending anything on it.  An infeasible deadline is rejected
+        // here — the query never runs a chunk, and its grant is released
+        // by the caller like any admission failure.  The result
+        // cardinality is not known pre-join, so the larger side's
+        // cardinality bounds it from above (equi-join on a key): the check
+        // is conservative, never optimistic.
+        if let Some(deadline_ns) = request.deadline_ns {
+            let predicted_ns = predicted_total_ns(
+                &larger,
+                &smaller,
+                request,
+                &self.shared_params,
+                budget,
+                threads,
+            );
+            if predicted_ns > deadline_ns {
+                return Err(RdxError::Deadline(DeadlineError::Infeasible {
+                    predicted_ns,
+                    deadline_ns,
+                }));
+            }
+        }
         self.stats.admissions += 1;
         self.obs.record(
             query,
@@ -605,11 +1020,6 @@ impl QueryEngine {
             eo.admissions.inc();
             eo.queue_wait_ns.record(queue_wait_ns);
         }
-        let larger = self.catalog.get_arc(request.larger).expect("validated");
-        let smaller = self.catalog.get_arc(request.smaller).expect("validated");
-        let threads = request
-            .threads_hint
-            .unwrap_or(self.config.threads_per_query);
         let policy = ExecPolicy::with_threads(threads).budget(budget);
         let shared_params = &self.shared_params;
         let plan = request.codes.unwrap_or_else(|| {
@@ -631,6 +1041,11 @@ impl QueryEngine {
             cluster,
         };
         let pipeline = ProjectionPipeline::new(plan);
+        // Scripted cache eviction fires just before the lookup, forcing
+        // this query onto the rebuild path at an exact point.
+        if self.faults.evict_cache(ordinal) {
+            self.cache.clear();
+        }
         let (prepared, cache_hit) = self.cache.get_or_prepare(key, || {
             pipeline.prepare(&larger, &smaller, shared_params, &policy)
         });
@@ -769,12 +1184,16 @@ impl QueryEngine {
     fn admit_from_queue(&mut self) {
         while let Some(front) = self.queue.front() {
             let request = front.request;
+            let front_ordinal = front.ordinal;
             let effective_row_bytes = streaming_bytes_per_row(&request.spec);
-            // A hint below the one-row floor can never run; reject before
-            // it holds up the queue.
+            // A hint below the one-row floor can never run — permanently,
+            // so retry policies do not apply; reject before it holds up
+            // the queue.
             if let Some(hint) = request.budget_hint {
                 if let Err(e) = hint.check_one_row(effective_row_bytes) {
-                    let p = self.queue.pop_front().expect("peeked");
+                    let Some(p) = self.queue.pop_front() else {
+                        break;
+                    };
                     let err = RdxError::Budget(e);
                     self.reject(p.query, &err);
                     self.finished.insert(
@@ -787,22 +1206,47 @@ impl QueryEngine {
                     continue;
                 }
             }
-            match self.admission.try_admit(effective_row_bytes) {
+            // A scripted grant denial rides the ordinary budget-rejection
+            // path (and so also exercises retry policies).
+            let decision = if self.faults.deny_grant(front_ordinal) {
+                AdmissionDecision::Reject(BudgetError::ZeroBytes)
+            } else {
+                self.admission.try_admit(effective_row_bytes)
+            };
+            match decision {
                 AdmissionDecision::Queue => break,
                 AdmissionDecision::Reject(e) => {
-                    let p = self.queue.pop_front().expect("peeked");
-                    let err = RdxError::Budget(e);
-                    self.reject(p.query, &err);
-                    self.finished.insert(
-                        p.ticket.0,
-                        QueryOutcome {
-                            request,
-                            outcome: Err(err),
-                        },
-                    );
+                    let Some(p) = self.queue.pop_front() else {
+                        break;
+                    };
+                    match p.request.retry {
+                        Some(policy) if p.attempt < policy.max_retries => {
+                            self.park_retry(
+                                p.ticket,
+                                p.query,
+                                p.request,
+                                p.ordinal,
+                                p.attempt + 1,
+                                policy,
+                            );
+                        }
+                        _ => {
+                            let err = RdxError::Budget(e);
+                            self.reject(p.query, &err);
+                            self.finished.insert(
+                                p.ticket.0,
+                                QueryOutcome {
+                                    request,
+                                    outcome: Err(err),
+                                },
+                            );
+                        }
+                    }
                 }
                 AdmissionDecision::Admit { share, replanned } => {
-                    let p = self.queue.pop_front().expect("peeked");
+                    let Some(p) = self.queue.pop_front() else {
+                        break;
+                    };
                     // The effective budget: the admission grant, tightened
                     // by the request's own hint if any (a hint can only
                     // shrink the share, never grow it).
@@ -811,7 +1255,13 @@ impl QueryEngine {
                         _ => share,
                     };
                     let wait = p.submitted_at.elapsed();
-                    match self.resolve_with(&request, effective, p.query, wait.as_nanos() as u64) {
+                    match self.resolve_with(
+                        &request,
+                        effective,
+                        p.query,
+                        wait.as_nanos() as u64,
+                        p.ordinal,
+                    ) {
                         Ok(mut rq) => {
                             rq.stats.replanned = replanned;
                             rq.stats.wait = wait;
@@ -821,14 +1271,21 @@ impl QueryEngine {
                                     eo.replans.inc();
                                 }
                             }
-                            self.scheduler
-                                .add(p.ticket.0 as usize, rq.stats.predicted_chunk_cost_ms);
+                            let urgency = deadline_urgency(&request, &rq);
+                            self.scheduler.add_weighted(
+                                p.ticket.0 as usize,
+                                rq.stats.predicted_chunk_cost_ms,
+                                urgency,
+                            );
                             self.running.push(Running {
                                 ticket: p.ticket,
                                 request,
                                 rq,
                                 sink: MaterializeSink::new(),
                                 share,
+                                ordinal: p.ordinal,
+                                attempt: p.attempt,
+                                consumed_ns: 0,
                             });
                         }
                         Err(e) => {
@@ -846,6 +1303,66 @@ impl QueryEngine {
                 }
             }
         }
+    }
+}
+
+/// The EDF-flavored stride weight for an admitted query: deadline slack
+/// scales the stride down (an urgent query's pass advances slower, so it
+/// wins more dispatches) and priority divides it.  `1.0` — plain fair
+/// stride — for the default request.
+///
+/// Slack is measured against the *resolved* plan: predicted per-chunk cost
+/// × planned chunk count.  The urgency floor (1/16) keeps even a
+/// zero-slack query from monopolising the loop — deadlines shift service
+/// shares, they do not suspend fairness.
+fn deadline_urgency(request: &ServerRequest, rq: &ResolvedQuery) -> f64 {
+    let priority = f64::from(request.priority.max(1));
+    let slack_factor = match request.deadline_ns {
+        Some(deadline_ns) => {
+            let chunk_ns = (rq.stats.predicted_chunk_cost_ms * 1e6).max(0.0) as u64;
+            let total_ns = chunk_ns.saturating_mul(rq.run.streaming().num_chunks as u64);
+            let slack = deadline_ns.saturating_sub(total_ns);
+            ((slack as f64 + 1.0) / (deadline_ns as f64 + 1.0)).clamp(1.0 / 16.0, 1.0)
+        }
+        None => 1.0,
+    };
+    slack_factor / priority
+}
+
+/// The Appendix-A streaming prediction for the whole query at `budget`,
+/// in nanoseconds — the number deadline-aware admission compares against
+/// [`ServerRequest::deadline_ns`].  Result cardinality is bounded above by
+/// the larger side (equi-join on a key); a non-finite prediction saturates
+/// to `u64::MAX`, which can only ever *reject*, never admit optimistically.
+fn predicted_total_ns(
+    larger: &DsmRelation,
+    smaller: &DsmRelation,
+    request: &ServerRequest,
+    params: &CacheParams,
+    budget: MemoryBudget,
+    threads: usize,
+) -> u64 {
+    let result_rows = larger.cardinality();
+    let plan = plan_streaming(
+        result_rows,
+        smaller.cardinality(),
+        4,
+        &request.spec,
+        params,
+        budget,
+        threads,
+    );
+    let ms = predict_streaming_cost(
+        &plan,
+        smaller.cardinality(),
+        result_rows,
+        &request.spec,
+        params,
+    );
+    if ms.is_finite() {
+        (ms * 1e6).max(0.0) as u64
+    } else {
+        u64::MAX
     }
 }
 
@@ -1067,5 +1584,208 @@ mod tests {
         let rq = engine.resolve_direct(&request).expect("budget released");
         assert_eq!(rq.stats.share_bytes, 4_096);
         engine.retire(rq);
+    }
+
+    #[test]
+    fn cancel_reclaims_grants_at_any_state() {
+        let w = JoinWorkloadBuilder::equal(1_500, 1).seed(17).build();
+        let mut engine = engine(MemoryBudget::bytes(64));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let request = ServerRequest::new(larger, smaller, QuerySpec::symmetric(1));
+
+        // Cancel while still queued: no grant was ever held.
+        let queued = engine.submit(request);
+        assert!(engine.cancel(queued));
+        assert_eq!(engine.status(queued), Some(TicketStatus::Finished));
+        assert_eq!(
+            engine.take_outcome(queued).unwrap().outcome.unwrap_err(),
+            RdxError::Cancelled
+        );
+        assert_eq!(engine.committed_bytes(), 0);
+
+        // Cancel mid-flight: the grant comes back at the chunk boundary.
+        let running = engine.submit(request);
+        for _ in 0..3 {
+            assert!(matches!(engine.step(), EngineStep::Chunk { .. }));
+        }
+        assert!(engine.committed_bytes() > 0);
+        assert!(engine.cancel(running));
+        assert_eq!(engine.committed_bytes(), 0);
+        assert_eq!(
+            engine.take_outcome(running).unwrap().outcome.unwrap_err(),
+            RdxError::Cancelled
+        );
+        // Exactly one terminal observation; cancelling again is a no-op.
+        assert!(engine.take_outcome(running).is_none());
+        assert!(!engine.cancel(running));
+        assert_eq!(engine.stats().cancellations, 2);
+        assert_eq!(engine.step(), EngineStep::Idle);
+
+        // A survivor submitted afterwards is unaffected.
+        let survivor = engine.submit(request);
+        while engine.step() != EngineStep::Idle {}
+        let q = engine.take_outcome(survivor).unwrap().outcome.unwrap();
+        assert_eq!(q.stats.rows, w.expected_matches);
+    }
+
+    #[test]
+    fn infeasible_deadline_is_rejected_before_any_chunk_runs() {
+        let w = JoinWorkloadBuilder::equal(2_000, 1).seed(19).build();
+        let mut engine = engine(MemoryBudget::bytes(4 * 1024));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+
+        // 1 ns of service time can never cover a 2 000-row projection.
+        let doomed = engine.submit(ServerRequest::new(larger, smaller, spec).with_deadline(1));
+        while engine.step() != EngineStep::Idle {}
+        match engine.take_outcome(doomed).unwrap().outcome.unwrap_err() {
+            RdxError::Deadline(DeadlineError::Infeasible {
+                predicted_ns,
+                deadline_ns,
+            }) => {
+                assert!(predicted_ns > deadline_ns);
+                assert_eq!(deadline_ns, 1);
+            }
+            other => panic!("expected infeasible-deadline rejection, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.deadline_rejects, 1);
+        assert_eq!(stats.chunks_dispatched, 0, "rejected before any chunk ran");
+        assert_eq!(engine.committed_bytes(), 0);
+
+        // A generous deadline admits and completes normally.
+        let fine = engine.submit(ServerRequest::new(larger, smaller, spec).with_deadline(u64::MAX));
+        while engine.step() != EngineStep::Idle {}
+        let q = engine.take_outcome(fine).unwrap().outcome.unwrap();
+        assert_eq!(q.stats.rows, w.expected_matches);
+    }
+
+    #[test]
+    fn scripted_slowdown_trips_the_deadline_mid_flight() {
+        let w = JoinWorkloadBuilder::equal(1_500, 1).seed(23).build();
+        let mut engine = engine(MemoryBudget::bytes(64));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        // 1 s of real slack dwarfs actual wall time; the scripted 10¹² ns
+        // slowdown at chunk 2 is what trips it — deterministically.
+        engine.inject_faults(FaultPlan::new().slow_at(0, 2, 1_000_000_000_000));
+        let ticket = engine.submit(
+            ServerRequest::new(larger, smaller, QuerySpec::symmetric(1))
+                .with_deadline(1_000_000_000),
+        );
+        while engine.step() != EngineStep::Idle {}
+        match engine.take_outcome(ticket).unwrap().outcome.unwrap_err() {
+            RdxError::Deadline(DeadlineError::Exceeded {
+                consumed_ns,
+                deadline_ns,
+            }) => {
+                assert!(consumed_ns > deadline_ns);
+                assert_eq!(deadline_ns, 1_000_000_000);
+            }
+            other => panic!("expected deadline-exceeded, got {other:?}"),
+        }
+        assert_eq!(engine.committed_bytes(), 0);
+        assert_eq!(engine.stats().cancellations, 1);
+    }
+
+    #[test]
+    fn injected_panic_poisons_one_run_and_retry_recovers_it() {
+        let w = JoinWorkloadBuilder::equal(1_500, 1).seed(29).build();
+        let mut engine = engine(MemoryBudget::bytes(64));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let request = ServerRequest::new(larger, smaller, QuerySpec::symmetric(1));
+
+        // Without a retry policy the panic surfaces as a typed error.
+        engine.inject_faults(FaultPlan::new().panic_at(0, 1, 3));
+        let doomed = engine.submit(request);
+        while engine.step() != EngineStep::Idle {}
+        assert_eq!(
+            engine.take_outcome(doomed).unwrap().outcome.unwrap_err(),
+            RdxError::WorkerPanicked { worker: 3 }
+        );
+        assert_eq!(engine.committed_bytes(), 0);
+        assert_eq!(engine.stats().worker_panics, 1);
+
+        // With one, the re-run completes and matches a clean run exactly.
+        engine.inject_faults(FaultPlan::new().panic_at(1, 1, 0));
+        let retried = engine.submit(request.with_retry(RetryPolicy::with_retries(1)));
+        let clean = engine.submit(request);
+        while engine.step() != EngineStep::Idle {}
+        let qr = engine.take_outcome(retried).unwrap().outcome.unwrap();
+        let qc = engine.take_outcome(clean).unwrap().outcome.unwrap();
+        assert_eq!(columns(&qr.result), columns(&qc.result));
+        assert_eq!(qr.stats.rows, w.expected_matches);
+        let stats = engine.stats();
+        assert_eq!(stats.worker_panics, 2);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn denied_grants_retry_through_waiting_steps() {
+        let w = JoinWorkloadBuilder::equal(800, 1).seed(31).build();
+        let mut engine = engine(MemoryBudget::bytes(4 * 1024));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let request = ServerRequest::new(larger, smaller, QuerySpec::symmetric(1));
+
+        // Two scripted denials; two retries in the policy → eventually done.
+        engine.inject_faults(FaultPlan::new().deny_grant(0).deny_grant(0));
+        let ticket = engine.submit(request.with_retry(RetryPolicy::with_retries(2)));
+        let mut saw_waiting = false;
+        loop {
+            match engine.step() {
+                EngineStep::Idle => break,
+                EngineStep::Waiting => saw_waiting = true,
+                _ => {}
+            }
+        }
+        assert!(saw_waiting, "backoff steps surface as Waiting, not Idle");
+        let q = engine.take_outcome(ticket).unwrap().outcome.unwrap();
+        assert_eq!(q.stats.rows, w.expected_matches);
+        assert_eq!(engine.stats().retries, 2);
+        assert_eq!(engine.stats().budget_rejects, 0, "retried, never rejected");
+
+        // Exhausting the policy surfaces the budget error.
+        engine.inject_faults(FaultPlan::new().deny_grant(1).deny_grant(1));
+        let doomed = engine.submit(request.with_retry(RetryPolicy::with_retries(1)));
+        while engine.step() != EngineStep::Idle {}
+        assert!(matches!(
+            engine.take_outcome(doomed).unwrap().outcome.unwrap_err(),
+            RdxError::Budget(BudgetError::ZeroBytes)
+        ));
+        assert_eq!(engine.stats().budget_rejects, 1);
+    }
+
+    #[test]
+    fn tight_deadlines_outrun_loose_ones_under_contention() {
+        let w = JoinWorkloadBuilder::equal(2_000, 1).seed(37).build();
+        let mut engine = engine(MemoryBudget::bytes(4 * 1024));
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+        // Same work, but one has almost no slack: the EDF weight should
+        // finish it first even though it was submitted second.
+        let loose =
+            engine.submit(ServerRequest::new(larger, smaller, spec).with_deadline(u64::MAX));
+        let tight = engine.submit(
+            ServerRequest::new(larger, smaller, spec)
+                .with_deadline(60_000_000_000)
+                .with_priority(4),
+        );
+        let mut finish_order = Vec::new();
+        loop {
+            match engine.step() {
+                EngineStep::Idle => break,
+                EngineStep::Finished { ticket } => finish_order.push(ticket),
+                _ => {}
+            }
+        }
+        assert_eq!(finish_order, vec![tight, loose]);
+        let qt = engine.take_outcome(tight).unwrap().outcome.unwrap();
+        let ql = engine.take_outcome(loose).unwrap().outcome.unwrap();
+        assert_eq!(columns(&qt.result), columns(&ql.result));
     }
 }

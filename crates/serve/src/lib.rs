@@ -40,6 +40,24 @@
 //! produces, per query, output byte-identical to running that query alone —
 //! scheduling changes *when* chunks run, never what they contain.
 //!
+//! ## Robustness
+//!
+//! The engine degrades *per query*, never per process.  A request may carry
+//! a **deadline** ([`ServerRequest::with_deadline`]): admission predicts the
+//! streaming cost at the query's cache share and rejects infeasible requests
+//! with [`rdx_core::error::DeadlineError::Infeasible`] before a single chunk
+//! runs, and admitted queries that overrun are torn down at the next chunk
+//! boundary with [`rdx_core::error::DeadlineError::Exceeded`].  Any ticket
+//! can be **cancelled** mid-flight ([`QueryEngine::cancel`]); its grant is
+//! reclaimed at the chunk boundary, so `Σ grants ≤ global` holds through
+//! every teardown.  A **worker panic** is caught per run and surfaces as
+//! [`rdx_core::error::RdxError::WorkerPanicked`] on that query alone —
+//! concurrent queries finish byte-identical to their serial runs.  A
+//! [`rdx_core::fault::RetryPolicy`] re-queues budget-rejected or panicked
+//! queries with deterministic drive-step backoff, and a scripted
+//! [`rdx_core::fault::FaultPlan`] ([`QueryEngine::inject_faults`]) makes
+//! every degradation path a pure function of the script.
+//!
 //! All fallible paths report the workspace-wide
 //! [`rdx_core::error::RdxError`] ([`ServeError`] remains as an alias).
 //!

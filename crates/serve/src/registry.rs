@@ -54,7 +54,13 @@ impl Catalog {
     /// Registers an already-shared relation without copying it — how two
     /// sessions (or a session and its tests) share one physical table.
     pub fn register_arc(&mut self, relation: Arc<DsmRelation>) -> RelationId {
-        let id = RelationId(u32::try_from(self.relations.len()).expect("catalog overflow"));
+        // 2^32 relations would exhaust memory long before this fires; the
+        // assert documents the id-width limit without an unwrap path.
+        assert!(
+            self.relations.len() < u32::MAX as usize,
+            "catalog overflow: relation ids are 32-bit"
+        );
+        let id = RelationId(self.relations.len() as u32);
         self.relations.push(relation);
         id
     }

@@ -100,21 +100,42 @@ impl ChunkScheduler {
     /// # Panics
     /// Panics if `id` is already scheduled.
     pub fn add(&mut self, id: usize, chunk_cost: f64) {
+        self.add_weighted(id, chunk_cost, 1.0);
+    }
+
+    /// Adds a query with an **urgency weight** — the EDF-flavored deadline
+    /// hook.  `urgency` scales the stride: an urgent query (low deadline
+    /// slack) passes `urgency < 1`, shrinking its stride so its pass
+    /// advances slower and it wins more dispatches; `1.0` is plain fair
+    /// stride.  The weight applies under *both* policies (it is the whole
+    /// point for round-robin too: a deadline query must be able to outrank
+    /// strict alternation), and the product is clamped to the same
+    /// `MIN_STRIDE`/`MAX_STRIDE` guards as any stride, so a zero or
+    /// infinite urgency degrades gracefully instead of stalling the loop.
+    ///
+    /// # Panics
+    /// Panics if `id` is already scheduled.
+    pub fn add_weighted(&mut self, id: usize, chunk_cost: f64, urgency: f64) {
         assert!(
             self.entries.iter().all(|e| e.id != id),
             "query {id} scheduled twice"
         );
-        let stride = match self.policy {
+        let base = match self.policy {
             FairnessPolicy::RoundRobin => 1.0,
             // Guard against degenerate predictions: every stride must be
             // large enough to actually advance the pass (see [`MIN_STRIDE`])
             // and small enough not to starve its query ([`MAX_STRIDE`]);
             // a NaN prediction falls back to the neutral round-robin weight.
             FairnessPolicy::CostWeighted => {
-                let cost = if chunk_cost.is_nan() { 1.0 } else { chunk_cost };
-                cost.clamp(MIN_STRIDE, MAX_STRIDE)
+                if chunk_cost.is_nan() {
+                    1.0
+                } else {
+                    chunk_cost
+                }
             }
         };
+        let urgency = if urgency.is_nan() { 1.0 } else { urgency };
+        let stride = (base * urgency).clamp(MIN_STRIDE, MAX_STRIDE);
         let pass = self
             .entries
             .iter()
@@ -133,12 +154,13 @@ impl ChunkScheduler {
     /// Picks the query whose chunk runs next (smallest pass, ties by
     /// arrival) and charges it one stride.  `None` when idle.
     pub fn dispatch(&mut self) -> Option<usize> {
-        let next = self.entries.iter_mut().min_by(|a, b| {
-            a.pass
-                .partial_cmp(&b.pass)
-                .expect("pass is never NaN")
-                .then(a.arrival.cmp(&b.arrival))
-        })?;
+        // `total_cmp` is NaN-safe: passes never are NaN (strides are
+        // clamped finite), but a total order costs nothing and removes the
+        // panic path outright.
+        let next = self
+            .entries
+            .iter_mut()
+            .min_by(|a, b| a.pass.total_cmp(&b.pass).then(a.arrival.cmp(&b.arrival)))?;
         next.pass += next.stride;
         self.dispatches += 1;
         Some(next.id)
@@ -199,6 +221,41 @@ mod tests {
         let order: Vec<_> = (0..4).map(|_| s.dispatch().unwrap()).collect();
         assert_eq!(order.iter().filter(|&&id| id == 3).count(), 2);
         assert_eq!(order.iter().filter(|&&id| id == 2).count(), 2);
+    }
+
+    #[test]
+    fn urgency_weight_front_loads_tight_deadlines() {
+        // Two equal-cost queries; one carries an urgency of 1/4 (tight
+        // slack).  Equal predicted time per *pass unit* means the urgent
+        // query now runs ~4 chunks per relaxed chunk.
+        let mut s = ChunkScheduler::new(FairnessPolicy::CostWeighted);
+        s.add_weighted(1, 2.0, 0.25);
+        s.add(2, 2.0);
+        let mut counts = [0usize; 2];
+        for _ in 0..100 {
+            match s.dispatch().unwrap() {
+                1 => counts[0] += 1,
+                2 => counts[1] += 1,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(counts[0], 80, "{counts:?}");
+        assert_eq!(counts[1], 20, "{counts:?}");
+        // Round-robin honours urgency too — a deadline query must be able
+        // to outrank strict alternation.
+        let mut rr = ChunkScheduler::new(FairnessPolicy::RoundRobin);
+        rr.add_weighted(1, 99.0, 0.5);
+        rr.add(2, 99.0);
+        let order: Vec<_> = (0..6).map(|_| rr.dispatch().unwrap()).collect();
+        assert_eq!(order.iter().filter(|&&id| id == 1).count(), 4);
+        // Degenerate urgencies clamp like any stride.
+        let mut d = ChunkScheduler::new(FairnessPolicy::CostWeighted);
+        d.add_weighted(7, 1.0, 0.0);
+        d.add_weighted(8, 1.0, f64::NAN);
+        d.add_weighted(9, 1.0, f64::INFINITY);
+        for _ in 0..12 {
+            assert!(d.dispatch().is_some());
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::scheduler::FairnessPolicy;
 use rdx_cache::CacheParams;
 use rdx_core::budget::MemoryBudget;
 use rdx_core::error::RdxError;
+use rdx_core::fault::RetryPolicy;
 use rdx_core::strategy::{AdaptivePolicy, DsmPostProjection, PhaseTimings, QuerySpec};
 use rdx_dsm::{DsmRelation, ResultRelation};
 use std::time::{Duration, Instant};
@@ -126,6 +127,28 @@ pub struct ServerRequest {
     /// [`ServeConfig::profiled`] for semantics); `false` — the default —
     /// can still be overridden engine-wide by the config flag.
     pub profiled: bool,
+    /// Optional completion deadline, nanoseconds of *service time* from
+    /// admission.  `Some` arms two enforcement points: admission rejects
+    /// the query outright ([`rdx_core::error::DeadlineError::Infeasible`])
+    /// when the Appendix-A streaming prediction at its cache share already
+    /// exceeds the deadline, and the engine tears down an admitted run at
+    /// the first chunk boundary after its consumed service time passes the
+    /// deadline ([`rdx_core::error::DeadlineError::Exceeded`]), reclaiming
+    /// its budget grant.  Deadlines also feed the scheduler: slack scales
+    /// the stride (EDF-flavored), so tight-deadline queries win dispatches.
+    pub deadline_ns: Option<u64>,
+    /// Scheduling priority, `1` (default) and up: the stride is divided by
+    /// the priority, so a priority-2 query receives twice the dispatch
+    /// share of a priority-1 peer.  `0` is treated as `1`.  Priorities
+    /// change only chunk interleaving, never bytes, so they cannot affect
+    /// results.
+    pub priority: u32,
+    /// Optional retry policy for *recoverable* failures — budget-rejected
+    /// admissions and worker panics.  Retries re-enter the admission queue
+    /// after an exponential backoff measured in engine drive steps (never
+    /// wall-clock), keeping recovery deterministic.  Deadline failures are
+    /// never retried.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ServerRequest {
@@ -140,6 +163,9 @@ impl ServerRequest {
             codes: None,
             adaptive: None,
             profiled: false,
+            deadline_ns: None,
+            priority: 1,
+            retry: None,
         }
     }
 
@@ -173,6 +199,28 @@ impl ServerRequest {
     /// survives any container.  Needs engine observability to take effect.
     pub fn with_profiled(mut self) -> Self {
         self.profiled = true;
+        self
+    }
+
+    /// Sets a completion deadline in nanoseconds of service time (see
+    /// [`ServerRequest::deadline_ns`] for the two enforcement points and
+    /// the scheduler coupling).
+    pub fn with_deadline(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Sets the scheduling priority (default 1; higher wins more
+    /// dispatches; 0 is treated as 1).
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Arms deterministic retry-with-backoff for budget rejections and
+    /// worker panics (see [`ServerRequest::retry`]).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -286,6 +334,20 @@ pub struct BatchStats {
     pub replans: u64,
     /// Mid-flight re-splits fired by adaptive queries in this batch.
     pub adaptive_replans: u64,
+    /// Of [`BatchStats::rejections`]: refused because the budget could not
+    /// admit them (load shedding).
+    pub budget_rejects: u64,
+    /// Of [`BatchStats::rejections`]: refused at admission because their
+    /// deadline was infeasible at the granted share.
+    pub deadline_rejects: u64,
+    /// Queries torn down mid-flight — caller cancellations plus deadline
+    /// enforcement — with their budget grants reclaimed.
+    pub cancellations: u64,
+    /// Queries that failed because a morsel worker panicked while running
+    /// one of their chunks (concurrent queries are unaffected).
+    pub worker_panics: u64,
+    /// Retry attempts re-queued under a [`ServerRequest::retry`] policy.
+    pub retries: u64,
 }
 
 /// A served batch: per-request outcomes (in request order) plus batch stats.
@@ -386,10 +448,15 @@ impl RdxServer {
         while self.engine.step() != EngineStep::Idle {}
         let outcomes = tickets
             .into_iter()
-            .map(|t| {
-                self.engine
-                    .take_outcome(t)
-                    .expect("request left unresolved")
+            .zip(requests)
+            .map(|(t, r)| {
+                // Every submitted ticket resolves before the engine goes
+                // idle; a missing outcome (impossible today) degrades to a
+                // typed unknown-ticket error instead of a panic.
+                self.engine.take_outcome(t).unwrap_or_else(|| QueryOutcome {
+                    request: *r,
+                    outcome: Err(RdxError::UnknownTicket { ticket: t.raw() }),
+                })
             })
             .collect();
         let engine_stats = self.engine.stats();
@@ -408,6 +475,11 @@ impl RdxServer {
                 rejections: engine_stats.rejections,
                 replans: engine_stats.replans,
                 adaptive_replans: engine_stats.adaptive_replans,
+                budget_rejects: engine_stats.budget_rejects,
+                deadline_rejects: engine_stats.deadline_rejects,
+                cancellations: engine_stats.cancellations,
+                worker_panics: engine_stats.worker_panics,
+                retries: engine_stats.retries,
             },
         }
     }

@@ -208,4 +208,58 @@ fn main() {
         }
         other => panic!("both tickets must finish, got {other:?}"),
     }
+
+    // 5. Robustness: a latecomer with an impossible deadline is rejected at
+    // admission — the cost model prices it at this session's cache share
+    // and refuses before a single chunk runs — while a straggler cancelled
+    // mid-flight hands its memory grant back at the next chunk boundary.
+    // Neither disturbs the in-flight query they share the session with.
+    let in_flight = cached
+        .query(l0, s0)
+        .project(QuerySpec::symmetric(2))
+        .submit();
+    cached.drive(3);
+    let doomed = cached
+        .query(l0, s0)
+        .project(QuerySpec::symmetric(2))
+        .deadline(1) // 1 ns of service time: infeasible by construction
+        .submit();
+    let straggler = cached
+        .query(l0, s0)
+        .project(QuerySpec::symmetric(2))
+        .submit();
+    cached.drive(6);
+    let was_live = straggler.cancel(&mut cached);
+    while cached.drive(64) > 0 {}
+    match doomed.poll(&mut cached) {
+        QueryPoll::Rejected(RdxError::Deadline(DeadlineError::Infeasible {
+            predicted_ns,
+            deadline_ns,
+        })) => println!(
+            "deadline latecomer rejected at admission: predicted {predicted_ns} ns \
+             against a {deadline_ns} ns deadline — it never held a grant"
+        ),
+        other => panic!("infeasible deadline must be rejected, got {other:?}"),
+    }
+    match straggler.poll(&mut cached) {
+        QueryPoll::Rejected(RdxError::Cancelled) => println!(
+            "straggler cancelled mid-flight (was_live={was_live}): grant reclaimed \
+             at the chunk boundary"
+        ),
+        // A small mix can finish the straggler before the cancel lands.
+        QueryPoll::Done(_) if !was_live => {
+            println!("straggler finished before the cancel landed — delivered once")
+        }
+        other => panic!("straggler must cancel or finish, got {other:?}"),
+    }
+    match in_flight.poll(&mut cached) {
+        QueryPoll::Done(q) => println!(
+            "the in-flight query never noticed: {} rows, byte-identical by \
+             construction ({} cancellation(s), {} deadline reject(s) this session)",
+            q.stats.rows,
+            cached.engine_mut().stats().cancellations,
+            cached.engine_mut().stats().deadline_rejects,
+        ),
+        other => panic!("the in-flight query must finish, got {other:?}"),
+    }
 }

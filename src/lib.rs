@@ -40,6 +40,12 @@
 //!   `stream(sink)` (chunked) or `submit()` (a [`api::Ticket`] polled
 //!   without blocking, pumped by [`api::Session::drive`]).  The per-crate
 //!   entry points above remain as documented legacy wrappers.
+//!   Requests may carry a **deadline** (checked against the cost model at
+//!   admission, enforced at chunk boundaries), a **priority**, and a capped
+//!   **retry policy**; tickets can be **cancelled** mid-flight, worker
+//!   panics poison only their own query, and a scripted
+//!   `core::fault::FaultPlan` drives every degradation path
+//!   deterministically.
 //! * [`obs`] — the zero-dependency **observability layer**: a lock-free
 //!   metrics registry (counters, gauges, power-of-two latency histograms),
 //!   a bounded ring of per-query trace events (submit → admit → cache
@@ -92,7 +98,8 @@ pub mod prelude {
         radix_decluster, radix_decluster_into, radix_decluster_windows,
         radix_decluster_windows_with_scratch, DeclusterScratch,
     };
-    pub use rdx_core::error::{RdxError, Side};
+    pub use rdx_core::error::{DeadlineError, RdxError, Side};
+    pub use rdx_core::fault::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{
         plan_streaming, plan_streaming_checked, resplit_budget, AdaptiveController,
