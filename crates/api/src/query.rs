@@ -8,7 +8,7 @@ use rdx_core::fault::RetryPolicy;
 use rdx_core::strategy::{
     AdaptivePolicy, DsmPostProjection, MaterializeSink, QuerySpec, RowChunkSink,
 };
-use rdx_serve::{QueryResult, QueryStats, RelationId, ServerRequest};
+use rdx_serve::{QueryResult, QueryStats, RelationId, ServerRequest, TenantId};
 
 /// A projection query under construction:
 /// `session.query(larger, smaller).project(spec).budget(b).threads(t)`
@@ -129,6 +129,17 @@ impl<'s> Query<'s> {
     /// times as often as priority 1, on top of any deadline urgency.
     pub fn priority(mut self, priority: u32) -> Self {
         self.request = self.request.with_priority(priority);
+        self
+    }
+
+    /// Bills this query to a tenant (interned via [`Session::tenant_id`]):
+    /// submission is admitted against that tenant's
+    /// [`rdx_serve::TenantQuota`] — in-flight cap and resident-byte cap —
+    /// *before* the global budget, and its admissions/rejections show up
+    /// in the tenant's `engine.tenant.*` metrics.  Tags change admission
+    /// and accounting only, never result bytes.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.request = self.request.with_tenant(tenant);
         self
     }
 

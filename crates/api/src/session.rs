@@ -5,9 +5,11 @@ use crate::Query;
 use rdx_cache::CacheParams;
 use rdx_core::error::RdxError;
 use rdx_dsm::DsmRelation;
+use rdx_net::{NetConfig, NetListener, NetServer, NetStats};
 use rdx_obs::{MetricsSnapshot, TraceSnapshot};
 use rdx_serve::{
-    CacheStats, Catalog, EngineStep, QueryEngine, RelationId, ServeConfig, TicketStatus,
+    CacheStats, Catalog, EngineStep, QueryEngine, RelationId, ServeConfig, TenantId, TenantStats,
+    TicketStatus,
 };
 use std::sync::Arc;
 
@@ -200,6 +202,53 @@ impl Session {
     /// [`ServeConfig::observability`] set.
     pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
         self.engine.obs().trace_snapshot()
+    }
+
+    /// Pumps [`Session::drive`] until the session is fully drained
+    /// (nothing queued, running, or parked for retry) and returns how many
+    /// chunk-steps ran — the blocking tail for a caller that has finished
+    /// submitting and just wants every ticket finished.
+    pub fn drive_until_idle(&mut self) -> usize {
+        let mut ran = 0;
+        while self.engine.step() != EngineStep::Idle {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Interns `name` as a [`TenantId`] for tagging submissions with
+    /// [`Query::tenant`].  Idempotent: the same name always yields the
+    /// same id, and first sight resolves the tenant's quota from
+    /// [`ServeConfig::tenant_quotas`].
+    pub fn tenant_id(&mut self, name: &str) -> TenantId {
+        self.engine.tenant_id(name)
+    }
+
+    /// A point-in-time snapshot of one tenant's quota accounting
+    /// (in-flight queries, committed bytes, admissions, rejections).
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.engine.tenant_stats(tenant)
+    }
+
+    /// Turns this session into a socket server on `listener` and runs it
+    /// until every connected client has disconnected and the engine is
+    /// drained — the front door to `rdx-net` (see `examples/net_server.rs`).
+    /// Register relations *before* calling; the returned [`NetStats`]
+    /// summarise the connection lifecycle.
+    pub fn serve(self, listener: NetListener) -> NetStats {
+        self.serve_with(listener, NetConfig::default())
+    }
+
+    /// [`Session::serve`] with explicit poll-loop tuning.
+    pub fn serve_with(self, listener: NetListener, config: NetConfig) -> NetStats {
+        NetServer::new(listener, self.engine, config).serve()
+    }
+
+    /// Turns this session into a [`NetServer`] without running it — for
+    /// callers that drive [`NetServer::poll_cycle`] themselves or need the
+    /// engine back after serving.
+    pub fn into_server(self, listener: NetListener, config: NetConfig) -> NetServer {
+        NetServer::new(listener, self.engine, config)
     }
 
     /// The ticket-granular engine underneath, for callers that need the

@@ -100,6 +100,7 @@ fn main() {
         queries,
         zipf_exponent: 1.0,
         seed,
+        ..MixConfig::default()
     });
     println!(
         "serve_mix: {queries} queries over 4 tenants, popularity {:?}, repeat factor {:.1}x",
@@ -118,6 +119,7 @@ fn main() {
         plan_shares: Some(4),
         observability: false,
         profiled: false,
+        ..ServeConfig::default()
     };
 
     let env = EnvMeta::capture(&base.params, 1);

@@ -67,6 +67,55 @@ impl std::fmt::Display for DeadlineError {
 
 impl std::error::Error for DeadlineError {}
 
+/// Which per-tenant quota a query ran into.
+///
+/// Tenants are named by the interned numeric id the serving layer assigns
+/// (the newtype lives upstream, like `RelationId`); both variants carry the
+/// numbers an operator needs to size the quota that fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantQuotaKind {
+    /// The tenant is already running its maximum number of concurrent
+    /// queries; admitting one more would exceed the cap.
+    InFlight {
+        /// Queries the tenant had in flight when this one was refused.
+        in_flight: usize,
+        /// The tenant's concurrent-query cap.
+        limit: usize,
+    },
+    /// The tenant's resident-byte quota cannot hold even one more result
+    /// row on top of what its in-flight queries already have granted.
+    ResidentBytes {
+        /// Bytes one resident row of this query needs (the admission
+        /// floor).
+        needed: usize,
+        /// Bytes already granted to the tenant's in-flight queries.
+        in_use: usize,
+        /// The tenant's resident-byte cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for TenantQuotaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantQuotaKind::InFlight { in_flight, limit } => write!(
+                f,
+                "in-flight cap: {in_flight} of {limit} concurrent queries already running"
+            ),
+            TenantQuotaKind::ResidentBytes {
+                needed,
+                in_use,
+                limit,
+            } => write!(
+                f,
+                "resident-byte cap: {needed} more bytes needed with {in_use} of {limit} granted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TenantQuotaKind {}
+
 /// Which join input an error refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
@@ -135,6 +184,18 @@ pub enum RdxError {
         /// the panic could not be attributed to a specific worker).
         worker: usize,
     },
+    /// The query was refused at admission because its tenant's quota —
+    /// max in-flight queries or max resident grant bytes — could not
+    /// accommodate it.  Checked *before* the global budget's
+    /// `per_query_share`, so one tenant's burst is shed at its own cap and
+    /// never dips into the shared pool.
+    TenantQuota {
+        /// The interned numeric tenant id (the serving layer's `TenantId`
+        /// newtype lives upstream, like `RelationId`).
+        tenant: u32,
+        /// Which quota fired, with its numbers.
+        kind: TenantQuotaKind,
+    },
 }
 
 impl std::fmt::Display for RdxError {
@@ -168,6 +229,9 @@ impl std::fmt::Display for RdxError {
             RdxError::WorkerPanicked { worker } => {
                 write!(f, "worker {worker} panicked while running a chunk")
             }
+            RdxError::TenantQuota { tenant, kind } => {
+                write!(f, "tenant#{tenant} over quota ({kind})")
+            }
         }
     }
 }
@@ -177,6 +241,7 @@ impl std::error::Error for RdxError {
         match self {
             RdxError::Budget(e) => Some(e),
             RdxError::Deadline(e) => Some(e),
+            RdxError::TenantQuota { kind, .. } => Some(kind),
             _ => None,
         }
     }
@@ -284,5 +349,34 @@ mod tests {
         let panicked = RdxError::WorkerPanicked { worker: 3 };
         assert!(panicked.to_string().contains("worker 3"));
         assert!(std::error::Error::source(&panicked).is_none());
+    }
+
+    #[test]
+    fn tenant_quota_variants_display_and_chain() {
+        let capped = RdxError::TenantQuota {
+            tenant: 2,
+            kind: TenantQuotaKind::InFlight {
+                in_flight: 3,
+                limit: 3,
+            },
+        };
+        assert!(capped.to_string().contains("tenant#2"));
+        assert!(capped.to_string().contains("3 of 3"));
+        assert!(std::error::Error::source(&capped).is_some());
+        let starved = RdxError::TenantQuota {
+            tenant: 0,
+            kind: TenantQuotaKind::ResidentBytes {
+                needed: 16,
+                in_use: 120,
+                limit: 128,
+            },
+        };
+        assert!(starved.to_string().contains("tenant#0"));
+        assert!(starved.to_string().contains("120 of 128"));
+        assert!(starved.to_string().contains("16 more bytes"));
+        // The variant stays Copy + Eq like the rest of the hierarchy.
+        let copy = starved;
+        assert_eq!(copy, starved);
+        assert_ne!(capped, starved);
     }
 }

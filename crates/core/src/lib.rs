@@ -57,7 +57,7 @@ pub use decluster::{
     choose_window_bytes, radix_decluster, radix_decluster_into, radix_decluster_windows,
     radix_decluster_windows_with_scratch, window_elems, DeclusterScratch,
 };
-pub use error::{DeadlineError, RdxError, Side};
+pub use error::{DeadlineError, RdxError, Side, TenantQuotaKind};
 pub use fault::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
 pub use join::{hash_join, partitioned_hash_join};
 pub use strategy::{DsmPostProjection, ProjectionCode, QuerySpec};

@@ -262,6 +262,25 @@ impl MetricsRegistry {
         instrument
     }
 
+    /// [`MetricsRegistry::get_or_insert`] for a name built at runtime
+    /// (per-tenant labels like `engine.tenant.acme.admissions`).  The name
+    /// is interned — leaked into a `'static str` — exactly once per
+    /// distinct string, under the registry lock, so the snapshot type stays
+    /// `(&'static str, _)` and repeated registrations of the same label
+    /// never grow memory.  Interning is bounded by the label population
+    /// (tenants, not queries), the same registration-time-only cost the
+    /// static path pays.
+    fn get_or_insert_named(&self, name: &str, make: impl FnOnce() -> Instrument) -> Instrument {
+        let mut instruments = self.instruments.lock().expect("metrics registry poisoned");
+        if let Some((_, i)) = instruments.iter().find(|(n, _)| *n == name) {
+            return i.clone();
+        }
+        let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let instrument = make();
+        instruments.push((interned, instrument.clone()));
+        instrument
+    }
+
     /// The counter registered under `name` (created on first use).
     ///
     /// # Panics
@@ -293,6 +312,47 @@ impl MetricsRegistry {
     /// kind.
     pub fn histogram(&self, name: &'static str) -> Histogram {
         match self.get_or_insert(name, || Instrument::Histogram(Histogram::default())) {
+            Instrument::Histogram(h) => h,
+            other => panic!("{name} already registered as {other:?}"),
+        }
+    }
+
+    /// The counter registered under a runtime-built `name` (created on
+    /// first use; the name is interned once per distinct string) — how
+    /// per-tenant instruments like `engine.tenant.<name>.admissions` are
+    /// registered without widening the snapshot type.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different instrument
+    /// kind.
+    pub fn counter_named(&self, name: &str) -> Counter {
+        match self.get_or_insert_named(name, || Instrument::Counter(Counter::default())) {
+            Instrument::Counter(c) => c,
+            other => panic!("{name} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge registered under a runtime-built `name` (created on first
+    /// use; the name is interned once per distinct string).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different instrument
+    /// kind.
+    pub fn gauge_named(&self, name: &str) -> Gauge {
+        match self.get_or_insert_named(name, || Instrument::Gauge(Gauge::default())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("{name} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram registered under a runtime-built `name` (created on
+    /// first use; the name is interned once per distinct string).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different instrument
+    /// kind.
+    pub fn histogram_named(&self, name: &str) -> Histogram {
+        match self.get_or_insert_named(name, || Instrument::Histogram(Histogram::default())) {
             Instrument::Histogram(h) => h,
             other => panic!("{name} already registered as {other:?}"),
         }
@@ -537,6 +597,49 @@ mod tests {
         assert_eq!(snap.counter("x"), Some(3));
         assert_eq!(snap.gauge("depth"), Some(3));
         assert!(snap.get("missing").is_none());
+    }
+
+    #[test]
+    fn named_registration_interns_once_and_shares_with_static_names() {
+        let registry = MetricsRegistry::new();
+        // A runtime-built name registers, dedupes against itself, and shows
+        // up in snapshots like any static name.
+        let tenant = "acme";
+        let a = registry.counter_named(&format!("engine.tenant.{tenant}.admissions"));
+        let b = registry.counter_named(&format!("engine.tenant.{tenant}.admissions"));
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine.tenant.acme.admissions"), Some(5));
+        // Static and named registration of the same string share one
+        // instrument.
+        registry.counter("engine.shared").add(1);
+        registry.counter_named("engine.shared").add(2);
+        assert_eq!(registry.snapshot().counter("engine.shared"), Some(3));
+        // Gauges and histograms take the same path.
+        registry.gauge_named("engine.tenant.acme.in_flight").set(2);
+        registry
+            .histogram_named("engine.tenant.acme.wait_ns")
+            .record(64);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("engine.tenant.acme.in_flight"), Some(2));
+        assert_eq!(
+            snap.histogram("engine.tenant.acme.wait_ns").unwrap().count,
+            1
+        );
+        // Exporters render interned names unchanged.
+        assert!(snap
+            .to_prometheus()
+            .contains("rdx_engine_tenant_acme_in_flight 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn named_kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter_named("engine.tenant.x.admissions");
+        registry.gauge_named("engine.tenant.x.admissions");
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub enum EventKind {
     /// The query entered the system (ticket submission or direct
     /// `run`/`stream`).
     Submit,
+    /// The query was attributed to a tenant — recorded right after
+    /// [`EventKind::Submit`] when the request carried one, so a trace
+    /// consumer can group every later event of this query under its
+    /// principal.
+    Tenant {
+        /// The serving layer's interned numeric tenant id.
+        tenant: u32,
+    },
     /// Admission granted a share of the global budget after
     /// `queue_wait_ns` in the FIFO queue (0 for direct runs, which skip
     /// the queue).
@@ -146,6 +154,7 @@ impl EventKind {
     pub fn label(&self) -> &'static str {
         match self {
             EventKind::Submit => "submit",
+            EventKind::Tenant { .. } => "tenant",
             EventKind::Admit { .. } => "admit",
             EventKind::Reject { .. } => "reject",
             EventKind::CacheLookup { .. } => "cache_lookup",
@@ -297,6 +306,7 @@ impl TraceSnapshot {
             let _ = write!(out, "[{:>12.3}ms] {:>6} ", e.at_ns as f64 / 1e6, e.query);
             let _ = match e.kind {
                 EventKind::Submit => writeln!(out, "submit"),
+                EventKind::Tenant { tenant } => writeln!(out, "tenant  #{tenant}"),
                 EventKind::Admit {
                     share_bytes,
                     queue_wait_ns,
@@ -376,6 +386,7 @@ impl TraceSnapshot {
             );
             let _ = match e.kind {
                 EventKind::Submit => Ok(()),
+                EventKind::Tenant { tenant } => write!(out, ",\"tenant\":{tenant}"),
                 EventKind::Admit {
                     share_bytes,
                     queue_wait_ns,

@@ -45,6 +45,7 @@ use crate::cache::{CacheStats, ClusterCache, ClusterKey};
 use crate::registry::{Catalog, RelationId};
 use crate::scheduler::ChunkScheduler;
 use crate::server::{QueryOutcome, QueryResult, QueryStats, ServeConfig, ServerRequest};
+use crate::tenant::{TenantId, TenantRegistry, TenantStats};
 use rdx_cache::CacheParams;
 use rdx_core::budget::{BudgetError, MemoryBudget};
 use rdx_core::error::{DeadlineError, RdxError, Side};
@@ -179,6 +180,11 @@ pub struct EngineStats {
     /// Retry attempts re-queued under a request's
     /// [`rdx_core::fault::RetryPolicy`].
     pub retries: u64,
+    /// Of [`EngineStats::rejections`]: refused at admission because the
+    /// requesting tenant was over its [`crate::TenantQuota`] — checked
+    /// before the global budget, so tenant bursts shed at their own cap
+    /// without consuming shared-pool decisions.
+    pub tenant_quota_rejects: u64,
 }
 
 /// A validated, planned, cache-resolved query, ready to stream chunks —
@@ -255,6 +261,7 @@ struct EngineObs {
     cancellations: rdx_obs::Counter,
     worker_panics: rdx_obs::Counter,
     retries: rdx_obs::Counter,
+    tenant_quota_rejects: rdx_obs::Counter,
     in_flight: rdx_obs::Gauge,
     queued: rdx_obs::Gauge,
     queue_wait_ns: rdx_obs::Histogram,
@@ -277,6 +284,7 @@ impl EngineObs {
             cancellations: metrics.counter("engine.cancellations"),
             worker_panics: metrics.counter("engine.worker_panics"),
             retries: metrics.counter("engine.retries"),
+            tenant_quota_rejects: metrics.counter("engine.tenant_quota_rejects"),
             in_flight: metrics.gauge("engine.in_flight"),
             queued: metrics.gauge("engine.queued"),
             queue_wait_ns: metrics.histogram("engine.queue_wait_ns"),
@@ -296,6 +304,7 @@ fn reject_reason(e: &RdxError) -> &'static str {
         RdxError::Deadline(_) => "deadline",
         RdxError::Cancelled => "cancelled",
         RdxError::WorkerPanicked { .. } => "worker_panic",
+        RdxError::TenantQuota { .. } => "tenant_quota",
     }
 }
 
@@ -329,6 +338,9 @@ struct Running {
     /// this query's chunk steps (measured only when a deadline is armed)
     /// plus any injected artificial slowdowns.
     consumed_ns: u64,
+    /// The tenant this admission was charged to (with the byte charge),
+    /// released at every teardown alongside the admission grant.
+    tenant: Option<(TenantId, usize)>,
 }
 
 /// One query parked between retry attempts, waiting out its backoff in
@@ -383,6 +395,8 @@ pub struct QueryEngine {
     /// Next submission ordinal (fault-injection addressing).
     next_ordinal: usize,
     faults: FaultInjector,
+    /// Interned tenants and their quota accounting (see [`crate::tenant`]).
+    tenants: TenantRegistry,
 }
 
 impl QueryEngine {
@@ -421,7 +435,31 @@ impl QueryEngine {
             step_count: 0,
             next_ordinal: 0,
             faults: FaultInjector::new(FaultPlan::new()),
+            tenants: TenantRegistry::new(config.tenant_quotas.clone()),
             config,
+        }
+    }
+
+    /// Interns `name` as a tenant of this engine, resolving its
+    /// [`crate::TenantQuota`] from [`ServeConfig::tenant_quotas`] and
+    /// registering its `engine.tenant.<name>.*` instruments on first
+    /// sight.  Idempotent: the same name always returns the same id.
+    /// Requests carrying the returned [`TenantId`] (see
+    /// [`ServerRequest::with_tenant`]) are quota-checked at admission.
+    pub fn tenant_id(&mut self, name: &str) -> TenantId {
+        self.tenants.intern(name, &self.obs)
+    }
+
+    /// The tenant's quota accounting, or `None` for an id this engine
+    /// never interned.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.tenants.stats(tenant)
+    }
+
+    /// Returns a torn-down admission's tenant charge, if any.
+    fn release_tenant(&mut self, charge: Option<(TenantId, usize)>) {
+        if let Some((t, bytes)) = charge {
+            self.tenants.release(t, bytes);
         }
     }
 
@@ -513,6 +551,10 @@ impl QueryEngine {
         let ticket = TicketId(NEXT_TICKET.fetch_add(1, Ordering::Relaxed));
         let query = QueryId::next();
         self.obs.record(query, EventKind::Submit);
+        if let Some(t) = request.tenant {
+            self.obs
+                .record(query, EventKind::Tenant { tenant: t.raw() });
+        }
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
         match validate(&self.catalog, &request) {
@@ -557,6 +599,13 @@ impl QueryEngine {
                 self.stats.deadline_rejects += 1;
                 if let Some(eo) = &self.engine_obs {
                     eo.deadline_rejects.inc();
+                }
+            }
+            RdxError::TenantQuota { tenant, .. } => {
+                self.stats.tenant_quota_rejects += 1;
+                self.tenants.count_reject(TenantId(*tenant));
+                if let Some(eo) = &self.engine_obs {
+                    eo.tenant_quota_rejects.inc();
                 }
             }
             _ => {}
@@ -704,6 +753,7 @@ impl QueryEngine {
                 self.scheduler.remove(id);
                 let r = self.running.swap_remove(pos);
                 self.admission.release(r.share);
+                self.release_tenant(r.tenant);
                 let ticket = r.ticket;
                 let (rq, sink) = (r.rq, r.sink);
                 let stats = self.retire(rq);
@@ -731,6 +781,7 @@ impl QueryEngine {
                 self.scheduler.remove(id);
                 let r = self.running.swap_remove(pos);
                 self.admission.release(r.share);
+                self.release_tenant(r.tenant);
                 self.stats.worker_panics += 1;
                 if let Some(eo) = &self.engine_obs {
                     eo.worker_panics.inc();
@@ -808,6 +859,7 @@ impl QueryEngine {
             self.scheduler.remove(ticket.0 as usize);
             let mut r = self.running.swap_remove(pos);
             self.admission.release(r.share);
+            self.release_tenant(r.tenant);
             // Between chunks the run's scratch is consistent — harvest it
             // for the next query before dropping the run.
             if self.scratch_pool.len() < self.config.max_concurrent {
@@ -851,6 +903,7 @@ impl QueryEngine {
             self.scheduler.remove(ticket.0 as usize);
             let mut r = self.running.swap_remove(pos);
             self.admission.release(r.share);
+            self.release_tenant(r.tenant);
             if self.scratch_pool.len() < self.config.max_concurrent {
                 self.scratch_pool.push(r.rq.run.take_scratch());
             }
@@ -948,6 +1001,13 @@ impl QueryEngine {
         // fault plans address both paths with one numbering.
         let query = QueryId::next();
         self.obs.record(query, EventKind::Submit);
+        // Direct runs are attributed to their tenant in the trace, but
+        // tenant quotas are an *admission* policy and the direct path is
+        // the caller's own synchronous loop — only the ticket path sheds.
+        if let Some(t) = request.tenant {
+            self.obs
+                .record(query, EventKind::Tenant { tenant: t.raw() });
+        }
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
         match self.resolve_with(request, budget, query, 0, ordinal) {
@@ -1206,6 +1266,41 @@ impl QueryEngine {
                     continue;
                 }
             }
+            // Tenant quotas are checked *before* the global budget is even
+            // consulted: an over-quota tenant sheds at its own cap without
+            // consuming a shared-pool admission decision.  Over-quota is
+            // transient (a release cures it), so retry policies apply like
+            // budget rejections.
+            if let Some(t) = request.tenant {
+                if let Err(err) = self.tenants.check_admit(t, effective_row_bytes) {
+                    let Some(p) = self.queue.pop_front() else {
+                        break;
+                    };
+                    match p.request.retry {
+                        Some(policy) if p.attempt < policy.max_retries => {
+                            self.park_retry(
+                                p.ticket,
+                                p.query,
+                                p.request,
+                                p.ordinal,
+                                p.attempt + 1,
+                                policy,
+                            );
+                        }
+                        _ => {
+                            self.reject(p.query, &err);
+                            self.finished.insert(
+                                p.ticket.0,
+                                QueryOutcome {
+                                    request,
+                                    outcome: Err(err),
+                                },
+                            );
+                        }
+                    }
+                    continue;
+                }
+            }
             // A scripted grant denial rides the ordinary budget-rejection
             // path (and so also exercises retry policies).
             let decision = if self.faults.deny_grant(front_ordinal) {
@@ -1254,6 +1349,35 @@ impl QueryEngine {
                         Some(hint) if hint.limit_bytes() < share.limit_bytes() => hint,
                         _ => share,
                     };
+                    // A tenant byte cap tightens the grant further — the
+                    // same mechanism as the hint — and the final limit is
+                    // charged against the tenant, so `Σ` of a tenant's
+                    // grants `≤` its cap holds by construction.  The
+                    // check above guaranteed the headroom holds one row.
+                    let tenant = match request.tenant {
+                        Some(t) => match self.tenants.remaining_bytes(t) {
+                            Some(remaining) => {
+                                let capped = if !effective.is_bounded()
+                                    || remaining < effective.limit_bytes()
+                                {
+                                    MemoryBudget::bytes(remaining)
+                                } else {
+                                    effective
+                                };
+                                Some((t, capped.limit_bytes()))
+                            }
+                            // No byte cap: track the in-flight slot only.
+                            None => Some((t, 0)),
+                        },
+                        None => None,
+                    };
+                    let effective = match tenant {
+                        Some((_, bytes)) if bytes > 0 => MemoryBudget::bytes(bytes),
+                        _ => effective,
+                    };
+                    if let Some((t, bytes)) = tenant {
+                        self.tenants.charge(t, bytes);
+                    }
                     let wait = p.submitted_at.elapsed();
                     match self.resolve_with(
                         &request,
@@ -1286,10 +1410,12 @@ impl QueryEngine {
                                 ordinal: p.ordinal,
                                 attempt: p.attempt,
                                 consumed_ns: 0,
+                                tenant,
                             });
                         }
                         Err(e) => {
                             self.admission.release(share);
+                            self.release_tenant(tenant);
                             self.reject(p.query, &e);
                             self.finished.insert(
                                 p.ticket.0,
@@ -1414,6 +1540,7 @@ mod tests {
             plan_shares: None,
             observability: false,
             profiled: false,
+            tenant_quotas: crate::tenant::TenantQuotas::default(),
         })
     }
 
@@ -1787,5 +1914,103 @@ mod tests {
         let qt = engine.take_outcome(tight).unwrap().outcome.unwrap();
         let ql = engine.take_outcome(loose).unwrap().outcome.unwrap();
         assert_eq!(columns(&qt.result), columns(&ql.result));
+    }
+
+    #[test]
+    fn tenant_quotas_shed_at_admission_and_release_on_teardown() {
+        use crate::tenant::{TenantQuota, TenantQuotas};
+        let mut engine = QueryEngine::new(ServeConfig {
+            params: CacheParams::tiny_for_tests(),
+            global_budget: MemoryBudget::bytes(64 * 1024),
+            max_concurrent: 4,
+            threads_per_query: 1,
+            cache_bytes: 1 << 20,
+            fairness: crate::FairnessPolicy::CostWeighted,
+            plan_shares: Some(1),
+            observability: false,
+            profiled: false,
+            tenant_quotas: TenantQuotas::unlimited()
+                .with_tenant("burst", TenantQuota::unlimited().in_flight(1)),
+        });
+        let w = JoinWorkloadBuilder::equal(400, 1).seed(11).build();
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+        let burst = engine.tenant_id("burst");
+        let free = engine.tenant_id("free");
+
+        // Two tagged submissions from the capped tenant plus one from an
+        // uncapped one: the first "burst" query is admitted, the second is
+        // shed at its own cap, and the "free" tenant is untouched.
+        let first = engine.submit(ServerRequest::new(larger, smaller, spec).with_tenant(burst));
+        let second = engine.submit(ServerRequest::new(larger, smaller, spec).with_tenant(burst));
+        let other = engine.submit(ServerRequest::new(larger, smaller, spec).with_tenant(free));
+        while engine.step() != EngineStep::Idle {}
+
+        let shed = engine.take_outcome(second).unwrap().outcome.unwrap_err();
+        assert!(matches!(
+            shed,
+            RdxError::TenantQuota { tenant, kind: rdx_core::error::TenantQuotaKind::InFlight { limit: 1, .. } }
+                if tenant == burst.raw()
+        ));
+        let ok_first = engine.take_outcome(first).unwrap().outcome.unwrap();
+        let ok_other = engine.take_outcome(other).unwrap().outcome.unwrap();
+        assert_eq!(columns(&ok_first.result), columns(&ok_other.result));
+        assert_eq!(engine.stats().tenant_quota_rejects, 1);
+
+        // Completion released the slot: the same tenant admits again.
+        let bs = engine.tenant_stats(burst).unwrap();
+        assert_eq!((bs.in_flight, bs.committed_bytes), (0, 0));
+        assert_eq!((bs.admissions, bs.rejections), (1, 1));
+        let third = engine.submit(ServerRequest::new(larger, smaller, spec).with_tenant(burst));
+        while engine.step() != EngineStep::Idle {}
+        assert!(engine.take_outcome(third).unwrap().outcome.is_ok());
+    }
+
+    #[test]
+    fn tenant_byte_cap_tightens_the_grant_like_a_hint() {
+        use crate::tenant::{TenantQuota, TenantQuotas};
+        let mut engine = QueryEngine::new(ServeConfig {
+            params: CacheParams::tiny_for_tests(),
+            global_budget: MemoryBudget::bytes(64 * 1024),
+            max_concurrent: 2,
+            threads_per_query: 1,
+            cache_bytes: 1 << 20,
+            fairness: crate::FairnessPolicy::CostWeighted,
+            plan_shares: Some(1),
+            observability: false,
+            profiled: false,
+            tenant_quotas: TenantQuotas::unlimited()
+                .with_default(TenantQuota::unlimited().resident_bytes(512)),
+        });
+        let w = JoinWorkloadBuilder::equal(600, 1).seed(13).build();
+        let larger = engine.register(w.larger.clone());
+        let smaller = engine.register(w.smaller.clone());
+        let spec = QuerySpec::symmetric(1);
+        let capped = engine.tenant_id("capped");
+
+        let t = engine.submit(ServerRequest::new(larger, smaller, spec).with_tenant(capped));
+        // While running, the tenant's byte charge equals the tightened
+        // grant — never the (much larger) global share.
+        let mut seen_charge = 0;
+        loop {
+            match engine.step() {
+                EngineStep::Idle => break,
+                _ => {
+                    let s = engine.tenant_stats(capped).unwrap();
+                    seen_charge = seen_charge.max(s.committed_bytes);
+                }
+            }
+        }
+        assert_eq!(seen_charge, 512);
+        let q = engine.take_outcome(t).unwrap().outcome.unwrap();
+        assert_eq!(q.stats.share_bytes, 512);
+        assert_eq!(q.result.cardinality(), w.expected_matches);
+        // Untagged queries on the same engine bypass tenant accounting.
+        let untagged = engine.submit(ServerRequest::new(larger, smaller, spec));
+        while engine.step() != EngineStep::Idle {}
+        let qu = engine.take_outcome(untagged).unwrap().outcome.unwrap();
+        assert!(qu.stats.share_bytes > 512);
+        assert_eq!(columns(&q.result), columns(&qu.result));
     }
 }

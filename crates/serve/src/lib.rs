@@ -33,6 +33,12 @@
 //!   between chunk steps of in-flight queries), [`QueryEngine::step`] pumps
 //!   one admission-plus-chunk decision, and [`QueryEngine::resolve`] is the
 //!   **single planner entry** every execution mode funnels through.
+//! * [`tenant`] — the **per-tenant quota layer**: [`TenantQuotas`] caps a
+//!   tenant's in-flight queries and resident grant bytes, checked at
+//!   admission *before* the global `per_query_share` (typed
+//!   [`rdx_core::error::RdxError::TenantQuota`] rejection) with per-tenant
+//!   `engine.tenant.*` instruments — the paper's memory-budgeted execution
+//!   model extended from queries to principals.
 //!
 //! [`RdxServer::run_batch`] is the legacy synchronous shape, now a thin
 //! wrapper over tickets.  The load-bearing guarantee, exercised by the
@@ -81,6 +87,7 @@ pub mod engine;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod tenant;
 
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use cache::{CacheStats, ClusterCache, ClusterKey};
@@ -91,3 +98,4 @@ pub use server::{
     BatchReport, BatchStats, QueryOutcome, QueryResult, QueryStats, RdxServer, ServeConfig,
     ServeError, ServerRequest,
 };
+pub use tenant::{TenantId, TenantQuota, TenantQuotas, TenantStats};

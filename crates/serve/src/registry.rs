@@ -20,6 +20,14 @@ impl RelationId {
     pub fn raw(&self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an id from its raw form — how a wire front-end (`rdx-net`)
+    /// turns an untrusted client integer back into a handle.  No validity
+    /// is implied: an id naming nothing resolves to `None` in the catalog
+    /// and surfaces as a typed `UnknownRelation` from the engine.
+    pub fn from_raw(id: u32) -> RelationId {
+        RelationId(id)
+    }
 }
 
 impl std::fmt::Display for RelationId {

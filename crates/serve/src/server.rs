@@ -64,6 +64,13 @@ pub struct ServeConfig {
     /// the replay costs simulator time, so it is a measurement mode, not a
     /// serving mode.  Per-request opt-in: [`ServerRequest::with_profiled`].
     pub profiled: bool,
+    /// Per-tenant admission caps layered on top of [`Self::global_budget`]
+    /// (see [`crate::tenant`]): max in-flight queries and max resident
+    /// grant bytes per tenant, enforced *before* the global
+    /// `per_query_share` and rejected with the typed
+    /// [`RdxError::TenantQuota`].  The default is unlimited for every
+    /// tenant, so untagged deployments pay nothing.
+    pub tenant_quotas: crate::tenant::TenantQuotas,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,7 @@ impl Default for ServeConfig {
             plan_shares: None,
             observability: false,
             profiled: false,
+            tenant_quotas: crate::tenant::TenantQuotas::default(),
         }
     }
 }
@@ -93,6 +101,12 @@ impl ServeConfig {
     /// implies nothing unless observability is also on.
     pub fn with_profiled(mut self, enabled: bool) -> Self {
         self.profiled = enabled;
+        self
+    }
+
+    /// Installs per-tenant admission quotas (builder form).
+    pub fn with_tenant_quotas(mut self, quotas: crate::tenant::TenantQuotas) -> Self {
+        self.tenant_quotas = quotas;
         self
     }
 }
@@ -149,6 +163,13 @@ pub struct ServerRequest {
     /// wall-clock), keeping recovery deterministic.  Deadline failures are
     /// never retried.
     pub retry: Option<RetryPolicy>,
+    /// The tenant this query is billed to, interned via
+    /// [`QueryEngine::tenant_id`].  `None` — the default — bypasses tenant
+    /// accounting entirely.  Tagged ticket submissions are checked against
+    /// the tenant's [`crate::TenantQuota`] at admission (in-flight cap,
+    /// resident-byte cap tightening the grant) and attributed in metrics
+    /// and trace; tags change admission and accounting only, never bytes.
+    pub tenant: Option<crate::tenant::TenantId>,
 }
 
 impl ServerRequest {
@@ -166,6 +187,7 @@ impl ServerRequest {
             deadline_ns: None,
             priority: 1,
             retry: None,
+            tenant: None,
         }
     }
 
@@ -221,6 +243,12 @@ impl ServerRequest {
     /// worker panics (see [`ServerRequest::retry`]).
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
+        self
+    }
+
+    /// Bills this query to `tenant` (see [`ServerRequest::tenant`]).
+    pub fn with_tenant(mut self, tenant: crate::tenant::TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 }
@@ -348,6 +376,9 @@ pub struct BatchStats {
     pub worker_panics: u64,
     /// Retry attempts re-queued under a [`ServerRequest::retry`] policy.
     pub retries: u64,
+    /// Of [`BatchStats::rejections`]: refused at admission because the
+    /// requesting tenant was over its [`crate::TenantQuota`].
+    pub tenant_quota_rejects: u64,
 }
 
 /// A served batch: per-request outcomes (in request order) plus batch stats.
@@ -480,6 +511,7 @@ impl RdxServer {
                 cancellations: engine_stats.cancellations,
                 worker_panics: engine_stats.worker_panics,
                 retries: engine_stats.retries,
+                tenant_quota_rejects: engine_stats.tenant_quota_rejects,
             },
         }
     }
@@ -502,6 +534,7 @@ mod tests {
             plan_shares: None,
             observability: false,
             profiled: false,
+            tenant_quotas: crate::tenant::TenantQuotas::default(),
         }
     }
 

@@ -1,0 +1,429 @@
+//! The **per-tenant quota layer**: admission caps per principal, on top of
+//! the global [`rdx_core::budget::MemoryBudget`] the
+//! [`crate::admission::AdmissionController`] splits.
+//!
+//! The paper's execution model budgets *queries*; a serving front budgets
+//! *principals* — the tenants behind the connections.  A [`TenantQuota`]
+//! caps how many queries a tenant may have in flight and how many resident
+//! grant bytes those queries may hold in total.  Quotas are enforced at
+//! admission **before** the global `per_query_share` is consulted, so one
+//! tenant's burst is shed at its own cap (typed
+//! [`RdxError::TenantQuota`]) and never dips into the shared pool; the
+//! byte cap also *tightens* an admitted query's grant the same way a
+//! request's budget hint does, so `Σ` of a tenant's grants `≤` its cap
+//! holds at every instant, by the same construction as the global
+//! invariant.
+//!
+//! Tenants are interned by name ([`crate::engine::QueryEngine::tenant_id`])
+//! into the `Copy` [`TenantId`] requests carry, and each tenant gets its
+//! own `engine.tenant.<name>.*` instruments when observability is on.
+
+use rdx_core::error::{RdxError, TenantQuotaKind};
+use rdx_obs::Obs;
+use std::collections::HashMap;
+
+/// Opaque handle to an interned tenant — what [`crate::ServerRequest`]
+/// carries.  Interned per engine; the raw value is what
+/// [`RdxError::TenantQuota`] reports (the newtype is not visible from
+/// `rdx-core`, like `RelationId`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub(crate) u32);
+
+impl TenantId {
+    /// The raw id — what [`RdxError::TenantQuota`] carries.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// One tenant's admission caps.  `None` on either axis means unlimited;
+/// the default is unlimited on both, so quota enforcement is strictly
+/// opt-in per tenant (or via [`TenantQuotas::with_default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantQuota {
+    /// Most queries the tenant may have admitted at once.
+    pub max_in_flight: Option<usize>,
+    /// Most resident grant bytes the tenant's in-flight queries may hold
+    /// in total.  Also tightens grants: a query is admitted at
+    /// `min(share, hint, tenant remaining)`, so the cap is enforced by
+    /// construction, not monitoring.
+    pub max_resident_bytes: Option<usize>,
+}
+
+impl TenantQuota {
+    /// No caps on either axis.
+    pub fn unlimited() -> Self {
+        TenantQuota::default()
+    }
+
+    /// Caps concurrent in-flight queries (builder form).
+    pub fn in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = Some(max);
+        self
+    }
+
+    /// Caps total resident grant bytes (builder form).
+    pub fn resident_bytes(mut self, max: usize) -> Self {
+        self.max_resident_bytes = Some(max);
+        self
+    }
+}
+
+/// The engine-wide quota table: a default quota for every tenant plus
+/// per-name overrides, resolved once at interning time.
+#[derive(Debug, Clone, Default)]
+pub struct TenantQuotas {
+    default_quota: TenantQuota,
+    overrides: Vec<(String, TenantQuota)>,
+}
+
+impl TenantQuotas {
+    /// Every tenant unlimited (the [`crate::ServeConfig`] default).
+    pub fn unlimited() -> Self {
+        TenantQuotas::default()
+    }
+
+    /// Sets the quota tenants get unless overridden by name.
+    pub fn with_default(mut self, quota: TenantQuota) -> Self {
+        self.default_quota = quota;
+        self
+    }
+
+    /// Overrides the quota for the tenant named `name` (last write wins).
+    pub fn with_tenant(mut self, name: impl Into<String>, quota: TenantQuota) -> Self {
+        let name = name.into();
+        if let Some(entry) = self.overrides.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 = quota;
+        } else {
+            self.overrides.push((name, quota));
+        }
+        self
+    }
+
+    /// The quota `name` resolves to.
+    pub fn quota_for(&self, name: &str) -> TenantQuota {
+        self.overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, q)| *q)
+            .unwrap_or(self.default_quota)
+    }
+}
+
+/// A point-in-time view of one tenant's admission accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The name the tenant was interned under.
+    pub name: String,
+    /// The quota it resolved to at interning time.
+    pub quota: TenantQuota,
+    /// Queries currently admitted.
+    pub in_flight: usize,
+    /// Grant bytes currently charged against
+    /// [`TenantQuota::max_resident_bytes`] (always 0 for tenants with no
+    /// byte cap — nothing is charged where nothing is enforced).
+    pub committed_bytes: usize,
+    /// Queries admitted over the tenant's lifetime.
+    pub admissions: u64,
+    /// Queries refused with [`RdxError::TenantQuota`].
+    pub rejections: u64,
+}
+
+/// Per-tenant mirror instruments, resolved once at interning time (same
+/// pattern as the engine's own `EngineObs`).
+#[derive(Debug)]
+struct TenantObs {
+    admissions: rdx_obs::Counter,
+    rejections: rdx_obs::Counter,
+    in_flight: rdx_obs::Gauge,
+    committed_bytes: rdx_obs::Gauge,
+}
+
+impl TenantObs {
+    fn new(obs: &Obs, name: &str) -> Option<TenantObs> {
+        let metrics = obs.metrics()?;
+        let label = |suffix: &str| format!("engine.tenant.{name}.{suffix}");
+        Some(TenantObs {
+            admissions: metrics.counter_named(&label("admissions")),
+            rejections: metrics.counter_named(&label("rejections")),
+            in_flight: metrics.gauge_named(&label("in_flight")),
+            committed_bytes: metrics.gauge_named(&label("committed_bytes")),
+        })
+    }
+}
+
+/// One interned tenant's state.
+#[derive(Debug)]
+struct TenantState {
+    name: String,
+    quota: TenantQuota,
+    in_flight: usize,
+    committed_bytes: usize,
+    admissions: u64,
+    rejections: u64,
+    obs: Option<TenantObs>,
+}
+
+/// The engine's tenant table: name interning plus per-tenant admission
+/// accounting.  Ids minted by one engine are meaningless to another; a
+/// foreign id simply resolves to no state (every check passes, nothing is
+/// charged), same contract as an unknown relation id resolving to `None`.
+#[derive(Debug)]
+pub(crate) struct TenantRegistry {
+    quotas: TenantQuotas,
+    tenants: Vec<TenantState>,
+    by_name: HashMap<String, u32>,
+}
+
+impl TenantRegistry {
+    pub(crate) fn new(quotas: TenantQuotas) -> Self {
+        TenantRegistry {
+            quotas,
+            tenants: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Interns `name`, resolving its quota and registering its
+    /// `engine.tenant.<name>.*` instruments on first sight.
+    pub(crate) fn intern(&mut self, name: &str, obs: &Obs) -> TenantId {
+        if let Some(&id) = self.by_name.get(name) {
+            return TenantId(id);
+        }
+        let id = self.tenants.len() as u32;
+        self.tenants.push(TenantState {
+            name: name.to_owned(),
+            quota: self.quotas.quota_for(name),
+            in_flight: 0,
+            committed_bytes: 0,
+            admissions: 0,
+            rejections: 0,
+            obs: TenantObs::new(obs, name),
+        });
+        self.by_name.insert(name.to_owned(), id);
+        TenantId(id)
+    }
+
+    /// Whether the tenant can admit one more query needing at least
+    /// `bytes_per_row` resident bytes — the check that runs *before*
+    /// [`crate::admission::AdmissionController::try_admit`].
+    pub(crate) fn check_admit(&self, t: TenantId, bytes_per_row: usize) -> Result<(), RdxError> {
+        let Some(state) = self.tenants.get(t.0 as usize) else {
+            return Ok(());
+        };
+        if let Some(limit) = state.quota.max_in_flight {
+            if state.in_flight >= limit {
+                return Err(RdxError::TenantQuota {
+                    tenant: t.0,
+                    kind: TenantQuotaKind::InFlight {
+                        in_flight: state.in_flight,
+                        limit,
+                    },
+                });
+            }
+        }
+        if let Some(limit) = state.quota.max_resident_bytes {
+            let remaining = limit.saturating_sub(state.committed_bytes);
+            if remaining < bytes_per_row {
+                return Err(RdxError::TenantQuota {
+                    tenant: t.0,
+                    kind: TenantQuotaKind::ResidentBytes {
+                        needed: bytes_per_row,
+                        in_use: state.committed_bytes,
+                        limit,
+                    },
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The tenant's uncommitted resident-byte headroom, or `None` when it
+    /// has no byte cap (nothing to tighten grants against).
+    pub(crate) fn remaining_bytes(&self, t: TenantId) -> Option<usize> {
+        let state = self.tenants.get(t.0 as usize)?;
+        let limit = state.quota.max_resident_bytes?;
+        Some(limit.saturating_sub(state.committed_bytes))
+    }
+
+    /// Charges an admission against the tenant: one in-flight slot plus
+    /// `bytes` against the byte cap (0 when the tenant has none).
+    pub(crate) fn charge(&mut self, t: TenantId, bytes: usize) {
+        let Some(state) = self.tenants.get_mut(t.0 as usize) else {
+            return;
+        };
+        state.in_flight += 1;
+        state.committed_bytes += bytes;
+        state.admissions += 1;
+        if let Some(o) = &state.obs {
+            o.admissions.inc();
+            o.in_flight.set(state.in_flight as i64);
+            o.committed_bytes.set(state.committed_bytes as i64);
+        }
+    }
+
+    /// Returns a completed (or torn-down) query's charge to the tenant.
+    pub(crate) fn release(&mut self, t: TenantId, bytes: usize) {
+        let Some(state) = self.tenants.get_mut(t.0 as usize) else {
+            return;
+        };
+        debug_assert!(state.in_flight > 0, "tenant release without charge");
+        debug_assert!(bytes <= state.committed_bytes, "foreign tenant charge");
+        state.in_flight = state.in_flight.saturating_sub(1);
+        state.committed_bytes = state.committed_bytes.saturating_sub(bytes);
+        if let Some(o) = &state.obs {
+            o.in_flight.set(state.in_flight as i64);
+            o.committed_bytes.set(state.committed_bytes as i64);
+        }
+    }
+
+    /// Counts one [`RdxError::TenantQuota`] refusal against the tenant.
+    pub(crate) fn count_reject(&mut self, t: TenantId) {
+        let Some(state) = self.tenants.get_mut(t.0 as usize) else {
+            return;
+        };
+        state.rejections += 1;
+        if let Some(o) = &state.obs {
+            o.rejections.inc();
+        }
+    }
+
+    /// The tenant's accounting view, or `None` for a foreign id.
+    pub(crate) fn stats(&self, t: TenantId) -> Option<TenantStats> {
+        self.tenants.get(t.0 as usize).map(|s| TenantStats {
+            name: s.name.clone(),
+            quota: s.quota,
+            in_flight: s.in_flight,
+            committed_bytes: s.committed_bytes,
+            admissions: s.admissions,
+            rejections: s.rejections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_table_resolves_overrides_over_the_default() {
+        let quotas = TenantQuotas::unlimited()
+            .with_default(TenantQuota::unlimited().in_flight(4))
+            .with_tenant(
+                "noisy",
+                TenantQuota::unlimited().in_flight(1).resident_bytes(64),
+            )
+            .with_tenant("noisy", TenantQuota::unlimited().in_flight(2));
+        assert_eq!(quotas.quota_for("anyone").max_in_flight, Some(4));
+        // Last write wins; the second override dropped the byte cap.
+        let noisy = quotas.quota_for("noisy");
+        assert_eq!(noisy.max_in_flight, Some(2));
+        assert_eq!(noisy.max_resident_bytes, None);
+    }
+
+    #[test]
+    fn interning_is_stable_and_checks_enforce_both_axes() {
+        let quotas = TenantQuotas::unlimited().with_tenant(
+            "capped",
+            TenantQuota::unlimited().in_flight(2).resident_bytes(100),
+        );
+        let mut reg = TenantRegistry::new(quotas);
+        let obs = Obs::disabled();
+        let capped = reg.intern("capped", &obs);
+        assert_eq!(reg.intern("capped", &obs), capped);
+        let free = reg.intern("free", &obs);
+        assert_ne!(capped, free);
+        assert_eq!(capped.to_string(), "tenant#0");
+
+        // First admission fits and is charged; a second exhausts the
+        // in-flight cap, and releasing one clears it.
+        assert_eq!(reg.check_admit(capped, 16), Ok(()));
+        reg.charge(capped, 30);
+        reg.charge(capped, 30);
+        assert!(matches!(
+            reg.check_admit(capped, 16),
+            Err(RdxError::TenantQuota {
+                kind: TenantQuotaKind::InFlight {
+                    in_flight: 2,
+                    limit: 2
+                },
+                ..
+            })
+        ));
+        reg.release(capped, 30);
+        assert_eq!(reg.check_admit(capped, 16), Ok(()));
+
+        // The byte cap fires when the headroom cannot hold one row: one
+        // query holding 90 of 100 bytes leaves an in-flight slot free but
+        // only 10 bytes of headroom.
+        reg.release(capped, 30);
+        reg.charge(capped, 90);
+        let quota_err = reg.check_admit(capped, 16);
+        assert!(matches!(
+            quota_err,
+            Err(RdxError::TenantQuota {
+                kind: TenantQuotaKind::ResidentBytes {
+                    needed: 16,
+                    limit: 100,
+                    ..
+                },
+                ..
+            })
+        ));
+        assert_eq!(reg.remaining_bytes(capped), Some(10));
+        // Unlimited tenants have no headroom notion and always pass.
+        assert_eq!(reg.remaining_bytes(free), None);
+        assert_eq!(reg.check_admit(free, usize::MAX), Ok(()));
+
+        // Foreign ids resolve to no state: checks pass, charges no-op.
+        let foreign = TenantId(99);
+        assert_eq!(reg.check_admit(foreign, 1), Ok(()));
+        reg.charge(foreign, 10);
+        reg.release(foreign, 10);
+        assert!(reg.stats(foreign).is_none());
+    }
+
+    #[test]
+    fn stats_track_admissions_and_rejections() {
+        let quotas =
+            TenantQuotas::unlimited().with_tenant("t", TenantQuota::unlimited().in_flight(8));
+        let mut reg = TenantRegistry::new(quotas);
+        let obs = Obs::disabled();
+        let t = reg.intern("t", &obs);
+        reg.charge(t, 32);
+        reg.charge(t, 16);
+        reg.count_reject(t);
+        let s = reg.stats(t).unwrap();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.in_flight, 2);
+        assert_eq!(s.committed_bytes, 48);
+        assert_eq!(s.admissions, 2);
+        assert_eq!(s.rejections, 1);
+        reg.release(t, 32);
+        let s = reg.stats(t).unwrap();
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.committed_bytes, 16);
+    }
+
+    #[test]
+    fn per_tenant_instruments_register_when_observability_is_on() {
+        let obs = Obs::enabled(rdx_obs::ObsConfig::default());
+        let mut reg = TenantRegistry::new(
+            TenantQuotas::unlimited().with_default(TenantQuota::unlimited().resident_bytes(256)),
+        );
+        let t = reg.intern("acme", &obs);
+        reg.charge(t, 128);
+        reg.count_reject(t);
+        let snap = obs.metrics_snapshot().unwrap();
+        assert_eq!(snap.counter("engine.tenant.acme.admissions"), Some(1));
+        assert_eq!(snap.counter("engine.tenant.acme.rejections"), Some(1));
+        assert_eq!(snap.gauge("engine.tenant.acme.in_flight"), Some(1));
+        assert_eq!(snap.gauge("engine.tenant.acme.committed_bytes"), Some(128));
+    }
+}

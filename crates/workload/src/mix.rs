@@ -65,7 +65,7 @@ impl Zipf {
 }
 
 /// Configuration of a multi-tenant mix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MixConfig {
     /// Relation-pair presets, one per tenant: `(cardinality N, width ω)`.
     /// Popularity is zipfian in listed order (first = hottest).
@@ -74,6 +74,18 @@ pub struct MixConfig {
     pub queries: usize,
     /// Zipf exponent of tenant popularity (0 = uniform).
     pub zipf_exponent: f64,
+    /// Optional tenant names, one per [`MixConfig::tenants`] entry — what a
+    /// serving front-end hands to `tenant_id` / `Hello` so the mix's
+    /// queries are billed against per-tenant quotas.  Empty (the default)
+    /// keeps the legacy anonymous mix.
+    pub tenant_names: Vec<String>,
+    /// Optional per-tenant zipf exponents over each tenant's **projection
+    /// widths** (`rank k` ↦ `π = k + 1`): a skew of 0 spreads a tenant's
+    /// queries uniformly over `1..=ω`, a high skew concentrates them on
+    /// narrow projections — so different tenants stress the cache
+    /// differently.  Empty (the default) keeps the legacy deterministic
+    /// `1 + (q mod ω)` cycling.
+    pub width_skews: Vec<f64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -87,7 +99,23 @@ impl MixConfig {
             tenants: vec![(60_000, 2), (20_000, 4), (6_000, 1), (2_000, 2)],
             queries,
             zipf_exponent: 1.0,
+            tenant_names: Vec::new(),
+            width_skews: Vec::new(),
             seed,
+        }
+    }
+
+    /// The [`MixConfig::standard`] mix with its four tenants *named* and
+    /// given distinct per-tenant width skews — the preset for quota /
+    /// wire-serving scenarios where queries must be billed to someone.
+    pub fn tagged(queries: usize, seed: u64) -> Self {
+        MixConfig {
+            tenant_names: ["alpha", "beta", "gamma", "delta"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+            width_skews: vec![0.0, 0.5, 1.0, 1.5],
+            ..MixConfig::standard(queries, seed)
         }
     }
 }
@@ -112,6 +140,9 @@ pub struct MixQuery {
 pub struct QueryMix {
     /// One relation pair per tenant, in [`MixConfig::tenants`] order.
     pub tenants: Vec<JoinWorkload>,
+    /// Tenant names when the mix is tagged ([`MixConfig::tenant_names`]);
+    /// empty for anonymous legacy mixes.
+    pub names: Vec<String>,
     /// The drawn query sequence.
     pub queries: Vec<MixQuery>,
 }
@@ -120,9 +151,19 @@ impl QueryMix {
     /// Generates the mix described by `config`.
     ///
     /// # Panics
-    /// Panics if `config.tenants` is empty or any width is zero.
+    /// Panics if `config.tenants` is empty, any width is zero, or
+    /// `tenant_names` / `width_skews` are non-empty with a length other
+    /// than `tenants.len()`.
     pub fn generate(config: &MixConfig) -> Self {
         assert!(!config.tenants.is_empty(), "need at least one tenant");
+        assert!(
+            config.tenant_names.is_empty() || config.tenant_names.len() == config.tenants.len(),
+            "tenant_names must be empty or name every tenant"
+        );
+        assert!(
+            config.width_skews.is_empty() || config.width_skews.len() == config.tenants.len(),
+            "width_skews must be empty or cover every tenant"
+        );
         let tenants: Vec<JoinWorkload> = config
             .tenants
             .iter()
@@ -136,6 +177,14 @@ impl QueryMix {
             })
             .collect();
         let zipf = Zipf::new(tenants.len(), config.zipf_exponent);
+        // Per-tenant projection-width samplers (one rank per column),
+        // only when the config opts into skewed widths.
+        let width_zipfs: Vec<Zipf> = config
+            .width_skews
+            .iter()
+            .zip(&config.tenants)
+            .map(|(&s, &(_, columns))| Zipf::new(columns, s))
+            .collect();
         let mut rng = StdRng::seed_from_u64(config.seed);
         // Budget presets cycled across the mix: unconstrained clients plus
         // the PR 2 out-of-budget denominators.
@@ -144,16 +193,30 @@ impl QueryMix {
             .map(|q| {
                 let tenant = zipf.sample(&mut rng);
                 let width = config.tenants[tenant].1;
-                // Cycle the projection width so one tenant's repeats still
+                // Skewed draw per tenant when configured; otherwise cycle
+                // the projection width so one tenant's repeats still
                 // exercise different π (1..=ω).
+                let project = match width_zipfs.get(tenant) {
+                    Some(z) => 1 + z.sample(&mut rng),
+                    None => 1 + (q % width),
+                };
                 MixQuery {
                     tenant,
-                    project: 1 + (q % width),
+                    project,
                     budget_denominator: BUDGET_PRESETS[q % BUDGET_PRESETS.len()],
                 }
             })
             .collect();
-        QueryMix { tenants, queries }
+        QueryMix {
+            tenants,
+            names: config.tenant_names.clone(),
+            queries,
+        }
+    }
+
+    /// The name of tenant `t` in a tagged mix, `None` in an anonymous one.
+    pub fn tenant_name(&self, t: usize) -> Option<&str> {
+        self.names.get(t).map(String::as_str)
     }
 
     /// Total value-data bytes of tenant `t`'s pair (`2 · N · ω · 4`), the
@@ -244,6 +307,38 @@ mod tests {
         assert_eq!(pop.iter().sum::<usize>(), 64);
         assert!(pop[0] >= *pop.iter().max().unwrap() / 2);
         assert!(a.repeat_factor() > 2.0);
+    }
+
+    #[test]
+    fn tagged_mixes_name_tenants_and_skew_widths_per_tenant() {
+        let config = MixConfig::tagged(200, 5);
+        let mix = QueryMix::generate(&config);
+        // Reproducible, like every mix.
+        assert_eq!(mix.queries, QueryMix::generate(&config).queries);
+        assert_eq!(mix.tenant_name(0), Some("alpha"));
+        assert_eq!(mix.tenant_name(3), Some("delta"));
+        assert_eq!(mix.tenant_name(4), None);
+        // The anonymous mix stays anonymous (legacy behaviour untouched:
+        // same seed, same tenants, same width cycling as before).
+        let legacy = QueryMix::generate(&MixConfig::standard(200, 5));
+        assert_eq!(legacy.tenant_name(0), None);
+        for (q, query) in legacy.queries.iter().enumerate() {
+            assert_eq!(
+                query.project,
+                1 + (q % legacy.tenants[query.tenant].larger.width())
+            );
+        }
+        // Tenant "beta" (ω = 4, skew 0.5) draws narrow projections more
+        // often than wide ones; widths stay in bounds everywhere.
+        let mut beta_widths = [0usize; 4];
+        for q in &mix.queries {
+            let width = mix.tenants[q.tenant].larger.width();
+            assert!(q.project >= 1 && q.project <= width);
+            if q.tenant == 1 {
+                beta_widths[q.project - 1] += 1;
+            }
+        }
+        assert!(beta_widths[0] >= beta_widths[3]);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!
 //! Run with `cargo run --release --example multi_query_server [queries]`
 //! (default 24).
+//!
+//! Everything here runs in-process; the same engine speaks the wire
+//! protocol in `examples/net_server.rs` / `examples/net_client.rs`, where
+//! remote clients submit, poll and cancel over TCP or unix sockets.
 
 use radix_decluster::prelude::*;
 use std::sync::Arc;
@@ -109,6 +113,7 @@ fn main() {
         queries,
         zipf_exponent: 1.0,
         seed: 7,
+        ..MixConfig::default()
     });
     println!(
         "tenant popularity: {:?}  (repeat factor {:.1}×)",
@@ -135,6 +140,7 @@ fn main() {
         plan_shares: Some(4),
         observability: false,
         profiled: false,
+        ..ServeConfig::default()
     };
     let register_all = |session: &mut Session| -> Vec<(RelationId, RelationId)> {
         relations
@@ -196,7 +202,7 @@ fn main() {
         .query(l0, s0)
         .project(QuerySpec::symmetric(2))
         .submit();
-    while cached.drive(64) > 0 {}
+    cached.drive_until_idle();
     match (early.poll(&mut cached), late.poll(&mut cached)) {
         (QueryPoll::Done(a), QueryPoll::Done(b)) => {
             assert_eq!(a.result.cardinality(), b.result.cardinality());
@@ -230,7 +236,7 @@ fn main() {
         .submit();
     cached.drive(6);
     let was_live = straggler.cancel(&mut cached);
-    while cached.drive(64) > 0 {}
+    cached.drive_until_idle();
     match doomed.poll(&mut cached) {
         QueryPoll::Rejected(RdxError::Deadline(DeadlineError::Infeasible {
             predicted_ns,

@@ -24,6 +24,7 @@ fn main() {
         queries,
         zipf_exponent: 1.0,
         seed: 11,
+        ..MixConfig::default()
     });
 
     let mut session = Session::new(ServeConfig {

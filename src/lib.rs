@@ -46,6 +46,15 @@
 //!   panics poison only their own query, and a scripted
 //!   `core::fault::FaultPlan` drives every degradation path
 //!   deterministically.
+//! * [`net`] — the std-only **network serving layer**: a versioned,
+//!   length-prefixed binary wire protocol (`net::wire`, a pure codec whose
+//!   server frames mirror ticket statuses and carry typed `RdxError`s), a
+//!   single-threaded non-blocking [`net::NetServer`] multiplexing TCP and
+//!   unix-domain connections between [`serve::QueryEngine`] steps with
+//!   per-connection backpressure, and a blocking [`net::NetClient`].
+//!   Per-tenant [`serve::TenantQuota`]s (in-flight and resident-byte caps
+//!   on top of the global budget) admit each connection's submissions
+//!   under the tenant named in its `Hello`.
 //! * [`obs`] — the zero-dependency **observability layer**: a lock-free
 //!   metrics registry (counters, gauges, power-of-two latency histograms),
 //!   a bounded ring of per-query trace events (submit → admit → cache
@@ -79,6 +88,7 @@ pub use rdx_core as core;
 pub use rdx_cost as cost;
 pub use rdx_dsm as dsm;
 pub use rdx_exec as exec;
+pub use rdx_net as net;
 pub use rdx_nsm as nsm;
 pub use rdx_obs as obs;
 pub use rdx_serve as serve;
@@ -98,7 +108,7 @@ pub mod prelude {
         radix_decluster, radix_decluster_into, radix_decluster_windows,
         radix_decluster_windows_with_scratch, DeclusterScratch,
     };
-    pub use rdx_core::error::{DeadlineError, RdxError, Side};
+    pub use rdx_core::error::{DeadlineError, RdxError, Side, TenantQuotaKind};
     pub use rdx_core::fault::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
     pub use rdx_core::join::partitioned_hash_join;
     pub use rdx_core::strategy::{
@@ -115,14 +125,20 @@ pub mod prelude {
         ChunkScratch, DsmPipelineRun, ExecPolicy, ParClusterScratch, PipelineRun,
         PreparedProjection, ProjectionPipeline,
     };
+    pub use rdx_net::{
+        ClientError, Frame, NetClient, NetConfig, NetListener, NetServer, NetStats, NetStream,
+        SubmitSpec, WireError, WireReport, WIRE_VERSION,
+    };
     pub use rdx_nsm::NsmRelation;
     pub use rdx_obs::{
         EventKind, MetricsRegistry, MetricsSnapshot, MissCounts, Obs, ObsConfig, Phase, Profile,
         QueryId, TraceEvent, TraceSnapshot,
     };
     pub use rdx_serve::{
-        EngineStep, FairnessPolicy, QueryEngine, RdxServer, RelationId, ServeConfig, ServeError,
-        ServerRequest, TicketId, TicketStatus,
+        BatchReport, BatchStats, CacheStats, Catalog, EngineStats, EngineStep, FairnessPolicy,
+        QueryEngine, QueryOutcome, QueryResult, QueryStats, RdxServer, RelationId, ResolvedQuery,
+        ServeConfig, ServeError, ServerRequest, TenantId, TenantQuota, TenantQuotas, TenantStats,
+        TicketId, TicketStatus,
     };
     pub use rdx_workload::{
         self as workload, BudgetedWorkload, JoinWorkloadBuilder, MixConfig, QueryMix,

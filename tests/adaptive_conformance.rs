@@ -231,6 +231,7 @@ fn adaptive_grid_is_byte_identical_through_the_server() {
                     plan_shares: Some(3),
                     observability: false,
                     profiled: false,
+                    ..ServeConfig::default()
                 };
                 let w = JoinWorkloadBuilder::equal(rows, width)
                     .seed(rows as u64)
@@ -297,6 +298,7 @@ fn engine_counts_adaptive_replans_distinct_from_admission_replans() {
         plan_shares: Some(1),
         observability: false,
         profiled: false,
+        ..ServeConfig::default()
     });
     let larger = engine.register(w.larger.clone());
     let smaller = engine.register(w.smaller.clone());

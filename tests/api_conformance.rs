@@ -167,6 +167,7 @@ fn interleaved_tickets_reproduce_run_batch_chunk_for_chunk() {
         plan_shares: None,
         observability: false,
         profiled: false,
+        ..ServeConfig::default()
     };
 
     // Legacy batch shape.
@@ -271,6 +272,7 @@ fn a_submission_lands_between_chunk_steps_of_an_in_flight_query() {
         plan_shares: Some(1),
         observability: false,
         profiled: false,
+        ..ServeConfig::default()
     });
     let larger = session.register(w.larger.clone());
     let smaller = session.register(w.smaller.clone());

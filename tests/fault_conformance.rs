@@ -25,6 +25,7 @@ fn config(budget_bytes: usize, observability: bool) -> ServeConfig {
         plan_shares: Some(2),
         observability,
         profiled: false,
+        ..ServeConfig::default()
     }
 }
 

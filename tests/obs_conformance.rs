@@ -19,6 +19,7 @@ fn mix(rows: usize, width: usize) -> QueryMix {
         queries: 9,
         zipf_exponent: 1.0,
         seed: 41,
+        ..MixConfig::default()
     })
 }
 
@@ -68,6 +69,7 @@ fn config(budget: MemoryBudget, threads: usize, observability: bool) -> ServeCon
         plan_shares: Some(3),
         observability,
         profiled: false,
+        ..ServeConfig::default()
     }
 }
 

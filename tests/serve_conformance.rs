@@ -19,6 +19,7 @@ fn mix() -> QueryMix {
         queries: 12,
         zipf_exponent: 1.0,
         seed: 23,
+        ..MixConfig::default()
     })
 }
 
@@ -84,6 +85,7 @@ fn config(
         plan_shares: Some(4),
         observability: false,
         profiled: false,
+        ..ServeConfig::default()
     }
 }
 
